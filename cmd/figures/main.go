@@ -1,0 +1,127 @@
+// Command figures regenerates every figure of the paper's evaluation plus
+// this reproduction's ablation experiments, writing CSV, SVG and ASCII
+// renderings along with a plain-text summary of the key numbers.
+//
+// Usage:
+//
+//	figures [-fig all|4|5|7|pruning|delta|lookahead|lambda|sizes] \
+//	        [-out figures] [-seed 42] [-iters 50000] [-requests 50000] \
+//	        [-cachestep 3] [-quick]
+//
+// The experiment index lives in DESIGN.md; measured-vs-paper notes live in
+// EXPERIMENTS.md. All runs are deterministic in -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"prefetch/internal/plot"
+)
+
+type config struct {
+	out       string
+	fig       string
+	seed      uint64
+	iters     int
+	requests  int
+	cacheStep int
+	quick     bool
+}
+
+func main() {
+	var cfg config
+	var seed uint64
+	flag.StringVar(&cfg.out, "out", "figures", "output directory")
+	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: all|4|5|7|pruning|delta|lookahead|lambda|sizes")
+	flag.Uint64Var(&seed, "seed", 42, "random seed")
+	flag.IntVar(&cfg.iters, "iters", 50000, "iterations for the prefetch-only simulations (Figs 4, 5)")
+	flag.IntVar(&cfg.requests, "requests", 50000, "requests per point for the prefetch-cache simulation (Fig 7)")
+	flag.IntVar(&cfg.cacheStep, "cachestep", 3, "cache-size step for Fig 7 (1 reproduces all 100 points)")
+	flag.BoolVar(&cfg.quick, "quick", false, "small, fast run (iters=5000, requests=4000, cachestep=10)")
+	flag.Parse()
+	cfg.seed = seed
+	if cfg.quick {
+		cfg.iters = 5000
+		cfg.requests = 4000
+		cfg.cacheStep = 10
+	}
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
+		return err
+	}
+	var summary strings.Builder
+	fmt.Fprintf(&summary, "figures run: seed=%d iters=%d requests=%d cachestep=%d (%s)\n",
+		cfg.seed, cfg.iters, cfg.requests, cfg.cacheStep, time.Now().Format(time.RFC3339))
+
+	type job struct {
+		name string
+		fn   func(config, *strings.Builder) error
+	}
+	jobs := []job{
+		{"4", runFig4},
+		{"5", runFig5},
+		{"7", runFig7},
+		{"pruning", runPruning},
+		{"delta", runDelta},
+		{"lookahead", runLookahead},
+		{"lambda", runLambda},
+		{"sizes", runSizes},
+	}
+	ran := false
+	for _, j := range jobs {
+		if cfg.fig != "all" && cfg.fig != j.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== figure %s ==\n", j.name)
+		if err := j.fn(cfg, &summary); err != nil {
+			return fmt.Errorf("figure %s: %w", j.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", cfg.fig)
+	}
+	path := filepath.Join(cfg.out, "summary.txt")
+	if err := os.WriteFile(path, []byte(summary.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(summary.String())
+	return nil
+}
+
+// saveChart writes a chart in all three formats under out/name.{csv,svg,txt}.
+func saveChart(cfg config, name string, c *plot.Chart) error {
+	csv, err := plot.CSV(c)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(cfg.out, name+".csv"), []byte(csv), 0o644); err != nil {
+		return err
+	}
+	svg, err := plot.SVG(c, 640, 420)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(cfg.out, name+".svg"), []byte(svg), 0o644); err != nil {
+		return err
+	}
+	ascii, err := plot.ASCII(c, 72, 20)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(cfg.out, name+".txt"), []byte(ascii), 0o644)
+}

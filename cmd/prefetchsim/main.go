@@ -1,0 +1,243 @@
+// Command prefetchsim runs the paper's Monte-Carlo harnesses from the
+// command line.
+//
+// Prefetch-only mode (§4.4; Figures 4 and 5):
+//
+//	prefetchsim -mode prefetch-only -n 10 -gen skewy -iters 50000 \
+//	            -policies none,perfect,kp,skp,skp-paper
+//
+// Prefetch-cache mode (§5.3; Figure 7):
+//
+//	prefetchsim -mode cache -states 100 -requests 50000 -cachesize 40 \
+//	            -policies "No+Pr,KP+Pr,SKP+Pr,SKP+Pr+LFU,SKP+Pr+DS"
+//
+// Traces: -record FILE writes the generated workload as JSON lines;
+// -replay FILE replays a previously recorded workload (prefetch-only mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefetch"
+	"prefetch/internal/core"
+	"prefetch/internal/sim"
+	"prefetch/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode      = flag.String("mode", "prefetch-only", "prefetch-only | cache | session")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		n         = flag.Int("n", 10, "items per round (prefetch-only)")
+		gen       = flag.String("gen", "skewy", "probability generator: skewy | flat | zipf | geometric")
+		iters     = flag.Int("iters", 50000, "iterations (prefetch-only)")
+		policies  = flag.String("policies", "none,perfect,kp,skp", "comma-separated policy list")
+		record    = flag.String("record", "", "write the workload trace to this file")
+		replay    = flag.String("replay", "", "replay a workload trace from this file")
+		states    = flag.Int("states", 100, "Markov states (cache/session)")
+		requests  = flag.Int("requests", 50000, "requests (cache/session)")
+		cacheSize = flag.Int("cachesize", 40, "cache capacity in items (cache)")
+		skew      = flag.Float64("skew", 0, "Markov transition skew alpha (cache/session)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "prefetch-only":
+		return runPrefetchOnly(*seed, *n, *gen, *iters, *policies, *record, *replay)
+	case "cache":
+		return runCache(*seed, *states, *requests, *cacheSize, *skew, *policies)
+	case "session":
+		return runSession(*seed, *states, *requests, *skew)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func parsePolicies(list string) ([]sim.Policy, error) {
+	var out []sim.Policy
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(name) {
+		case "none":
+			out = append(out, sim.NoPrefetch{})
+		case "perfect":
+			out = append(out, sim.PerfectPolicy{})
+		case "kp":
+			out = append(out, sim.KPPolicy{})
+		case "greedy":
+			out = append(out, sim.GreedyPolicy{})
+		case "skp":
+			out = append(out, sim.SKPPolicy{})
+		case "skp-paper":
+			out = append(out, sim.SKPPolicy{Mode: core.DeltaPaperTail})
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown policy %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies given")
+	}
+	return out, nil
+}
+
+func runPrefetchOnly(seed uint64, n int, genName string, iters int, policyList, record, replay string) error {
+	var rounds []workload.Round
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rounds, err = workload.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		pg, err := genByName(genName)
+		if err != nil {
+			return err
+		}
+		r := prefetch.NewRand(seed)
+		src, err := workload.NewRandomSource(r, workload.Fig45Config(n, pg), iters)
+		if err != nil {
+			return err
+		}
+		rounds = workload.Collect(src)
+	}
+	if record != "" {
+		f, err := os.Create(record)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteTrace(f, rounds); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d rounds to %s\n", len(rounds), record)
+	}
+	pols, err := parsePolicies(policyList)
+	if err != nil {
+		return err
+	}
+	results, err := sim.RunPrefetchOnly(rounds, pols, sim.PrefetchOnlyOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %10s %10s %10s %12s %12s\n", "policy", "mean T", "±95%", "max T", "waste/round", "usage/round")
+	for _, res := range results {
+		fmt.Printf("%-12s %10.4f %10.4f %10.2f %12.3f %12.3f\n",
+			res.Policy, res.Overall.Mean(), res.Overall.CI95(), res.Overall.Max(),
+			res.Waste.Mean(), res.Usage.Mean())
+	}
+	return nil
+}
+
+func genByName(name string) (prefetch.ProbGen, error) {
+	switch name {
+	case "skewy":
+		return prefetch.SkewyGen{}, nil
+	case "flat":
+		return prefetch.FlatGen{}, nil
+	case "zipf":
+		return prefetch.ZipfGen{}, nil
+	case "geometric":
+		return prefetch.GeometricGen{}, nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", name)
+	}
+}
+
+func runCache(seed uint64, states, requests, cacheSize int, skew float64, policyList string) error {
+	r := prefetch.NewRand(seed)
+	cfg := prefetch.Fig7MarkovConfig()
+	cfg.States = states
+	cfg.SkewAlpha = skew
+	if states < cfg.MaxOut {
+		cfg.MinOut = max(1, states/4)
+		cfg.MaxOut = max(cfg.MinOut, states/2)
+	}
+	trace, err := prefetch.BuildMarkovTrace(r, cfg, 1, 30, requests)
+	if err != nil {
+		return err
+	}
+	// The cache mode ignores unknown names and runs the Fig. 7 planners the
+	// user listed; "all" (or the prefetch-only default) runs all five.
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(policyList, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	runAll := wanted["all"] || policyList == "none,perfect,kp,skp"
+	fmt.Printf("%-12s %10s %10s %8s %14s %14s\n", "policy", "mean T", "±95%", "hit%", "prefetch-net", "demand-net")
+	for _, planner := range prefetch.Fig7Planners(prefetch.DeltaTheorem3) {
+		if !runAll && !wanted[planner.Label] {
+			continue
+		}
+		res, err := prefetch.RunPrefetchCache(trace, planner, cacheSize)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10.4f %10.4f %7.1f%% %14.0f %14.0f\n",
+			res.Policy, res.Access.Mean(), res.Access.CI95(), 100*res.HitRate(),
+			res.Prefetch, res.Demand)
+	}
+	return nil
+}
+
+func runSession(seed uint64, states, requests int, skew float64) error {
+	r := prefetch.NewRand(seed)
+	cfg := prefetch.MarkovConfig{
+		States: states, MinOut: 10, MaxOut: 20, MinViewing: 1, MaxViewing: 20, SkewAlpha: skew,
+	}
+	if states < 20 {
+		cfg.MinOut = max(1, states/4)
+		cfg.MaxOut = max(cfg.MinOut, states/2)
+	}
+	trace, err := prefetch.BuildMarkovTrace(r, cfg, 1, 30, requests)
+	if err != nil {
+		return err
+	}
+	planners := []struct {
+		planner sim.SessionPlanner
+		opts    sim.SessionOptions
+	}{
+		{sim.PlainPlanner{Policy: sim.NoPrefetch{}}, sim.SessionOptions{}},
+		{sim.PlainPlanner{Policy: sim.KPPolicy{}}, sim.SessionOptions{}},
+		{sim.PlainPlanner{Policy: sim.SKPPolicy{}}, sim.SessionOptions{}},
+		{sim.LookaheadPlanner{}, sim.SessionOptions{}},
+		{sim.Depth2Planner{}, sim.SessionOptions{}},
+		{sim.Depth2Planner{}, sim.SessionOptions{EffectiveViewing: true}},
+	}
+	fmt.Printf("%-16s %10s %14s\n", "planner", "mean T", "net/request")
+	for _, pl := range planners {
+		res, err := sim.RunMarkovSession(trace, pl.planner, pl.opts)
+		if err != nil {
+			return err
+		}
+		label := res.Policy
+		if pl.opts.EffectiveViewing {
+			label += "+eff-v"
+		}
+		fmt.Printf("%-16s %10.4f %14.3f\n", label, res.Access.Mean(), res.NetworkBusy/float64(res.Requests))
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+// Package prefetch implements the performance model of speculative
+// prefetching from Tuah, Kumar & Venkatesh, "A Performance Model of
+// Speculative Prefetching in Distributed Information Systems"
+// (IPPS/SPDP 1999), together with everything needed to reproduce the
+// paper's evaluation and several of its proposed extensions.
+//
+// # The model in one paragraph
+//
+// While an application idles for a viewing time v, candidate items can be
+// prefetched over a serial network link. Item i will be requested next with
+// probability P_i and takes r_i time to retrieve. A prefetch list F = K·⟨z⟩
+// retrieves all of K within v; the last item z may overrun by the stretch
+// time st(F) = max(0, Σ r − v). Prefetches are never aborted, so a wrong
+// guess delays a demand fetch by the stretch. The expected reduction in
+// access time (the access improvement) is
+//
+//	g°(F) = Σ_{i∈F} P_i·r_i − (1 − Σ_{i∈K} P_i)·st(F)
+//
+// and maximising it is the Stretch Knapsack Problem (SKP), solved exactly
+// by SolveSKP via branch-and-bound with the paper's Theorem-2 bound.
+//
+// # Quick start
+//
+//	problem := prefetch.Problem{
+//		Items: []prefetch.Item{
+//			{ID: 1, Prob: 0.6, Retrieval: 4},
+//			{ID: 2, Prob: 0.3, Retrieval: 5},
+//			{ID: 3, Prob: 0.1, Retrieval: 2},
+//		},
+//		Viewing: 6,
+//	}
+//	plan, _, err := prefetch.SolveSKP(problem)
+//	// plan.IDs() == [1, 2]; prefetch.Gain(problem, plan) == 2.7
+//
+// # Layout
+//
+// The root package is the public API. Implementation lives under
+// internal/: core (model + solvers), knapsack (the classic-KP baseline),
+// access (probability generators, Markov sources, learned predictors),
+// cache (replacement policies), sim (the paper's Monte-Carlo harnesses),
+// netsim (an event-driven validation simulator), stats, plot and rng.
+// The cmd/ tools regenerate every figure of the paper; see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for measured results.
+package prefetch

@@ -1,0 +1,82 @@
+package prefetch_test
+
+import (
+	"fmt"
+
+	"prefetch"
+)
+
+// The paper's running scenario: three candidate next accesses, six time
+// units of viewing time to prefetch in.
+func ExampleSolveSKP() {
+	problem := prefetch.Problem{
+		Items: []prefetch.Item{
+			{ID: 1, Prob: 0.6, Retrieval: 4},
+			{ID: 2, Prob: 0.3, Retrieval: 5},
+			{ID: 3, Prob: 0.1, Retrieval: 2},
+		},
+		Viewing: 6,
+	}
+	plan, _, err := prefetch.SolveSKP(problem)
+	if err != nil {
+		panic(err)
+	}
+	gain, _ := prefetch.Gain(problem, plan)
+	fmt.Printf("prefetch %v, expected improvement %.1f, stretch %.0f\n",
+		plan.IDs(), gain, plan.Stretch(problem.Viewing))
+	// Output:
+	// prefetch [1 2], expected improvement 2.7, stretch 3
+}
+
+// The classic knapsack baseline never overruns the viewing time.
+func ExampleSolveKP() {
+	problem := prefetch.Problem{
+		Items: []prefetch.Item{
+			{ID: 1, Prob: 0.6, Retrieval: 4},
+			{ID: 2, Prob: 0.3, Retrieval: 5},
+			{ID: 3, Prob: 0.1, Retrieval: 2},
+		},
+		Viewing: 6,
+	}
+	plan, err := prefetch.SolveKP(problem)
+	if err != nil {
+		panic(err)
+	}
+	gain, _ := prefetch.Gain(problem, plan)
+	fmt.Printf("prefetch %v, expected improvement %.1f, stretch %.0f\n",
+		plan.IDs(), gain, plan.Stretch(problem.Viewing))
+	// Output:
+	// prefetch [1 3], expected improvement 2.6, stretch 0
+}
+
+// Pr-arbitration admits a prefetch only if it beats the cheapest cache
+// victim; ties among worthless victims fall to the delay-saving metric.
+func ExampleArbitrate() {
+	candidate := prefetch.Plan{Items: []prefetch.Item{
+		{ID: 10, Prob: 0.5, Retrieval: 4}, // value 2.0
+	}}
+	cache := []prefetch.CacheEntry{
+		{ID: 1, Prob: 0, Retrieval: 9, Freq: 5},  // delay-saving 45
+		{ID: 2, Prob: 0, Retrieval: 10, Freq: 1}, // delay-saving 10 → victim
+	}
+	res := prefetch.Arbitrate(candidate, cache, 0, prefetch.SubDS)
+	fmt.Printf("admitted %v, evicting %v\n", res.Accepted.IDs(), res.Ejected())
+	// Output:
+	// admitted [10], evicting [2]
+}
+
+// AccessTime evaluates the three outcome classes of the paper's Fig. 2.
+func ExampleAccessTime() {
+	plan := prefetch.Plan{Items: []prefetch.Item{
+		{ID: 1, Prob: 0.6, Retrieval: 4},
+		{ID: 2, Prob: 0.3, Retrieval: 5},
+	}}
+	retrieval := func(id int) float64 { return 7 }
+	for _, req := range []int{1, 2, 3} {
+		fmt.Printf("request %d → T = %.0f\n", req, prefetch.AccessTime(plan, 6, req, retrieval))
+	}
+	// Output:
+	// request 1 → T = 0
+	// request 2 → T = 3
+	// request 3 → T = 10
+}

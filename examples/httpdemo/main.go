@@ -1,0 +1,187 @@
+// Httpdemo: the model driving a real client over HTTP. An in-process
+// net/http server serves documents with simulated network delay; the
+// client runs the paper's decision loop in wall-clock time — solve the SKP
+// during each viewing pause, issue the prefetches sequentially in the
+// background, answer requests from the local store when possible — and
+// compares measured latencies with and without speculative prefetching.
+//
+// Time is scaled: one model "time unit" is one millisecond, so the demo
+// finishes in seconds while exercising real concurrency: an HTTP server,
+// a background prefetch goroutine, and a foreground request loop.
+//
+//	go run ./examples/httpdemo
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
+
+	"prefetch"
+)
+
+const (
+	nDocs    = 24
+	rounds   = 120
+	unit     = time.Millisecond // one model time unit
+	viewTime = 40.0             // model units of viewing per round
+)
+
+// newOrigin builds the origin server: /doc/{id} responds after the
+// document's simulated retrieval delay.
+func newOrigin(retrieval []float64) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/doc/", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Path[len("/doc/"):])
+		if err != nil || id < 0 || id >= len(retrieval) {
+			http.NotFound(w, r)
+			return
+		}
+		time.Sleep(time.Duration(retrieval[id] * float64(unit)))
+		fmt.Fprintf(w, "document %d body", id)
+	})
+	return httptest.NewServer(mux)
+}
+
+// client is a prefetching HTTP client with a local document store. The
+// store is shared between the foreground request loop and the background
+// prefetcher, so it is mutex-guarded.
+type client struct {
+	base     string
+	http     *http.Client
+	mu       sync.Mutex
+	store    map[int]bool
+	inflight chan struct{} // serialises the prefetch "link"
+}
+
+func newClient(base string) *client {
+	c := &client{base: base, http: &http.Client{}, store: map[int]bool{}}
+	c.inflight = make(chan struct{}, 1)
+	c.inflight <- struct{}{}
+	return c
+}
+
+// has reports whether a document is stored locally.
+func (c *client) has(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store[id]
+}
+
+// fetch GETs one document (blocking) and stores it.
+func (c *client) fetch(id int) error {
+	resp, err := c.http.Get(fmt.Sprintf("%s/doc/%d", c.base, id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.store[id] = true
+	c.mu.Unlock()
+	return nil
+}
+
+// prefetch issues the plan sequentially in the background; the returned
+// channel closes when the whole plan has been retrieved.
+func (c *client) prefetch(plan prefetch.Plan) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		token := <-c.inflight // the serial link
+		defer func() { c.inflight <- token }()
+		for _, it := range plan.Items {
+			if c.has(it.ID) {
+				continue
+			}
+			if err := c.fetch(it.ID); err != nil {
+				log.Printf("prefetch %d: %v", it.ID, err)
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// request serves a user request: instant when stored; otherwise wait for
+// the in-flight prefetch (never aborted, as in the paper) then demand-fetch.
+func (c *client) request(id int, planDone <-chan struct{}) time.Duration {
+	start := time.Now()
+	if c.has(id) {
+		return time.Since(start)
+	}
+	<-planDone // sequential semantics: the prefetch completes first
+	if !c.has(id) {
+		if err := c.fetch(id); err != nil {
+			log.Printf("demand fetch %d: %v", id, err)
+		}
+	}
+	return time.Since(start)
+}
+
+func main() {
+	r := prefetch.NewRand(314)
+
+	// Document population: retrieval times 5..60 model units.
+	retrieval := make([]float64, nDocs)
+	for i := range retrieval {
+		retrieval[i] = float64(r.IntRange(5, 60))
+	}
+	origin := newOrigin(retrieval)
+	defer origin.Close()
+
+	// Access model: geometric popularity with a fresh shuffle per run.
+	probs := make([]float64, nDocs)
+	prefetch.GeometricGen{Theta: 0.6}.Generate(r, probs)
+
+	run := func(usePrefetch bool) (mean time.Duration, fetched int) {
+		c := newClient(origin.URL)
+		var total time.Duration
+		for round := 0; round < rounds; round++ {
+			// Build the round's decision problem over non-stored docs.
+			var items []prefetch.Item
+			for id := 0; id < nDocs; id++ {
+				if !c.has(id) {
+					items = append(items, prefetch.Item{ID: id, Prob: probs[id], Retrieval: retrieval[id]})
+				}
+			}
+			var planDone <-chan struct{}
+			if usePrefetch && len(items) > 0 {
+				plan, _, err := prefetch.SolveSKP(prefetch.Problem{
+					Items: items, Viewing: viewTime, TotalProb: 1,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fetched += plan.Len()
+				planDone = c.prefetch(plan)
+			} else {
+				closed := make(chan struct{})
+				close(closed)
+				planDone = closed
+			}
+			time.Sleep(time.Duration(viewTime * float64(unit))) // viewing
+			next := r.Categorical(probs)
+			total += c.request(next, planDone)
+		}
+		return total / rounds, fetched
+	}
+
+	fmt.Printf("HTTP demo: %d docs, %d rounds, %v per model unit\n\n", nDocs, rounds, unit)
+	noMean, _ := run(false)
+	fmt.Printf("%-18s mean wall-clock latency %8v\n", "demand only:", noMean.Round(time.Millisecond/10))
+	pfMean, fetched := run(true)
+	fmt.Printf("%-18s mean wall-clock latency %8v (%d docs prefetched)\n",
+		"SKP prefetching:", pfMean.Round(time.Millisecond/10), fetched)
+	if pfMean < noMean {
+		fmt.Printf("\nmeasured speedup: %.1fx on a real HTTP round trip\n",
+			float64(noMean)/float64(pfMean))
+	}
+}

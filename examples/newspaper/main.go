@@ -1,0 +1,243 @@
+// Newspaper: an ETEL-style electronic newspaper (paper ref [1]) whose
+// readers move front page → section → article with strong habits, served
+// by a client cache that combines SKP prefetching with Pr/DS arbitration.
+// The example compares the paper's five prefetch-cache policies on the
+// same morning-reading traffic and prints a Figure-7-style table.
+//
+//	go run ./examples/newspaper
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefetch"
+)
+
+const (
+	sections        = 6
+	articlesPer     = 12
+	requests        = 15000
+	cacheSlots      = 25
+	skimSeconds     = 5.0  // viewing time on the front page / section lists
+	readSeconds     = 40.0 // viewing time while reading an article
+	headlineFollow  = 0.55 // P(open an article of the current section)
+	sectionSwitch   = 0.30 // P(jump to another section list)
+	backToFrontPage = 0.15 // P(return to the front page)
+)
+
+// Page IDs: 0 = front page; 1..sections = section lists;
+// then articles, sections*articlesPer of them.
+func sectionID(s int) int       { return 1 + s }
+func articleID(s, a int) int    { return 1 + sections + s*articlesPer + a }
+func isArticle(id int) bool     { return id > sections }
+func articleSection(id int) int { return (id - 1 - sections) / articlesPer }
+func totalPages() int           { return 1 + sections + sections*articlesPer }
+
+// reader is a habit-driven newspaper reader: a Markov process whose
+// transition distribution is exposed to the prefetcher (the paper's
+// presupposed access model; ETEL builds it from patterned access graphs).
+type reader struct {
+	rand    *prefetch.Rand
+	current int
+	// habit: per-section article popularity (earlier articles are read
+	// more — newspapers sort by importance).
+	articleWeight []float64
+}
+
+func newReader(r *prefetch.Rand) *reader {
+	w := make([]float64, articlesPer)
+	for a := range w {
+		w[a] = 1 / float64(a+1)
+	}
+	return &reader{rand: r, articleWeight: w}
+}
+
+// next returns the true next-page distribution from the current page.
+func (rd *reader) next() map[int]float64 {
+	dist := map[int]float64{}
+	switch {
+	case rd.current == 0: // front page: pick a section, biased to earlier ones
+		var sum float64
+		for s := 0; s < sections; s++ {
+			w := 1 / float64(s+1)
+			sum += w
+		}
+		for s := 0; s < sections; s++ {
+			dist[sectionID(s)] = (1 / float64(s+1)) / sum
+		}
+	case !isArticle(rd.current): // section list
+		s := rd.current - 1
+		var wsum float64
+		for _, w := range rd.articleWeight {
+			wsum += w
+		}
+		for a := 0; a < articlesPer; a++ {
+			dist[articleID(s, a)] = headlineFollow * rd.articleWeight[a] / wsum
+		}
+		for o := 0; o < sections; o++ {
+			if o != s {
+				dist[sectionID(o)] = sectionSwitch / float64(sections-1)
+			}
+		}
+		dist[0] = backToFrontPage
+	default: // reading an article: back to its section, or onward
+		s := articleSection(rd.current)
+		dist[sectionID(s)] = 0.6
+		dist[0] = 0.1
+		var wsum float64
+		for _, w := range rd.articleWeight {
+			wsum += w
+		}
+		for a := 0; a < articlesPer; a++ {
+			if id := articleID(s, a); id != rd.current {
+				dist[id] = 0.3 * rd.articleWeight[a] / wsum
+			}
+		}
+	}
+	return dist
+}
+
+// viewing returns how long the reader sits on the current page.
+func (rd *reader) viewing() float64 {
+	if isArticle(rd.current) {
+		return readSeconds
+	}
+	return skimSeconds
+}
+
+// step samples the next page from the distribution.
+func (rd *reader) step() int {
+	dist := rd.next()
+	ids := make([]int, 0, len(dist))
+	weights := make([]float64, 0, len(dist))
+	for id, p := range dist {
+		ids = append(ids, id)
+		weights = append(weights, p)
+	}
+	// Sort for determinism of the categorical draw across map iteration.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+			weights[j-1], weights[j] = weights[j], weights[j-1]
+		}
+	}
+	rd.current = ids[rd.rand.Categorical(weights)]
+	return rd.current
+}
+
+// retrievalOf maps pages to retrieval times: articles are heavier.
+func retrievalOf(id int) float64 {
+	if isArticle(id) {
+		return 6 + float64(id%7) // 6..12s: text plus images
+	}
+	return 2 + float64(id%2) // 2..3s: lists
+}
+
+func main() {
+	// Record one morning's traffic.
+	rd := newReader(prefetch.NewRand(77))
+	type step struct {
+		from    int
+		viewing float64
+		next    int
+	}
+	trace := make([]step, requests)
+	for i := range trace {
+		from := rd.current
+		v := rd.viewing()
+		trace[i] = step{from: from, viewing: v, next: rd.step()}
+	}
+
+	type policy struct {
+		label  string
+		solver func(prefetch.Problem) (prefetch.Plan, error)
+		sub    prefetch.SubArbitration
+	}
+	skp := func(p prefetch.Problem) (prefetch.Plan, error) {
+		plan, _, err := prefetch.SolveSKP(p)
+		return plan, err
+	}
+	policies := []policy{
+		{"No+Pr", nil, prefetch.SubNone},
+		{"KP+Pr", prefetch.SolveKP, prefetch.SubNone},
+		{"SKP+Pr", skp, prefetch.SubNone},
+		{"SKP+Pr+LFU", skp, prefetch.SubLFU},
+		{"SKP+Pr+DS", skp, prefetch.SubDS},
+	}
+
+	fmt.Printf("electronic newspaper: %d pages, %d requests, %d cache slots\n\n",
+		totalPages(), requests, cacheSlots)
+	fmt.Printf("%-12s %14s %8s\n", "policy", "mean wait (s)", "hit %")
+
+	for _, pol := range policies {
+		cached := map[int]bool{}
+		freq := map[int]int64{}
+		var total float64
+		var hits int64
+		replay := newReader(prefetch.NewRand(77)) // distributions only
+
+		entries := func(probs map[int]float64) []prefetch.CacheEntry {
+			out := make([]prefetch.CacheEntry, 0, len(cached))
+			for id := 0; id < totalPages(); id++ {
+				if cached[id] {
+					out = append(out, prefetch.CacheEntry{
+						ID: id, Prob: probs[id], Retrieval: retrievalOf(id), Freq: freq[id],
+					})
+				}
+			}
+			return out
+		}
+
+		for _, stp := range trace {
+			replay.current = stp.from
+			probs := replay.next()
+			var accepted prefetch.Plan
+			if pol.solver != nil {
+				var cands []prefetch.Item
+				for id, p := range probs {
+					if !cached[id] {
+						cands = append(cands, prefetch.Item{ID: id, Prob: p, Retrieval: retrievalOf(id)})
+					}
+				}
+				plan, err := pol.solver(prefetch.Problem{Items: cands, Viewing: stp.viewing, TotalProb: 1})
+				if err != nil {
+					log.Fatal(err)
+				}
+				res := prefetch.Arbitrate(plan, entries(probs), cacheSlots-len(cached), pol.sub)
+				for i, it := range res.Accepted.Items {
+					if v := res.Victims[i]; v != prefetch.NoVictim {
+						delete(cached, v)
+					}
+					cached[it.ID] = true
+				}
+				accepted = res.Accepted
+			}
+			st := accepted.Stretch(stp.viewing)
+			var t float64
+			switch {
+			case accepted.Contains(stp.next):
+				t = prefetch.AccessTime(accepted, stp.viewing, stp.next, retrievalOf)
+			case cached[stp.next]:
+				t = 0
+			default:
+				t = st + retrievalOf(stp.next)
+				if len(cached) >= cacheSlots {
+					if victim, ok := prefetch.DemandVictim(entries(probs), pol.sub); ok {
+						delete(cached, victim)
+					}
+				}
+				cached[stp.next] = true
+			}
+			total += t
+			if t == 0 {
+				hits++
+			}
+			freq[stp.next]++
+		}
+		fmt.Printf("%-12s %14.3f %7.1f%%\n", pol.label,
+			total/float64(requests), 100*float64(hits)/float64(requests))
+	}
+	fmt.Println("\nLong article-reading windows let SKP prefetch whole sections ahead;")
+	fmt.Println("DS keeps heavy articles cached, so it wins exactly as in Fig. 7.")
+}

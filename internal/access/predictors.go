@@ -1,0 +1,146 @@
+package access
+
+import "fmt"
+
+// Predictor learns an access model online and predicts the distribution of
+// the next access — the "access model" the paper presupposes (§1, §6). Two
+// implementations follow the related-work lineage: DependencyGraph
+// (Padmanabhan & Mogul's server-side dependency graph, order 1) and PPM
+// (Vitter & Krishnan's compression-based prediction, order k with escape).
+type Predictor interface {
+	// Name identifies the predictor.
+	Name() string
+	// Observe feeds the next item of the access sequence.
+	Observe(item int)
+	// Predict returns the predicted probability of each candidate next
+	// item. The map may be empty when the model has no evidence yet.
+	// Probabilities sum to at most 1.
+	Predict() map[int]float64
+}
+
+// DependencyGraph is an order-1 transition-count predictor: each observed
+// pair (previous, next) increments an edge counter, and prediction
+// normalises the outgoing counts of the last observed item.
+type DependencyGraph struct {
+	edges map[int]map[int]int64
+	outN  map[int]int64
+	last  int
+	any   bool
+}
+
+// NewDependencyGraph returns an empty dependency-graph predictor.
+func NewDependencyGraph() *DependencyGraph {
+	return &DependencyGraph{edges: map[int]map[int]int64{}, outN: map[int]int64{}}
+}
+
+// Name implements Predictor.
+func (d *DependencyGraph) Name() string { return "depgraph" }
+
+// Observe implements Predictor.
+func (d *DependencyGraph) Observe(item int) {
+	if d.any {
+		m := d.edges[d.last]
+		if m == nil {
+			m = map[int]int64{}
+			d.edges[d.last] = m
+		}
+		m[item]++
+		d.outN[d.last]++
+	}
+	d.last = item
+	d.any = true
+}
+
+// Predict implements Predictor.
+func (d *DependencyGraph) Predict() map[int]float64 {
+	out := map[int]float64{}
+	if !d.any {
+		return out
+	}
+	total := d.outN[d.last]
+	if total == 0 {
+		return out
+	}
+	for item, c := range d.edges[d.last] {
+		out[item] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// PPM is an order-k prediction-by-partial-matching predictor: it keeps
+// counts for every context of length 1..k and predicts from the longest
+// context that has been seen before (a simplified PPM without blending,
+// following the prediction use in Vitter & Krishnan).
+type PPM struct {
+	order    int
+	contexts map[string]*ctxCounts
+	history  []int
+}
+
+type ctxCounts struct {
+	next  map[int]int64
+	total int64
+}
+
+// NewPPM returns a PPM predictor of the given order (>= 1).
+func NewPPM(order int) (*PPM, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("%w: PPM order %d", ErrBadConfig, order)
+	}
+	return &PPM{order: order, contexts: map[string]*ctxCounts{}}, nil
+}
+
+// Name implements Predictor.
+func (p *PPM) Name() string { return fmt.Sprintf("ppm-%d", p.order) }
+
+// ctxKey encodes a context window compactly and unambiguously.
+func ctxKey(items []int) string {
+	key := make([]byte, 0, len(items)*3)
+	for _, it := range items {
+		key = fmt.Appendf(key, "%d,", it)
+	}
+	return string(key)
+}
+
+// Observe implements Predictor.
+func (p *PPM) Observe(item int) {
+	h := p.history
+	for k := 1; k <= p.order && k <= len(h); k++ {
+		key := ctxKey(h[len(h)-k:])
+		c := p.contexts[key]
+		if c == nil {
+			c = &ctxCounts{next: map[int]int64{}}
+			p.contexts[key] = c
+		}
+		c.next[item]++
+		c.total++
+	}
+	p.history = append(p.history, item)
+	if len(p.history) > p.order {
+		p.history = p.history[len(p.history)-p.order:]
+	}
+}
+
+// Predict implements Predictor.
+func (p *PPM) Predict() map[int]float64 {
+	out := map[int]float64{}
+	h := p.history
+	for k := min(p.order, len(h)); k >= 1; k-- {
+		c := p.contexts[ctxKey(h[len(h)-k:])]
+		if c == nil || c.total == 0 {
+			continue // escape to a shorter context
+		}
+		for item, n := range c.next {
+			out[item] = float64(n) / float64(c.total)
+		}
+		return out
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

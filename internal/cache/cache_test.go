@@ -1,0 +1,283 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, capacity int) *Cache {
+	t.Helper()
+	c, err := New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	c := mustNew(t, 0)
+	if c.Free() != 0 || c.Len() != 0 || c.Capacity() != 0 {
+		t.Fatal("zero-capacity cache bookkeeping wrong")
+	}
+	if err := c.Insert(1, 5); err == nil {
+		t.Fatal("insert into zero-capacity cache accepted")
+	}
+}
+
+func TestInsertEvictContains(t *testing.T) {
+	c := mustNew(t, 2)
+	if err := c.Insert(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(1, 5); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if err := c.Insert(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(3, 9); err == nil {
+		t.Fatal("insert into full cache accepted")
+	}
+	if !c.Contains(1) || !c.Contains(2) || c.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+	if c.Len() != 2 || c.Free() != 0 {
+		t.Fatal("Len/Free wrong")
+	}
+	if err := c.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict(1); err == nil {
+		t.Fatal("double evict accepted")
+	}
+	if c.Contains(1) || c.Len() != 1 {
+		t.Fatal("evict bookkeeping wrong")
+	}
+	ids := c.IDs()
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestFrequencySurvivesEviction(t *testing.T) {
+	// The paper's freq_i counts accesses to the item, not cache residency:
+	// a re-inserted item must remember its history (WATCHMAN-style).
+	c := mustNew(t, 1)
+	if err := c.Insert(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	c.RecordAccess(1)
+	c.RecordAccess(1)
+	if err := c.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	c.RecordAccess(1) // miss access still counts
+	if err := c.Insert(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Entry(1)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Freq != 3 {
+		t.Fatalf("re-inserted freq = %d, want 3", e.Freq)
+	}
+	if c.Freq(1) != 3 {
+		t.Fatalf("global freq = %d, want 3", c.Freq(1))
+	}
+}
+
+func TestRecordAccessUpdatesRecency(t *testing.T) {
+	c := mustNew(t, 2)
+	if err := c.Insert(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	c.RecordAccess(1) // 1 becomes most recent
+	e1, _ := c.Entry(1)
+	e2, _ := c.Entry(2)
+	if e1.LastAccess <= e2.LastAccess {
+		t.Fatal("access did not refresh recency")
+	}
+	if e1.Freq != 1 || e2.Freq != 0 {
+		t.Fatal("freq bookkeeping wrong")
+	}
+}
+
+func TestFlushKeepsFrequencies(t *testing.T) {
+	c := mustNew(t, 2)
+	if err := c.Insert(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	c.RecordAccess(1)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatal("flush did not empty cache")
+	}
+	if c.Freq(1) != 1 {
+		t.Fatal("flush erased global frequency")
+	}
+	if err := c.Insert(1, 5); err != nil {
+		t.Fatalf("insert after flush: %v", err)
+	}
+}
+
+func TestLRUPolicy(t *testing.T) {
+	c := mustNew(t, 3)
+	for id := 1; id <= 3; id++ {
+		if err := c.Insert(id, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RecordAccess(1)
+	c.RecordAccess(3)
+	// 2 is least recently used.
+	if v, ok := c.Victim(LRU{}); !ok || v != 2 {
+		t.Fatalf("LRU victim = %v, want 2", v)
+	}
+}
+
+func TestLFUPolicy(t *testing.T) {
+	c := mustNew(t, 3)
+	for id := 1; id <= 3; id++ {
+		if err := c.Insert(id, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RecordAccess(1)
+	c.RecordAccess(1)
+	c.RecordAccess(2)
+	if v, ok := c.Victim(LFU{}); !ok || v != 3 {
+		t.Fatalf("LFU victim = %v, want 3", v)
+	}
+}
+
+func TestFIFOPolicy(t *testing.T) {
+	c := mustNew(t, 3)
+	for _, id := range []int{7, 3, 9} {
+		if err := c.Insert(id, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RecordAccess(7) // recency must not matter
+	if v, ok := c.Victim(FIFO{}); !ok || v != 7 {
+		t.Fatalf("FIFO victim = %v, want 7 (first inserted)", v)
+	}
+}
+
+func TestDelaySavingPolicy(t *testing.T) {
+	c := mustNew(t, 2)
+	if err := c.Insert(1, 10); err != nil { // freq 1 × r 10 = 10
+		t.Fatal(err)
+	}
+	if err := c.Insert(2, 2); err != nil { // freq 3 × r 2 = 6
+		t.Fatal(err)
+	}
+	c.RecordAccess(1)
+	c.RecordAccess(2)
+	c.RecordAccess(2)
+	c.RecordAccess(2)
+	if v, ok := c.Victim(DelaySaving{}); !ok || v != 2 {
+		t.Fatalf("DS victim = %v, want 2 (6 < 10)", v)
+	}
+	// LFU would pick the other one.
+	if v, ok := c.Victim(LFU{}); !ok || v != 1 {
+		t.Fatalf("LFU victim = %v, want 1", v)
+	}
+}
+
+func TestVictimEmptyCache(t *testing.T) {
+	c := mustNew(t, 2)
+	if _, ok := c.Victim(LRU{}); ok {
+		t.Fatal("victim from empty cache")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{LRU{}, LFU{}, FIFO{}, DelaySaving{}} {
+		if p.Name() == "" {
+			t.Fatal("policy without a name")
+		}
+	}
+}
+
+func TestPolicyTieBreakByID(t *testing.T) {
+	c := mustNew(t, 3)
+	for _, id := range []int{5, 2, 9} {
+		if err := c.Insert(id, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All have freq 0: LFU tie → lowest ID.
+	if v, _ := c.Victim(LFU{}); v != 2 {
+		t.Fatalf("LFU tie-break victim = %v, want 2", v)
+	}
+	// DS tie (0×4 each) → lowest ID.
+	if v, _ := c.Victim(DelaySaving{}); v != 2 {
+		t.Fatalf("DS tie-break victim = %v, want 2", v)
+	}
+}
+
+// Property: occupancy never exceeds capacity and Insert/Evict keep Len
+// consistent under random operation sequences.
+func TestCacheInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c, err := New(4)
+		if err != nil {
+			return false
+		}
+		present := map[int]bool{}
+		for _, op := range ops {
+			id := int(op % 8)
+			switch (op / 8) % 3 {
+			case 0:
+				err := c.Insert(id, float64(id+1))
+				shouldFail := present[id] || len(present) >= 4
+				if (err != nil) != shouldFail {
+					return false
+				}
+				if err == nil {
+					present[id] = true
+				}
+			case 1:
+				err := c.Evict(id)
+				if (err != nil) == present[id] {
+					return false
+				}
+				delete(present, id)
+			case 2:
+				c.RecordAccess(id)
+			}
+			if c.Len() != len(present) || c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntriesSortedAndCopied(t *testing.T) {
+	c := mustNew(t, 3)
+	for _, id := range []int{9, 1, 4} {
+		if err := c.Insert(id, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := c.Entries()
+	if len(es) != 3 || es[0].ID != 1 || es[1].ID != 4 || es[2].ID != 9 {
+		t.Fatalf("Entries = %v", es)
+	}
+	es[0].Freq = 999 // mutating the copy must not affect the cache
+	e, _ := c.Entry(1)
+	if e.Freq == 999 {
+		t.Fatal("Entries leaked internal state")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements Figure 6: integrating the SKP prefetch decision with
+// cache replacement. Under the paper's equal-item-size assumption every
+// accepted prefetch item must evict exactly one cache victim. Victims are
+// chosen by Pr-arbitration — the cached item with the smallest P_d·r_d goes
+// first, and a prefetch is admitted only while it is strictly worthier than
+// its victim — with an optional sub-arbitration among equal-Pr victims
+// (most cached items have P_d = 0 for the next access, so the sub-policy
+// does the real work; the paper evaluates LFU and delay-saving DS).
+
+// SubArbitration picks among victims tied on P_d·r_d.
+type SubArbitration int
+
+const (
+	// SubNone breaks Pr ties deterministically by lowest item ID.
+	SubNone SubArbitration = iota
+	// SubLFU prefers the least frequently used item (paper's SKP+Pr+LFU).
+	SubLFU
+	// SubDS prefers the lowest delay-saving profit freq_i·r_i, the
+	// simplified WATCHMAN metric (paper's SKP+Pr+DS, best in Fig. 7).
+	SubDS
+)
+
+// String names the sub-arbitration for logs.
+func (s SubArbitration) String() string {
+	switch s {
+	case SubNone:
+		return "none"
+	case SubLFU:
+		return "lfu"
+	case SubDS:
+		return "ds"
+	default:
+		return fmt.Sprintf("SubArbitration(%d)", int(s))
+	}
+}
+
+// CacheEntry describes one cached item as seen by the arbitration: its
+// probability of being the very next access (zero unless it is a candidate),
+// its retrieval time, and its access frequency so far.
+type CacheEntry struct {
+	ID        int
+	Prob      float64 // P_d for the next access; 0 for non-candidates
+	Retrieval float64 // r_d
+	Freq      int64   // accesses observed so far (drives LFU and DS)
+}
+
+// prValue is the Pr-arbitration key.
+func (e CacheEntry) prValue() float64 { return e.Prob * e.Retrieval }
+
+// dsValue is the delay-saving profit freq·r.
+func (e CacheEntry) dsValue() float64 { return float64(e.Freq) * e.Retrieval }
+
+// ArbitrationResult is the outcome of Arbitrate: the admitted prefetch items
+// (in canonical prefetch order) and the victims to eject. Victims[i] is the
+// ID evicted to make room for Accepted.Items[i]; it is NoVictim when a free
+// slot absorbed the item.
+type ArbitrationResult struct {
+	Accepted Plan
+	Victims  []int
+}
+
+// NoVictim marks an accepted item that used a free cache slot.
+const NoVictim = -1
+
+// Ejected returns only the real victim IDs.
+func (r ArbitrationResult) Ejected() []int {
+	var out []int
+	for _, v := range r.Victims {
+		if v != NoVictim {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// pickVictim returns the index of the best victim in cache per
+// Pr-arbitration with the given sub-arbitration, or -1 if cache is empty.
+func pickVictim(cache []CacheEntry, sub SubArbitration) int {
+	const tie = 1e-12
+	best := -1
+	for i := range cache {
+		if best == -1 {
+			best = i
+			continue
+		}
+		b, c := cache[best], cache[i]
+		switch {
+		case c.prValue() < b.prValue()-tie:
+			best = i
+		case c.prValue() > b.prValue()+tie:
+			// keep best
+		default: // Pr tie → sub-arbitration
+			if subLess(c, b, sub) {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// subLess reports whether a is a strictly better victim than b under the
+// sub-arbitration (ties fall through to lowest ID for determinism).
+func subLess(a, b CacheEntry, sub SubArbitration) bool {
+	switch sub {
+	case SubLFU:
+		if a.Freq != b.Freq {
+			return a.Freq < b.Freq
+		}
+	case SubDS:
+		const tie = 1e-12
+		if d := a.dsValue() - b.dsValue(); d < -tie {
+			return true
+		} else if d > tie {
+			return false
+		}
+	}
+	return a.ID < b.ID
+}
+
+// Arbitrate admits candidate prefetch items against the cache per Figure 6.
+// Candidates are considered in descending P_f·r_f. Each first consumes a
+// free slot if any remain; otherwise it must find a victim d minimising
+// P_d·r_d and is admitted only if P_f·r_f > P_d·r_d (for the worthiness test
+// the stretch is assumed zero, as in the paper). The first rejection stops
+// the scan. The accepted items are returned in canonical prefetch order
+// (condition 5), since the admission order is a value order, not a schedule.
+func Arbitrate(candidate Plan, cache []CacheEntry, freeSlots int, sub SubArbitration) ArbitrationResult {
+	if freeSlots < 0 {
+		freeSlots = 0
+	}
+	// Work on copies: cache shrinks as victims are consumed.
+	pool := make([]CacheEntry, len(cache))
+	copy(pool, cache)
+	byValue := make([]Item, len(candidate.Items))
+	copy(byValue, candidate.Items)
+	sort.SliceStable(byValue, func(a, b int) bool {
+		va := byValue[a].Prob * byValue[a].Retrieval
+		vb := byValue[b].Prob * byValue[b].Retrieval
+		if va != vb {
+			return va > vb
+		}
+		return byValue[a].ID < byValue[b].ID
+	})
+
+	var accepted []Item
+	var victims []int
+	for _, f := range byValue {
+		if freeSlots > 0 {
+			accepted = append(accepted, f)
+			victims = append(victims, NoVictim)
+			freeSlots--
+			continue
+		}
+		vi := pickVictim(pool, sub)
+		if vi < 0 {
+			break // cache exhausted; no room for further prefetches
+		}
+		if f.Prob*f.Retrieval <= pool[vi].prValue() {
+			break // Fig. 6: first unworthy candidate stops the scan
+		}
+		accepted = append(accepted, f)
+		victims = append(victims, pool[vi].ID)
+		pool = append(pool[:vi], pool[vi+1:]...)
+	}
+	// Restore the prefetch schedule order.
+	ordered := CanonicalOrder(accepted)
+	// Victims stay associated with the admission order; reorder them to
+	// match the canonical order so Victims[i] still corresponds to
+	// Accepted.Items[i].
+	victimOf := make(map[int]int, len(accepted))
+	for i, it := range accepted {
+		victimOf[it.ID] = victims[i]
+	}
+	orderedVictims := make([]int, len(ordered))
+	for i, it := range ordered {
+		orderedVictims[i] = victimOf[it.ID]
+	}
+	return ArbitrationResult{Accepted: Plan{Items: ordered}, Victims: orderedVictims}
+}
+
+// DemandVictim picks the victim for a demand-fetched item, which must evict
+// something (paper §5.2: a demand fetch "must have a victim and only
+// requires the first condition"). Returns false only for an empty cache.
+func DemandVictim(cache []CacheEntry, sub SubArbitration) (int, bool) {
+	vi := pickVictim(cache, sub)
+	if vi < 0 {
+		return 0, false
+	}
+	return cache[vi].ID, true
+}

@@ -1,0 +1,136 @@
+package core
+
+import "fmt"
+
+// maxBruteItems caps the exhaustive solvers; 2^n subsets beyond this are
+// not worth enumerating and indicate misuse.
+const maxBruteItems = 24
+
+// SolveSKPBruteCanonical exhaustively maximises g° over the same search
+// space the branch-and-bound explores: subsets of the canonical order whose
+// stretching item, if any, is the canonically last selected element. It is
+// the ground truth for testing SolveSKP and for the pruning ablation.
+func SolveSKPBruteCanonical(p Problem) (Plan, float64, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, 0, err
+	}
+	n := len(p.Items)
+	if n > maxBruteItems {
+		return Plan{}, 0, fmt.Errorf("%w: %d items exceeds brute-force cap %d", ErrBadProblem, n, maxBruteItems)
+	}
+	sorted := CanonicalOrder(p.Items)
+	totalProb := p.EffectiveTotalProb()
+
+	bestGain := 0.0
+	var bestPlan Plan
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var sumR, sumP, sumRK, zProb float64
+		var items []Item
+		last := -1
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			items = append(items, sorted[i])
+			sumR += sorted[i].Retrieval
+			sumP += sorted[i].Prob
+			last = i
+		}
+		if last < 0 {
+			continue
+		}
+		zProb = sorted[last].Prob
+		sumRK = sumR - sorted[last].Retrieval
+		st := Stretch(sumR, p.Viewing)
+		if st > 0 && sumRK >= p.Viewing {
+			continue // construction (1): K must complete strictly within v
+		}
+		var g float64
+		for _, it := range items {
+			g += it.Prob * it.Retrieval
+		}
+		if st > 0 {
+			g -= (totalProb - (sumP - zProb)) * st
+		}
+		if g > bestGain+1e-12 {
+			bestGain = g
+			bestPlan = Plan{Items: items}
+		}
+	}
+	return bestPlan, bestGain, nil
+}
+
+// SolveSKPExhaustive maximises g° over the FULL problem (4): every subset S
+// with every admissible choice of the stretching item z ∈ S (requiring
+// Σ_{S∖z} r < v), not just the canonical-order choice. This is strictly more
+// general than the paper's Theorem-1-restricted search: Theorem 1's exchange
+// argument silently assumes the swapped list remains feasible, which fails
+// when the higher-probability item is too large to sit in K — on such
+// instances the true optimum places a high-probability item last and beats
+// every canonical plan (see TestTheorem1FeasibilityGap). Intended for
+// analysis and testing; cost is O(2^n · n).
+func SolveSKPExhaustive(p Problem) (Plan, float64, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, 0, err
+	}
+	n := len(p.Items)
+	if n > maxBruteItems {
+		return Plan{}, 0, fmt.Errorf("%w: %d items exceeds brute-force cap %d", ErrBadProblem, n, maxBruteItems)
+	}
+	sorted := CanonicalOrder(p.Items)
+	totalProb := p.EffectiveTotalProb()
+
+	bestGain := 0.0
+	var bestPlan Plan
+	consider := func(items []Item, zIdx int) {
+		var sumR, sumP float64
+		for _, it := range items {
+			sumR += it.Retrieval
+			sumP += it.Prob
+		}
+		st := Stretch(sumR, p.Viewing)
+		if st > 0 && sumR-items[zIdx].Retrieval >= p.Viewing {
+			return // K would not complete within v
+		}
+		var g float64
+		for _, it := range items {
+			g += it.Prob * it.Retrieval
+		}
+		if st > 0 {
+			g -= (totalProb - (sumP - items[zIdx].Prob)) * st
+		}
+		if g > bestGain+1e-12 {
+			bestGain = g
+			// Materialise the plan with z moved to the end.
+			plan := make([]Item, 0, len(items))
+			for i, it := range items {
+				if i != zIdx {
+					plan = append(plan, it)
+				}
+			}
+			plan = append(plan, items[zIdx])
+			bestPlan = Plan{Items: plan}
+		}
+	}
+
+	subset := make([]Item, 0, n)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		subset = subset[:0]
+		var sumR float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				subset = append(subset, sorted[i])
+				sumR += sorted[i].Retrieval
+			}
+		}
+		if sumR <= p.Viewing {
+			// No stretch: the choice of z is immaterial; evaluate once.
+			consider(subset, len(subset)-1)
+			continue
+		}
+		for z := range subset {
+			consider(subset, z)
+		}
+	}
+	return bestPlan, bestGain, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import "fmt"
+
+// This file implements §5 of the paper: the performance model when the
+// cache is not empty. The prefetch list F must be disjoint from the cache
+// contents C; to make room, a list D ⊆ C of victims is ejected. Access time
+// is then 0 for items in K ∪ (C∖D), st(F) for the stretching item z, and
+// st(F) + r_ξ for everything else.
+
+// ExpectedNoPrefetchCached returns E[T | no prefetch] = Σ_{i∈N∖C} P_i·r_i.
+// The problem's items must be the full universe N; cached lists the IDs in C.
+func ExpectedNoPrefetchCached(p Problem, cached []int) float64 {
+	inCache := idSet(cached)
+	var e float64
+	for _, it := range p.Items {
+		if !inCache[it.ID] {
+			e += it.Prob * it.Retrieval
+		}
+	}
+	return e
+}
+
+// ExpectedWithPlanCached returns E[T | F ejects D] over the full universe:
+//
+//	Σ_{i∈N∖(F∪(C∖D))} P_i·r_i + Σ_{i∈N∖(K∪(C∖D))} P_i·st(F)
+//
+// The plan must be disjoint from the cache and eject ⊆ cached.
+func ExpectedWithPlanCached(p Problem, plan Plan, cached, eject []int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := plan.validAgainst(p); err != nil {
+		return 0, err
+	}
+	if err := checkCacheLists(plan, cached, eject); err != nil {
+		return 0, err
+	}
+	inCache := idSet(cached)
+	ejected := idSet(eject)
+	retained := func(id int) bool { return inCache[id] && !ejected[id] }
+
+	st := plan.Stretch(p.Viewing)
+	zID := -1
+	if z, ok := plan.Last(); ok {
+		zID = z.ID
+	}
+	var e float64
+	for _, it := range p.Items {
+		if retained(it.ID) {
+			continue // cached and kept: T = 0
+		}
+		switch {
+		case it.ID == zID:
+			e += it.Prob * st
+		case plan.Contains(it.ID):
+			// in K: T = 0
+		default:
+			e += it.Prob * (it.Retrieval + st)
+		}
+	}
+	return e, nil
+}
+
+// GainWithCache returns the access improvement g(F, D) of Eq. 9:
+//
+//	g(F, D) = g°(F) − (Σ_{i∈D} P_i·r_i − Σ_{i∈C∖D} P_i·st(F))
+//
+// i.e. the prefetch-only gain, charged for the value of the ejected items
+// and refunded the stretch penalty of the retained cache items (whose
+// access time is immune to the stretch).
+func GainWithCache(p Problem, plan Plan, cached, eject []int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := plan.validAgainst(p); err != nil {
+		return 0, err
+	}
+	if err := checkCacheLists(plan, cached, eject); err != nil {
+		return 0, err
+	}
+	g := gainUnchecked(p, plan)
+	st := plan.Stretch(p.Viewing)
+	ejected := idSet(eject)
+	byID := make(map[int]Item, len(p.Items))
+	for _, it := range p.Items {
+		byID[it.ID] = it
+	}
+	var ejectCost, retainRefund float64
+	for _, id := range cached {
+		it, ok := byID[id]
+		if !ok {
+			// A cached item outside the candidate universe has P = 0 and
+			// contributes nothing to either sum.
+			continue
+		}
+		if ejected[id] {
+			ejectCost += it.Prob * it.Retrieval
+		} else {
+			retainRefund += it.Prob * st
+		}
+	}
+	return g - (ejectCost - retainRefund), nil
+}
+
+// checkCacheLists enforces F ∩ C = ∅, D ⊆ C, and no duplicates in either
+// list.
+func checkCacheLists(plan Plan, cached, eject []int) error {
+	inCache := make(map[int]bool, len(cached))
+	for _, id := range cached {
+		if inCache[id] {
+			return fmt.Errorf("%w: duplicate cached id %d", ErrBadPlan, id)
+		}
+		inCache[id] = true
+	}
+	for _, it := range plan.Items {
+		if inCache[it.ID] {
+			return fmt.Errorf("%w: plan item %d is already cached (F must avoid C)", ErrBadPlan, it.ID)
+		}
+	}
+	seen := make(map[int]bool, len(eject))
+	for _, id := range eject {
+		if !inCache[id] {
+			return fmt.Errorf("%w: eject id %d is not cached", ErrBadPlan, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("%w: duplicate eject id %d", ErrBadPlan, id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+func idSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}

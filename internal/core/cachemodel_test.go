@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+func TestExpectedNoPrefetchCached(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.5, Retrieval: 10},
+		{ID: 1, Prob: 0.3, Retrieval: 20},
+		{ID: 2, Prob: 0.2, Retrieval: 5},
+	}, Viewing: 5}
+	if got := ExpectedNoPrefetchCached(p, nil); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("no cache: %v, want 12", got)
+	}
+	if got := ExpectedNoPrefetchCached(p, []int{1}); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("cache {1}: %v, want 6", got)
+	}
+	if got := ExpectedNoPrefetchCached(p, []int{0, 1, 2}); got != 0 {
+		t.Fatalf("all cached: %v, want 0", got)
+	}
+}
+
+func TestGainWithCacheHandComputed(t *testing.T) {
+	// Universe of four items; item 3 is cached. Prefetch {0} ejecting {3}.
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.4, Retrieval: 8},
+		{ID: 1, Prob: 0.3, Retrieval: 6},
+		{ID: 2, Prob: 0.2, Retrieval: 4},
+		{ID: 3, Prob: 0.1, Retrieval: 10},
+	}, Viewing: 10}
+	plan := Plan{Items: []Item{p.Items[0]}} // fits, st = 0
+	g, err := GainWithCache(p, plan, []int{3}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g°({0}) = 0.4*8 = 3.2; eject cost = P_3 r_3 = 1; refund = 0 (st=0).
+	if math.Abs(g-2.2) > 1e-12 {
+		t.Fatalf("g(F,D) = %v, want 2.2", g)
+	}
+
+	// Now with a stretching plan: prefetch {0,1} (total 14 > 10, st = 4),
+	// keep 3 in cache (eject nothing — pretend there is spare room).
+	plan2 := Plan{Items: []Item{p.Items[0], p.Items[1]}}
+	g2, err := GainWithCache(p, plan2, []int{3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g°(F) = (3.2+1.8) − (1 − 0.4)*4 = 5 − 2.4 = 2.6.
+	// Retained refund: P_3·st = 0.1*4 = 0.4. Eject cost 0.
+	if math.Abs(g2-3.0) > 1e-12 {
+		t.Fatalf("g(F,∅) = %v, want 3.0", g2)
+	}
+}
+
+// Eq. 9 must equal the direct difference of conditional expectations for
+// full-universe problems, across random cache/eject configurations.
+func TestGainWithCacheMatchesExpectations(t *testing.T) {
+	r := rng.New(41)
+	for iter := 0; iter < 300; iter++ {
+		n := r.IntRange(2, 10)
+		p := randProblem(r, n, 0.6, 30, 40)
+		// Random cache subset.
+		var cached []int
+		for _, it := range p.Items {
+			if r.Float64() < 0.4 {
+				cached = append(cached, it.ID)
+			}
+		}
+		// Candidates are non-cached items; solve SKP over them with the
+		// full-universe probability mass.
+		inCache := map[int]bool{}
+		for _, id := range cached {
+			inCache[id] = true
+		}
+		var candidates []Item
+		for _, it := range p.Items {
+			if !inCache[it.ID] {
+				candidates = append(candidates, it)
+			}
+		}
+		sub := Problem{Items: candidates, Viewing: p.Viewing, TotalProb: p.SumProb()}
+		plan, _, err := SolveSKP(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eject a random subset of the cache no larger than the plan.
+		var eject []int
+		for _, id := range cached {
+			if len(eject) < plan.Len() && r.Float64() < 0.5 {
+				eject = append(eject, id)
+			}
+		}
+		g, err := GainWithCache(p, plan, cached, eject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := ExpectedNoPrefetchCached(p, cached)
+		after, err := ExpectedWithPlanCached(p, plan, cached, eject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g-(before-after)) > 1e-9 {
+			t.Fatalf("iter %d: Eq.9 gain %v != E-difference %v (plan %v cached %v eject %v)",
+				iter, g, before-after, plan, cached, eject)
+		}
+	}
+}
+
+func TestGainWithCacheValidation(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.5, Retrieval: 4},
+		{ID: 1, Prob: 0.5, Retrieval: 6},
+	}, Viewing: 8}
+	plan := Plan{Items: []Item{p.Items[0]}}
+	// Plan overlaps cache.
+	if _, err := GainWithCache(p, plan, []int{0}, nil); err == nil {
+		t.Fatal("plan overlapping cache accepted")
+	}
+	// Eject not in cache.
+	if _, err := GainWithCache(p, plan, []int{1}, []int{0}); err == nil {
+		t.Fatal("eject of non-cached item accepted")
+	}
+	// Duplicate cached id.
+	if _, err := GainWithCache(p, plan, []int{1, 1}, nil); err == nil {
+		t.Fatal("duplicate cache id accepted")
+	}
+	// Duplicate eject id.
+	if _, err := GainWithCache(p, plan, []int{1}, []int{1, 1}); err == nil {
+		t.Fatal("duplicate eject id accepted")
+	}
+	// Cached item outside the universe contributes zero but is legal.
+	if _, err := GainWithCache(p, plan, []int{99}, []int{99}); err != nil {
+		t.Fatalf("cached item outside universe rejected: %v", err)
+	}
+}
+
+func TestExpectedWithPlanCachedCases(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.5, Retrieval: 4}, // prefetched (K)
+		{ID: 1, Prob: 0.2, Retrieval: 8}, // prefetched (z), stretches
+		{ID: 2, Prob: 0.2, Retrieval: 6}, // cached, retained
+		{ID: 3, Prob: 0.1, Retrieval: 9}, // neither
+	}, Viewing: 10}
+	plan := Plan{Items: []Item{p.Items[0], p.Items[1]}} // total 12, st 2
+	got, err := ExpectedWithPlanCached(p, plan, []int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ξ=0: 0. ξ=1 (z): st=2 → 0.2*2. ξ=2 retained: 0. ξ=3: st+r = 11 → 1.1.
+	want := 0.2*2 + 0.1*11
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("E[T] = %v, want %v", got, want)
+	}
+	// Ejecting 2 moves it to the miss class: adds 0.2*(6+2).
+	got2, err := ExpectedWithPlanCached(p, plan, []int{2}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got2-(want+1.6)) > 1e-12 {
+		t.Fatalf("E[T] after eject = %v, want %v", got2, want+1.6)
+	}
+}

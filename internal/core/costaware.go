@@ -1,0 +1,32 @@
+package core
+
+// This file implements the network-usage-aware extension (paper §6: "A
+// policy is needed to weigh the opposing goals of maximising access
+// improvement and minimising network usage"). The combined objective is
+//
+//	g_λ(F) = g°(F) − λ·Waste(F),   Waste(F) = Σ_{i∈F} (1−P_i)·r_i
+//
+// so each item's effective profit becomes r_i·((1+λ)·P_i − λ): candidates
+// with P_i ≤ λ/(1+λ) are never worth fetching, and as λ grows the plan
+// shrinks toward only near-certain items.
+
+// SolveSKPCostAware maximises g°(F) − λ·Waste(F) exactly over the canonical
+// search space. λ = 0 reduces to SolveSKP.
+func SolveSKPCostAware(p Problem, lambda float64) (Plan, SolverStats, error) {
+	return SolveSKPOpts(p, Options{NetworkLambda: lambda})
+}
+
+// CostAwareGain returns g°(F) − λ·Waste(F) for a given plan.
+func CostAwareGain(p Problem, plan Plan, lambda float64) (float64, error) {
+	g, err := Gain(p, plan)
+	if err != nil {
+		return 0, err
+	}
+	return g - lambda*Waste(plan), nil
+}
+
+// ProbThreshold returns λ/(1+λ), the probability below which an item can
+// never carry positive cost-aware profit.
+func ProbThreshold(lambda float64) float64 {
+	return lambda / (1 + lambda)
+}

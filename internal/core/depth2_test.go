@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+// randSuccessors builds weighted successor problems whose weights are the
+// candidate probabilities of p (the Markov setting).
+func randSuccessors(r *rng.Source, p Problem) []WeightedProblem {
+	var out []WeightedProblem
+	for _, it := range p.Items {
+		out = append(out, WeightedProblem{
+			Weight:  it.Prob,
+			Problem: randProblem(r, r.IntRange(1, 6), 0.5, 30, 30),
+		})
+	}
+	return out
+}
+
+// bruteDepth2 exhaustively maximises the two-step objective over the
+// canonical search space.
+func bruteDepth2(t *testing.T, p Problem, succ []WeightedProblem) float64 {
+	t.Helper()
+	sorted := CanonicalOrder(p.Items)
+	n := len(sorted)
+	best := math.Inf(-1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var items []Item
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				items = append(items, sorted[i])
+			}
+		}
+		plan := Plan{Items: items}
+		if plan.validAgainst(p) != nil {
+			continue
+		}
+		v, err := Depth2Value(p, plan, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestSolveSKPDepth2MatchesBrute(t *testing.T) {
+	r := rng.New(401)
+	for iter := 0; iter < 60; iter++ {
+		p := randProblem(r, r.IntRange(1, 7), 0.4, 30, 25)
+		succ := randSuccessors(r, p)
+		plan, _, err := SolveSKPDepth2(p, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Depth2Value(p, plan, succ)
+		if err != nil {
+			t.Fatalf("iter %d: returned plan invalid: %v", iter, err)
+		}
+		want := bruteDepth2(t, p, succ)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: depth-2 B&B %v != brute %v (plan %v)", iter, got, want, plan)
+		}
+	}
+}
+
+// With no successors the depth-2 solver reduces exactly to plain SKP.
+func TestSolveSKPDepth2ReducesToOneStep(t *testing.T) {
+	r := rng.New(402)
+	for iter := 0; iter < 100; iter++ {
+		p := randProblem(r, r.IntRange(1, 9), 0.5, 30, 40)
+		d2, _, err := SolveSKPDepth2(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, _ := Gain(p, d2)
+		one, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, _ := Gain(p, one)
+		if math.Abs(g1-g2) > 1e-9 {
+			t.Fatalf("iter %d: depth-2 without successors %v != one-step %v", iter, g2, g1)
+		}
+	}
+}
+
+// The depth-2 optimum dominates both the myopic plan and the surrogate-
+// priced plan under its own objective.
+func TestDepth2DominatesOtherPlanners(t *testing.T) {
+	r := rng.New(403)
+	for iter := 0; iter < 50; iter++ {
+		p := randProblem(r, r.IntRange(2, 7), 0.4, 30, 20)
+		succ := randSuccessors(r, p)
+		exact, _, err := SolveSKPDepth2(p, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vExact, err := Depth2Value(p, exact, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		myopic, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vMyopic, err := Depth2Value(p, myopic, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		surrogate, _, err := SolveSKPLookahead(p, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vSurrogate, err := Depth2Value(p, surrogate, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vMyopic > vExact+1e-9 || vSurrogate > vExact+1e-9 {
+			t.Fatalf("iter %d: depth-2 optimum %v beaten (myopic %v, surrogate %v)",
+				iter, vExact, vMyopic, vSurrogate)
+		}
+	}
+}
+
+// Stretch discourages itself: when the successors are capacity-hungry the
+// depth-2 plan never stretches more than the myopic plan.
+func TestDepth2StretchesNoMoreThanMyopic(t *testing.T) {
+	r := rng.New(404)
+	for iter := 0; iter < 60; iter++ {
+		p := randProblem(r, r.IntRange(2, 7), 0.3, 30, 15)
+		succ := randSuccessors(r, p)
+		exact, _, err := SolveSKPDepth2(p, succ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		myopic, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Stretch(p.Viewing) > myopic.Stretch(p.Viewing)+1e-9 {
+			t.Fatalf("iter %d: depth-2 stretches %v > myopic %v", iter,
+				exact.Stretch(p.Viewing), myopic.Stretch(p.Viewing))
+		}
+	}
+}
+
+func TestDepth2Validation(t *testing.T) {
+	p := Problem{Items: []Item{{ID: 0, Prob: 1, Retrieval: 2}}, Viewing: 5}
+	bad := []WeightedProblem{{Weight: -1, Problem: p}}
+	if _, _, err := SolveSKPDepth2(p, bad); err == nil {
+		t.Fatal("negative successor weight accepted")
+	}
+	badInner := []WeightedProblem{{Weight: 1, Problem: Problem{Items: []Item{{ID: 0, Prob: 2, Retrieval: 1}}, Viewing: 1}}}
+	if _, _, err := SolveSKPDepth2(p, badInner); err == nil {
+		t.Fatal("invalid successor problem accepted")
+	}
+	if _, err := Depth2Value(p, Plan{}, bad); err == nil {
+		t.Fatal("Depth2Value accepted negative weight")
+	}
+}
+
+func TestDepth2Memoisation(t *testing.T) {
+	// Integral retrieval times produce few distinct stretch values; the
+	// continuation solves must be bounded by (distinct st values) ×
+	// (successors), not by the node count.
+	r := rng.New(405)
+	p := randProblem(r, 10, 0.4, 30, 10)
+	succ := randSuccessors(r, p)
+	_, stats, err := SolveSKPDepth2(p, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSolves := int64(40*len(succ) + len(succ)) // ≤ distinct st values × successors
+	if stats.ContinuationSolves > maxSolves {
+		t.Fatalf("continuation solves %d exceed memoisation cap %d", stats.ContinuationSolves, maxSolves)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ItemBreakdown explains one plan item's role in the Eq. 3 gain.
+type ItemBreakdown struct {
+	Item        Item
+	StartAt     float64 // when its sequential prefetch begins
+	FinishAt    float64 // when it completes
+	Contributes float64 // P_i·r_i
+	IsStretcher bool    // the final item z when the plan stretches
+}
+
+// Explanation is a human-auditable decomposition of a plan's expected
+// improvement: Gain = Σ Contributes − PenaltyCoeff·StretchTime.
+type Explanation struct {
+	Plan          Plan
+	Viewing       float64
+	StretchTime   float64 // st(F), Eq. 2
+	PenaltyCoeff  float64 // TotalProb − Σ_{i∈K} P_i
+	PenaltyTotal  float64 // PenaltyCoeff · StretchTime
+	Gain          float64 // Eq. 3
+	ExpectedWaste float64 // Σ (1−P_i)·r_i
+	Items         []ItemBreakdown
+}
+
+// Explain decomposes the plan's gain into per-item contributions and the
+// stretch penalty, validating the plan against the problem first. The
+// decomposition satisfies Gain = Σ Contributes − PenaltyTotal exactly.
+func Explain(p Problem, plan Plan) (Explanation, error) {
+	g, err := Gain(p, plan) // validates problem and plan
+	if err != nil {
+		return Explanation{}, err
+	}
+	ex := Explanation{
+		Plan:          plan,
+		Viewing:       p.Viewing,
+		StretchTime:   plan.Stretch(p.Viewing),
+		Gain:          g,
+		ExpectedWaste: Waste(plan),
+	}
+	var clock float64
+	for i, it := range plan.Items {
+		ex.Items = append(ex.Items, ItemBreakdown{
+			Item:        it,
+			StartAt:     clock,
+			FinishAt:    clock + it.Retrieval,
+			Contributes: it.Prob * it.Retrieval,
+			IsStretcher: i == len(plan.Items)-1 && ex.StretchTime > 0,
+		})
+		clock += it.Retrieval
+	}
+	if ex.StretchTime > 0 {
+		sumK := plan.SumProb()
+		if z, ok := plan.Last(); ok {
+			sumK -= z.Prob
+		}
+		ex.PenaltyCoeff = p.EffectiveTotalProb() - sumK
+		ex.PenaltyTotal = ex.PenaltyCoeff * ex.StretchTime
+	}
+	return ex, nil
+}
+
+// String renders the explanation as an aligned table for CLI output.
+func (ex Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan of %d item(s), viewing time %.4g\n", ex.Plan.Len(), ex.Viewing)
+	fmt.Fprintf(&b, "%4s %8s %8s %9s %9s %10s %s\n", "id", "P", "r", "start", "finish", "P·r", "")
+	for _, ib := range ex.Items {
+		role := ""
+		if ib.IsStretcher {
+			role = "z (stretches)"
+		}
+		fmt.Fprintf(&b, "%4d %8.4g %8.4g %9.4g %9.4g %10.4g %s\n",
+			ib.Item.ID, ib.Item.Prob, ib.Item.Retrieval, ib.StartAt, ib.FinishAt, ib.Contributes, role)
+	}
+	fmt.Fprintf(&b, "stretch st(F)     = %.6g\n", ex.StretchTime)
+	if ex.StretchTime > 0 {
+		fmt.Fprintf(&b, "penalty coeff     = %.6g (TotalProb − Σ P over K)\n", ex.PenaltyCoeff)
+		fmt.Fprintf(&b, "penalty total     = %.6g\n", ex.PenaltyTotal)
+	}
+	fmt.Fprintf(&b, "expected waste    = %.6g\n", ex.ExpectedWaste)
+	fmt.Fprintf(&b, "gain g (Eq. 3)    = %.6g\n", ex.Gain)
+	return b.String()
+}

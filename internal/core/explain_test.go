@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+func TestExplainHandExample(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.6, Retrieval: 4},
+		{ID: 1, Prob: 0.3, Retrieval: 5},
+		{ID: 2, Prob: 0.1, Retrieval: 2},
+	}, Viewing: 6}
+	plan := Plan{Items: []Item{p.Items[0], p.Items[1]}}
+	ex, err := Explain(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.StretchTime != 3 {
+		t.Fatalf("stretch %v, want 3", ex.StretchTime)
+	}
+	if math.Abs(ex.PenaltyCoeff-0.4) > 1e-12 {
+		t.Fatalf("coeff %v, want 0.4", ex.PenaltyCoeff)
+	}
+	if math.Abs(ex.Gain-2.7) > 1e-12 {
+		t.Fatalf("gain %v, want 2.7", ex.Gain)
+	}
+	if len(ex.Items) != 2 {
+		t.Fatalf("%d item breakdowns", len(ex.Items))
+	}
+	if ex.Items[0].StartAt != 0 || ex.Items[0].FinishAt != 4 {
+		t.Fatalf("item 0 schedule [%v,%v]", ex.Items[0].StartAt, ex.Items[0].FinishAt)
+	}
+	if ex.Items[1].StartAt != 4 || ex.Items[1].FinishAt != 9 {
+		t.Fatalf("item 1 schedule [%v,%v]", ex.Items[1].StartAt, ex.Items[1].FinishAt)
+	}
+	if !ex.Items[1].IsStretcher || ex.Items[0].IsStretcher {
+		t.Fatal("stretcher flag wrong")
+	}
+	out := ex.String()
+	for _, want := range []string{"z (stretches)", "gain g (Eq. 3)", "penalty coeff"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The decomposition identity must hold on random plans.
+func TestExplainDecompositionIdentity(t *testing.T) {
+	r := rng.New(71)
+	for iter := 0; iter < 200; iter++ {
+		p := randProblem(r, r.IntRange(1, 10), 0.5, 30, 40)
+		plan, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := Explain(p, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, ib := range ex.Items {
+			sum += ib.Contributes
+		}
+		if math.Abs(sum-ex.PenaltyTotal-ex.Gain) > 1e-9 {
+			t.Fatalf("iter %d: Σcontrib %v − penalty %v != gain %v", iter, sum, ex.PenaltyTotal, ex.Gain)
+		}
+		// Schedule feasibility: all but the last start strictly within v.
+		for i, ib := range ex.Items {
+			if i < len(ex.Items)-1 && ib.FinishAt >= p.Viewing+1e-12 {
+				t.Fatalf("iter %d: K item finishes at %v beyond v=%v", iter, ib.FinishAt, p.Viewing)
+			}
+		}
+	}
+}
+
+func TestExplainEmptyPlan(t *testing.T) {
+	p := Problem{Items: []Item{{ID: 0, Prob: 1, Retrieval: 5}}, Viewing: 1}
+	ex, err := Explain(p, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Gain != 0 || ex.StretchTime != 0 || len(ex.Items) != 0 {
+		t.Fatalf("empty plan explanation: %+v", ex)
+	}
+	if ex.String() == "" {
+		t.Fatal("empty explanation must still render")
+	}
+}
+
+func TestExplainRejectsInvalidPlan(t *testing.T) {
+	p := Problem{Items: []Item{{ID: 0, Prob: 1, Retrieval: 5}}, Viewing: 1}
+	if _, err := Explain(p, Plan{Items: []Item{{ID: 9, Prob: 0.1, Retrieval: 1}}}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"prefetch/internal/knapsack"
+)
+
+// SolveKP returns the "KP prefetch" baseline plan (paper §4): a classic 0/1
+// knapsack over the candidates with profit P_i·r_i, weight r_i, and capacity
+// v. The knapsack never stretches, so every selected item completes within
+// the viewing time and the plan's stretch is zero by construction.
+func SolveKP(p Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	sorted := CanonicalOrder(p.Items)
+	profits := make([]float64, len(sorted))
+	weights := make([]float64, len(sorted))
+	for i, it := range sorted {
+		profits[i] = it.Prob * it.Retrieval
+		weights[i] = it.Retrieval
+	}
+	sel, _, _, err := knapsack.SolveBB(profits, weights, p.Viewing)
+	if err != nil {
+		return Plan{}, err
+	}
+	var plan Plan
+	for i, takeIt := range sel {
+		if takeIt {
+			plan.Items = append(plan.Items, sorted[i])
+		}
+	}
+	return plan, nil
+}
+
+// SolveGreedyPrefetch returns the density-greedy baseline: candidates in
+// canonical order, taking whatever still fits in the viewing time. Used by
+// ablation experiments as a cheaper stand-in for SolveKP.
+func SolveGreedyPrefetch(p Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	sorted := CanonicalOrder(p.Items)
+	var plan Plan
+	residual := p.Viewing
+	for _, it := range sorted {
+		if it.Retrieval <= residual {
+			plan.Items = append(plan.Items, it)
+			residual -= it.Retrieval
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+// randProblem generates a random full-universe problem: n items with
+// Dirichlet(alpha) probabilities, integer retrieval times in [1, rMax], and
+// a viewing time in [0, vMax].
+func randProblem(r *rng.Source, n int, alpha float64, rMax, vMax int) Problem {
+	probs := make([]float64, n)
+	r.Dirichlet(alpha, probs)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: i, Prob: probs[i], Retrieval: float64(r.IntRange(1, rMax))}
+	}
+	return Problem{Items: items, Viewing: float64(r.IntRange(0, vMax))}
+}
+
+func TestStretch(t *testing.T) {
+	cases := []struct{ total, v, want float64 }{
+		{10, 20, 0},
+		{20, 20, 0},
+		{25, 20, 5},
+		{5, 0, 5},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Stretch(c.total, c.v); got != c.want {
+			t.Errorf("Stretch(%v,%v) = %v, want %v", c.total, c.v, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Problem{Items: []Item{{ID: 1, Prob: 0.5, Retrieval: 3}, {ID: 2, Prob: 0.5, Retrieval: 2}}, Viewing: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	bad := []Problem{
+		{Items: []Item{{ID: 1, Prob: -0.1, Retrieval: 3}}, Viewing: 4},
+		{Items: []Item{{ID: 1, Prob: 1.5, Retrieval: 3}}, Viewing: 4},
+		{Items: []Item{{ID: 1, Prob: 0.5, Retrieval: 0}}, Viewing: 4},
+		{Items: []Item{{ID: 1, Prob: 0.5, Retrieval: -3}}, Viewing: 4},
+		{Items: []Item{{ID: 1, Prob: 0.5, Retrieval: math.NaN()}}, Viewing: 4},
+		{Items: []Item{{ID: 1, Prob: 0.5, Retrieval: 3}}, Viewing: -1},
+		{Items: []Item{{ID: 1, Prob: 0.5, Retrieval: 3}}, Viewing: math.Inf(1)},
+		{Items: []Item{{ID: 1, Prob: 0.5, Retrieval: 3}, {ID: 1, Prob: 0.2, Retrieval: 2}}, Viewing: 4},
+		{Items: []Item{{ID: 1, Prob: 0.9, Retrieval: 3}, {ID: 2, Prob: 0.9, Retrieval: 2}}, Viewing: 4, TotalProb: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestCanonicalOrder(t *testing.T) {
+	items := []Item{
+		{ID: 3, Prob: 0.2, Retrieval: 5},
+		{ID: 1, Prob: 0.5, Retrieval: 9},
+		{ID: 2, Prob: 0.2, Retrieval: 3},
+		{ID: 4, Prob: 0.1, Retrieval: 1},
+		{ID: 0, Prob: 0.2, Retrieval: 3},
+	}
+	got := CanonicalOrder(items)
+	wantIDs := []int{1, 0, 2, 3, 4} // P desc; ties r asc; ties ID asc
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Fatalf("canonical order = %v, want IDs %v", got, wantIDs)
+		}
+	}
+	// Input untouched.
+	if items[0].ID != 3 {
+		t.Fatal("CanonicalOrder mutated its input")
+	}
+	// Idempotent.
+	again := CanonicalOrder(got)
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatal("CanonicalOrder not idempotent")
+		}
+	}
+}
+
+func TestExpectedNoPrefetch(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 1, Prob: 0.5, Retrieval: 10},
+		{ID: 2, Prob: 0.5, Retrieval: 20},
+	}, Viewing: 5}
+	if got := ExpectedNoPrefetch(p); got != 15 {
+		t.Fatalf("ExpectedNoPrefetch = %v, want 15", got)
+	}
+}
+
+func TestGainHandComputed(t *testing.T) {
+	// Three items, universe sums to 1. v = 6.
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.6, Retrieval: 4},
+		{ID: 1, Prob: 0.3, Retrieval: 5},
+		{ID: 2, Prob: 0.1, Retrieval: 2},
+	}, Viewing: 6}
+
+	// Plan {0}: fits (4 <= 6), st=0, g = 0.6*4 = 2.4.
+	g, err := Gain(p, Plan{Items: []Item{p.Items[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-2.4) > 1e-12 {
+		t.Fatalf("g({0}) = %v, want 2.4", g)
+	}
+
+	// Plan {0,1}: total 9 > 6, st = 3, K = {0}.
+	// g = (2.4 + 1.5) − (1 − 0.6)*3 = 3.9 − 1.2 = 2.7.
+	g, err = Gain(p, Plan{Items: []Item{p.Items[0], p.Items[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-2.7) > 1e-12 {
+		t.Fatalf("g({0,1}) = %v, want 2.7", g)
+	}
+
+	// Empty plan: 0.
+	g, err = Gain(p, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0 {
+		t.Fatalf("g(empty) = %v", g)
+	}
+}
+
+func TestGainEqualsImprovement(t *testing.T) {
+	// For full-universe problems, Eq. 3 must equal the direct difference of
+	// expectations, for every plan in the canonical search space.
+	r := rng.New(21)
+	for iter := 0; iter < 200; iter++ {
+		p := randProblem(r, r.IntRange(1, 8), 1, 30, 50)
+		plan, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Gain(p, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, err := Improvement(p, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g-imp) > 1e-9 {
+			t.Fatalf("iter %d: Gain %v != Improvement %v for %v", iter, g, imp, plan)
+		}
+	}
+}
+
+func TestAccessTimeMatchesExpectation(t *testing.T) {
+	// Σ_ξ P_ξ · AccessTime(ξ) must equal ExpectedWithPlan for full-universe
+	// problems.
+	r := rng.New(22)
+	for iter := 0; iter < 200; iter++ {
+		p := randProblem(r, r.IntRange(1, 8), 0.5, 30, 50)
+		plan, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retrOf := func(id int) float64 {
+			it, ok := p.ItemByID(id)
+			if !ok {
+				t.Fatalf("unknown id %d", id)
+			}
+			return it.Retrieval
+		}
+		var expected float64
+		for _, it := range p.Items {
+			expected += it.Prob * AccessTime(plan, p.Viewing, it.ID, retrOf)
+		}
+		direct, err := ExpectedWithPlan(p, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(expected-direct) > 1e-9 {
+			t.Fatalf("iter %d: Σ P·T = %v != E[T] = %v", iter, expected, direct)
+		}
+	}
+}
+
+func TestAccessTimeCases(t *testing.T) {
+	items := []Item{
+		{ID: 0, Prob: 0.5, Retrieval: 4},
+		{ID: 1, Prob: 0.3, Retrieval: 5},
+	}
+	plan := Plan{Items: items}
+	v := 6.0 // total 9, st = 3
+	retrOf := func(id int) float64 { return 7 }
+	if got := AccessTime(plan, v, 0, retrOf); got != 0 {
+		t.Fatalf("K item access time = %v, want 0", got)
+	}
+	if got := AccessTime(plan, v, 1, retrOf); got != 3 {
+		t.Fatalf("z access time = %v, want st=3", got)
+	}
+	if got := AccessTime(plan, v, 99, retrOf); got != 10 {
+		t.Fatalf("miss access time = %v, want st+r=10", got)
+	}
+	// No stretch: everything prefetched is free, misses pay r.
+	if got := AccessTime(plan, 20, 1, retrOf); got != 0 {
+		t.Fatalf("no-stretch z access time = %v, want 0", got)
+	}
+	// Empty plan: miss pays exactly r.
+	if got := AccessTime(Plan{}, 5, 42, retrOf); got != 7 {
+		t.Fatalf("empty-plan access time = %v, want 7", got)
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	plan := Plan{Items: []Item{{ID: 2, Prob: 0.5, Retrieval: 4}, {ID: 7, Prob: 0.2, Retrieval: 3}}}
+	if plan.Empty() || plan.Len() != 2 {
+		t.Fatal("Empty/Len wrong")
+	}
+	if ids := plan.IDs(); len(ids) != 2 || ids[0] != 2 || ids[1] != 7 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if !plan.Contains(7) || plan.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+	if plan.TotalRetrieval() != 7 {
+		t.Fatalf("TotalRetrieval = %v", plan.TotalRetrieval())
+	}
+	if math.Abs(plan.SumProb()-0.7) > 1e-12 {
+		t.Fatalf("SumProb = %v", plan.SumProb())
+	}
+	if plan.Stretch(5) != 2 || plan.Stretch(10) != 0 {
+		t.Fatal("Stretch wrong")
+	}
+	z, ok := plan.Last()
+	if !ok || z.ID != 7 {
+		t.Fatal("Last wrong")
+	}
+	if _, ok := (Plan{}).Last(); ok {
+		t.Fatal("empty plan Last() must report false")
+	}
+	if (Plan{}).String() != "Plan{}" {
+		t.Fatal("empty plan String wrong")
+	}
+	if plan.String() == "" {
+		t.Fatal("plan String empty")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.6, Retrieval: 4},
+		{ID: 1, Prob: 0.4, Retrieval: 5},
+	}, Viewing: 6}
+	// Unknown item.
+	if _, err := Gain(p, Plan{Items: []Item{{ID: 9, Prob: 0.1, Retrieval: 1}}}); err == nil {
+		t.Fatal("plan with unknown item accepted")
+	}
+	// Mismatched parameters.
+	if _, err := Gain(p, Plan{Items: []Item{{ID: 0, Prob: 0.5, Retrieval: 4}}}); err == nil {
+		t.Fatal("plan with altered item accepted")
+	}
+	// Duplicate item.
+	if _, err := Gain(p, Plan{Items: []Item{p.Items[0], p.Items[0]}}); err == nil {
+		t.Fatal("plan with duplicate accepted")
+	}
+	// Construction (1): prefix must complete strictly within v.
+	tight := Problem{Items: []Item{
+		{ID: 0, Prob: 0.5, Retrieval: 6},
+		{ID: 1, Prob: 0.5, Retrieval: 5},
+	}, Viewing: 6}
+	if _, err := Gain(tight, Plan{Items: []Item{tight.Items[0], tight.Items[1]}}); err == nil {
+		t.Fatal("plan whose K fills v exactly accepted (initiation must precede request)")
+	}
+}
+
+func TestUpperBoundDominatesAllPlans(t *testing.T) {
+	r := rng.New(23)
+	for iter := 0; iter < 150; iter++ {
+		p := randProblem(r, r.IntRange(1, 10), 1, 30, 60)
+		u, err := UpperBound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The bound must dominate the canonical optimum...
+		_, bruteGain, err := SolveSKPBruteCanonical(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bruteGain > u+1e-9 {
+			t.Fatalf("iter %d: canonical optimum %v exceeds Eq.7 bound %v", iter, bruteGain, u)
+		}
+	}
+}
+
+func TestLinearRelaxation(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.5, Retrieval: 4},
+		{ID: 1, Prob: 0.3, Retrieval: 4},
+		{ID: 2, Prob: 0.2, Retrieval: 4},
+	}, Viewing: 6}
+	sorted, x, value, err := LinearRelaxation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted[0].ID != 0 || x[0] != 1 {
+		t.Fatalf("first item should be whole: x=%v", x)
+	}
+	if math.Abs(x[1]-0.5) > 1e-12 {
+		t.Fatalf("second item should be half: x=%v", x)
+	}
+	if x[2] != 0 {
+		t.Fatalf("third item should be zero: x=%v", x)
+	}
+	want := 0.5*4 + 0.3*2 // whole item 0 + half of item 1
+	if math.Abs(value-want) > 1e-12 {
+		t.Fatalf("relaxation value = %v, want %v", value, want)
+	}
+	u, err := UpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-value) > 1e-12 {
+		t.Fatalf("UpperBound %v != relaxation value %v", u, value)
+	}
+}
+
+func TestGainTailDiffersOnlyWithEarlyExclusions(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.6, Retrieval: 4},
+		{ID: 1, Prob: 0.3, Retrieval: 5},
+		{ID: 2, Prob: 0.1, Retrieval: 2},
+	}, Viewing: 6}
+	// Plan {0,1}: no exclusions before z=1 in canonical order; tail from z
+	// is P_1 + P_2 = 0.4 = 1 − P_0 = coefficient of Eq. 3. Identical.
+	plan := Plan{Items: []Item{p.Items[0], p.Items[1]}}
+	g, _ := Gain(p, plan)
+	gt, err := GainTail(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-gt) > 1e-12 {
+		t.Fatalf("no-exclusion plan: Gain %v != GainTail %v", g, gt)
+	}
+	// Plan {1} with item 0 excluded before z=1: Eq.3 coefficient is 1,
+	// tail coefficient is P_1 + P_2 = 0.4. GainTail must be larger when the
+	// plan stretches. Use v = 3 so {1} stretches by 2.
+	p2 := p
+	p2.Viewing = 3
+	solo := Plan{Items: []Item{p.Items[1]}}
+	g2, _ := Gain(p2, solo)
+	gt2, err := GainTail(p2, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG := 0.3*5 - 1.0*2  // = -0.5
+	wantGT := 0.3*5 - 0.4*2 // = 0.7
+	if math.Abs(g2-wantG) > 1e-12 || math.Abs(gt2-wantGT) > 1e-12 {
+		t.Fatalf("solo plan: Gain %v (want %v), GainTail %v (want %v)", g2, wantG, gt2, wantGT)
+	}
+}
+
+func TestExpectedWithPlanRequiresFullUniverse(t *testing.T) {
+	p := Problem{Items: []Item{{ID: 0, Prob: 0.4, Retrieval: 5}}, Viewing: 3, TotalProb: 1}
+	if _, err := ExpectedWithPlan(p, Plan{}); err == nil {
+		t.Fatal("partial-universe expectation must be rejected")
+	}
+	// Gain is still fine with a partial universe.
+	if _, err := Gain(p, Plan{Items: p.Items}); err != nil {
+		t.Fatalf("partial-universe Gain rejected: %v", err)
+	}
+}

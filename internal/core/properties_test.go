@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+// Additional cross-cutting properties of the model and solvers.
+
+// A fixed plan's gain is non-decreasing in the viewing time: more capacity
+// can only shrink the stretch.
+func TestGainMonotoneInViewing(t *testing.T) {
+	r := rng.New(201)
+	for iter := 0; iter < 150; iter++ {
+		p := randProblem(r, r.IntRange(1, 8), 0.5, 30, 40)
+		plan, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Empty() {
+			continue
+		}
+		prev := math.Inf(-1)
+		for dv := 0.0; dv <= 20; dv += 2.5 {
+			q := p
+			q.Viewing = p.Viewing + dv
+			// The plan stays feasible as v grows (construction 1 only
+			// gets easier).
+			g, err := Gain(q, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g < prev-1e-9 {
+				t.Fatalf("iter %d: gain decreased from %v to %v as v grew", iter, prev, g)
+			}
+			prev = g
+		}
+	}
+}
+
+// The optimal gain is non-decreasing in viewing time too.
+func TestOptimumMonotoneInViewing(t *testing.T) {
+	r := rng.New(202)
+	for iter := 0; iter < 100; iter++ {
+		p := randProblem(r, r.IntRange(1, 8), 0.5, 30, 30)
+		low, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gLow, _ := Gain(p, low)
+		q := p
+		q.Viewing += float64(r.IntRange(1, 20))
+		high, _, err := SolveSKP(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gHigh, _ := Gain(q, high)
+		if gHigh < gLow-1e-9 {
+			t.Fatalf("iter %d: optimum fell from %v to %v when v grew", iter, gLow, gHigh)
+		}
+	}
+}
+
+// The Eq. 7 bound is non-decreasing in viewing time.
+func TestUpperBoundMonotoneInViewing(t *testing.T) {
+	r := rng.New(203)
+	for iter := 0; iter < 100; iter++ {
+		p := randProblem(r, r.IntRange(1, 10), 1, 30, 50)
+		u1, err := UpperBound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := p
+		p2.Viewing += 5
+		u2, err := UpperBound(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u2 < u1-1e-12 {
+			t.Fatalf("iter %d: bound fell from %v to %v", iter, u1, u2)
+		}
+	}
+}
+
+// Raising the stretch price never increases the chosen plan's stretch.
+func TestStretchMonotoneInStretchCost(t *testing.T) {
+	r := rng.New(204)
+	costs := []float64{0, 0.1, 0.3, 1, 3, 10}
+	for iter := 0; iter < 100; iter++ {
+		p := randProblem(r, r.IntRange(1, 9), 0.3, 30, 25)
+		prev := math.Inf(1)
+		for _, c := range costs {
+			plan, _, err := SolveSKPStretchAware(p, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := plan.Stretch(p.Viewing)
+			if st > prev+1e-9 {
+				t.Fatalf("iter %d: stretch rose from %v to %v at cost %v", iter, prev, st, c)
+			}
+			prev = st
+		}
+	}
+}
+
+// The cache-subproblem setting: candidates carry only part of the
+// probability mass (TotalProb = 1). The solver must still match brute
+// force, and its plans must stretch less than the full-universe solution
+// would (the missing mass raises the effective penalty).
+func TestSolverWithPartialUniverse(t *testing.T) {
+	r := rng.New(205)
+	for iter := 0; iter < 200; iter++ {
+		p := randProblem(r, r.IntRange(2, 9), 0.5, 30, 30)
+		// Remove a random subset of the items but keep TotalProb = Σ all.
+		total := p.SumProb()
+		var kept []Item
+		for _, it := range p.Items {
+			if r.Float64() < 0.6 {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		sub := Problem{Items: kept, Viewing: p.Viewing, TotalProb: total}
+		plan, _, err := SolveSKP(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Gain(sub, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := SolveSKPBruteCanonical(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: partial-universe B&B %v != brute %v", iter, got, want)
+		}
+	}
+}
+
+// Items with zero probability are never prefetched: they waste capacity.
+func TestZeroProbabilityItemsExcluded(t *testing.T) {
+	p := Problem{Items: []Item{
+		{ID: 0, Prob: 0.7, Retrieval: 4},
+		{ID: 1, Prob: 0, Retrieval: 1},
+		{ID: 2, Prob: 0.3, Retrieval: 3},
+	}, Viewing: 8}
+	plan, _, err := SolveSKP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Contains(1) {
+		t.Fatalf("zero-probability item prefetched: %v", plan)
+	}
+}
+
+// Duplicate probabilities and retrievals: canonical order must break ties
+// deterministically, and repeated solves must return identical plans.
+func TestSolverDeterministicOnTies(t *testing.T) {
+	items := []Item{
+		{ID: 3, Prob: 0.25, Retrieval: 10},
+		{ID: 1, Prob: 0.25, Retrieval: 10},
+		{ID: 2, Prob: 0.25, Retrieval: 10},
+		{ID: 0, Prob: 0.25, Retrieval: 10},
+	}
+	p := Problem{Items: items, Viewing: 25}
+	first, _, err := SolveSKP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Items) != len(first.Items) {
+			t.Fatal("nondeterministic plan size")
+		}
+		for j := range again.Items {
+			if again.Items[j].ID != first.Items[j].ID {
+				t.Fatalf("nondeterministic plan order: %v vs %v", again.IDs(), first.IDs())
+			}
+		}
+	}
+}
+
+// Scaling all retrieval times and the viewing time by a constant scales
+// every gain by the same constant (the model is scale-free in time units).
+func TestGainScaleInvariance(t *testing.T) {
+	r := rng.New(206)
+	const k = 7.3
+	for iter := 0; iter < 100; iter++ {
+		p := randProblem(r, r.IntRange(1, 8), 0.5, 30, 40)
+		plan, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, _ := Gain(p, plan)
+
+		scaled := Problem{Viewing: p.Viewing * k}
+		for _, it := range p.Items {
+			scaled.Items = append(scaled.Items, Item{ID: it.ID, Prob: it.Prob, Retrieval: it.Retrieval * k})
+		}
+		var scaledPlan Plan
+		for _, it := range plan.Items {
+			scaledPlan.Items = append(scaledPlan.Items, Item{ID: it.ID, Prob: it.Prob, Retrieval: it.Retrieval * k})
+		}
+		g2, err := Gain(scaled, scaledPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g2-k*g1) > 1e-9*(1+math.Abs(g1)) {
+			t.Fatalf("iter %d: scaled gain %v != k·gain %v", iter, g2, k*g1)
+		}
+		// And the scaled optimum equals the scaled original optimum.
+		opt2, _, err := SolveSKP(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gOpt2, _ := Gain(scaled, opt2)
+		if math.Abs(gOpt2-k*g1) > 1e-6*(1+math.Abs(g1)) {
+			t.Fatalf("iter %d: scaled optimum %v != k·optimum %v", iter, gOpt2, k*g1)
+		}
+	}
+}
+
+// The empty candidate list is handled everywhere.
+func TestEmptyCandidates(t *testing.T) {
+	p := Problem{Viewing: 10, TotalProb: 1}
+	plan, _, err := SolveSKP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatal("plan from empty candidates")
+	}
+	if kp, err := SolveKP(p); err != nil || !kp.Empty() {
+		t.Fatal("KP on empty candidates")
+	}
+	if u, err := UpperBound(p); err != nil || u != 0 {
+		t.Fatal("bound on empty candidates")
+	}
+	res := Arbitrate(Plan{}, nil, 0, SubDS)
+	if res.Accepted.Len() != 0 || len(res.Victims) != 0 {
+		t.Fatal("arbitration of empty plan")
+	}
+}
+
+// SolveSKPPaper and SolveSKP agree whenever the optimum does not stretch
+// (the coefficients only differ on stretching plans).
+func TestModesAgreeWithoutStretch(t *testing.T) {
+	r := rng.New(207)
+	for iter := 0; iter < 200; iter++ {
+		// Large viewing time: everything fits, no stretching attractive.
+		p := randProblem(r, r.IntRange(1, 8), 1, 10, 0)
+		p.Viewing = 200
+		a, _, err := SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := SolveSKPPaper(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga, _ := Gain(p, a)
+		gb, _ := Gain(p, b)
+		if math.Abs(ga-gb) > 1e-9 {
+			t.Fatalf("iter %d: modes disagree without stretch: %v vs %v", iter, ga, gb)
+		}
+	}
+}

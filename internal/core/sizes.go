@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the non-uniform item size extension (paper §6: "we
+// assume uniform size for all items. We are currently addressing this
+// limitation"). With sizes, one prefetched item may need several victims —
+// or a fraction of one slot — so |F| = |D| no longer holds. Victim sets are
+// assembled greedily by ascending Pr-value per byte, and a candidate is
+// admitted only if the total Pr-value it evicts is strictly below its own,
+// the natural generalisation of Figure 6's worthiness test (stretch assumed
+// zero during arbitration, as in the paper).
+
+// SizedEntry is a cache entry with a size, for the non-uniform extension.
+type SizedEntry struct {
+	CacheEntry
+	Size int64 // bytes (or any consistent unit)
+}
+
+// SizedCandidate is a prefetch candidate with a size.
+type SizedCandidate struct {
+	Item
+	Size int64
+}
+
+// SizedResult reports the admitted candidates and the victims evicted for
+// them. Unlike the equal-size case there is no per-item pairing.
+type SizedResult struct {
+	Accepted  []SizedCandidate
+	Ejected   []int
+	FreeAfter int64 // free bytes remaining after the plan is applied
+}
+
+// ArbitrateSized admits sized candidates against a cache with freeBytes of
+// slack, evicting greedily by ascending P_d·r_d per byte (sub-arbitration
+// breaks exact ties). Candidates are considered in descending P_f·r_f, and
+// the scan stops at the first rejection, mirroring Figure 6.
+func ArbitrateSized(candidates []SizedCandidate, cache []SizedEntry, freeBytes int64, sub SubArbitration) (SizedResult, error) {
+	for _, c := range candidates {
+		if c.Size <= 0 {
+			return SizedResult{}, fmt.Errorf("%w: candidate %d has size %d", ErrBadPlan, c.ID, c.Size)
+		}
+	}
+	for _, e := range cache {
+		if e.Size <= 0 {
+			return SizedResult{}, fmt.Errorf("%w: cached item %d has size %d", ErrBadPlan, e.ID, e.Size)
+		}
+	}
+	if freeBytes < 0 {
+		freeBytes = 0
+	}
+
+	// Victim pool in eviction order: cheapest Pr-value per byte first.
+	pool := make([]SizedEntry, len(cache))
+	copy(pool, cache)
+	sort.SliceStable(pool, func(a, b int) bool {
+		da := pool[a].prValue() / float64(pool[a].Size)
+		db := pool[b].prValue() / float64(pool[b].Size)
+		const tie = 1e-15
+		if da < db-tie {
+			return true
+		}
+		if da > db+tie {
+			return false
+		}
+		return subLess(pool[a].CacheEntry, pool[b].CacheEntry, sub)
+	})
+
+	ordered := make([]SizedCandidate, len(candidates))
+	copy(ordered, candidates)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		va := ordered[a].Prob * ordered[a].Retrieval
+		vb := ordered[b].Prob * ordered[b].Retrieval
+		if va != vb {
+			return va > vb
+		}
+		return ordered[a].ID < ordered[b].ID
+	})
+
+	res := SizedResult{FreeAfter: freeBytes}
+	next := 0 // next victim in pool order
+	for _, f := range ordered {
+		need := f.Size - res.FreeAfter
+		// Collect victims until the candidate fits, summing their value.
+		var victimValue float64
+		var victimBytes int64
+		take := 0
+		for need > victimBytes && next+take < len(pool) {
+			v := pool[next+take]
+			victimValue += v.prValue()
+			victimBytes += v.Size
+			take++
+		}
+		if need > victimBytes {
+			break // cache cannot make enough room even evicting everything
+		}
+		if take > 0 && f.Prob*f.Retrieval <= victimValue {
+			break // not worth the evictions; Fig. 6 stops at first rejection
+		}
+		for i := 0; i < take; i++ {
+			res.Ejected = append(res.Ejected, pool[next+i].ID)
+		}
+		next += take
+		res.FreeAfter += victimBytes - f.Size
+		res.Accepted = append(res.Accepted, f)
+	}
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prefetch/internal/rng"
+)
+
+func TestSolveBBKnownInstances(t *testing.T) {
+	cases := []struct {
+		name     string
+		profits  []float64
+		weights  []float64
+		capacity float64
+		want     float64
+	}{
+		{"empty", nil, nil, 10, 0},
+		{"single fits", []float64{5}, []float64{3}, 10, 5},
+		{"single too big", []float64{5}, []float64{30}, 10, 0},
+		{"classic", []float64{60, 100, 120}, []float64{10, 20, 30}, 50, 220},
+		{"all fit", []float64{1, 2, 3}, []float64{1, 1, 1}, 10, 6},
+		{"zero capacity", []float64{1, 2}, []float64{1, 1}, 0, 0},
+		{"greedy trap", []float64{10, 9, 9}, []float64{5, 4, 4}, 8, 18},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sel, got, _, err := SolveBB(c.profits, c.weights, c.capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-c.want) > 1e-9 {
+				t.Fatalf("value = %v, want %v", got, c.want)
+			}
+			p, w := Value(c.profits, c.weights, sel)
+			if math.Abs(p-got) > 1e-9 {
+				t.Fatalf("selection profit %v disagrees with reported value %v", p, got)
+			}
+			if w > c.capacity+1e-9 {
+				t.Fatalf("selection weight %v exceeds capacity %v", w, c.capacity)
+			}
+		})
+	}
+}
+
+func TestSolveDPKnownInstances(t *testing.T) {
+	sel, v, err := SolveDP([]float64{60, 100, 120}, []int{10, 20, 30}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 220 {
+		t.Fatalf("DP value = %v, want 220", v)
+	}
+	if sel[0] || !sel[1] || !sel[2] {
+		t.Fatalf("DP selection = %v, want [false true true]", sel)
+	}
+}
+
+// Property: B&B and DP agree on random integer instances, and both dominate
+// greedy while staying under the Dantzig bound.
+func TestSolversAgreeRandom(t *testing.T) {
+	r := rng.New(99)
+	for iter := 0; iter < 300; iter++ {
+		n := r.IntRange(0, 12)
+		profits := make([]float64, n)
+		weightsF := make([]float64, n)
+		weightsI := make([]int, n)
+		for i := 0; i < n; i++ {
+			weightsI[i] = r.IntRange(1, 30)
+			weightsF[i] = float64(weightsI[i])
+			profits[i] = r.Float64() * float64(weightsI[i]) // density <= 1, like P_i*r_i
+		}
+		capacity := r.IntRange(0, 100)
+
+		_, bbVal, _, err := SolveBB(profits, weightsF, float64(capacity))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dpVal, err := SolveDP(profits, weightsI, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bbVal-dpVal) > 1e-6 {
+			t.Fatalf("iter %d: BB %v != DP %v (n=%d cap=%d profits=%v weights=%v)",
+				iter, bbVal, dpVal, n, capacity, profits, weightsI)
+		}
+		_, gVal, err := SolveGreedy(profits, weightsF, float64(capacity))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gVal > bbVal+1e-9 {
+			t.Fatalf("iter %d: greedy %v beats exact %v", iter, gVal, bbVal)
+		}
+		bound, err := DantzigBound(profits, weightsF, float64(capacity))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bbVal > bound+1e-9 {
+			t.Fatalf("iter %d: exact %v exceeds Dantzig bound %v", iter, bbVal, bound)
+		}
+	}
+}
+
+// Property: the B&B solution is always feasible and the reported value
+// matches the selection.
+func TestBBFeasibility(t *testing.T) {
+	r := rng.New(7)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		n := rr.IntRange(1, 14)
+		profits := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			weights[i] = rr.Float64Range(0.1, 30)
+			profits[i] = rr.Float64Range(0, 25)
+		}
+		capacity := rr.Float64Range(0, 100)
+		sel, val, _, err := SolveBB(profits, weights, capacity)
+		if err != nil {
+			return false
+		}
+		p, w := Value(profits, weights, sel)
+		return w <= capacity+1e-9 && math.Abs(p-val) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, _, err := SolveBB([]float64{1}, []float64{0}, 5); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, _, _, err := SolveBB([]float64{1}, []float64{-2}, 5); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, _, _, err := SolveBB([]float64{-1}, []float64{2}, 5); err == nil {
+		t.Fatal("negative profit accepted")
+	}
+	if _, _, _, err := SolveBB([]float64{1, 2}, []float64{1}, 5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, _, err := SolveBB([]float64{1}, []float64{1}, -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, _, _, err := SolveBB([]float64{math.NaN()}, []float64{1}, 1); err == nil {
+		t.Fatal("NaN profit accepted")
+	}
+	if _, _, err := SolveDP([]float64{1}, []int{0}, 5); err == nil {
+		t.Fatal("DP zero weight accepted")
+	}
+	if _, _, err := SolveDP([]float64{1}, []int{1}, -5); err == nil {
+		t.Fatal("DP negative capacity accepted")
+	}
+	if _, _, err := SolveDP([]float64{1, 2}, []int{1}, 5); err == nil {
+		t.Fatal("DP length mismatch accepted")
+	}
+}
+
+func TestDantzigBoundFractional(t *testing.T) {
+	// Capacity 15 takes all of item 0 (w=10) and half of item 1 (w=10, p=8).
+	bound, err := DantzigBound([]float64{10, 8}, []float64{10, 10}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bound-14) > 1e-9 {
+		t.Fatalf("bound = %v, want 14", bound)
+	}
+}
+
+func TestGreedyIsFeasible(t *testing.T) {
+	sel, _, err := SolveGreedy([]float64{3, 2, 1}, []float64{3, 2, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, w := Value([]float64{3, 2, 1}, []float64{3, 2, 1}, sel)
+	if w > 4 {
+		t.Fatalf("greedy selection weight %v exceeds capacity", w)
+	}
+}
+
+func TestPruningActuallyPrunes(t *testing.T) {
+	r := rng.New(5)
+	n := 18
+	profits := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = r.Float64Range(1, 30)
+		profits[i] = r.Float64Range(0, 30)
+	}
+	_, _, stats, err := SolveBB(profits, weights, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Prunes == 0 {
+		t.Fatal("expected at least one prune on an 18-item instance")
+	}
+	if stats.Nodes >= 1<<uint(n) {
+		t.Fatalf("visited %d nodes, bound not cutting search", stats.Nodes)
+	}
+}
+
+func BenchmarkSolveBB20(b *testing.B) {
+	r := rng.New(11)
+	n := 20
+	profits := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = r.Float64Range(1, 30)
+		profits[i] = r.Float64() * weights[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, _ = SolveBB(profits, weights, 50)
+	}
+}
+
+func BenchmarkSolveDP25x100(b *testing.B) {
+	r := rng.New(12)
+	n := 25
+	profits := make([]float64, n)
+	weights := make([]int, n)
+	for i := 0; i < n; i++ {
+		weights[i] = r.IntRange(1, 30)
+		profits[i] = r.Float64() * float64(weights[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = SolveDP(profits, weights, 100)
+	}
+}

@@ -1,0 +1,87 @@
+// Package netsim is a small discrete-event simulator of the distributed
+// information system underlying the paper's model: a client with a cache, a
+// remote server, and a serial network pipe on which retrievals take r_i
+// time units. It exists for two purposes:
+//
+//  1. Validation — the paper's access-time formulas (Fig. 2) are closed
+//     forms; simulating each round event-by-event and comparing against
+//     core.AccessTime checks the model's timing assumptions end to end
+//     (experiment E8 in DESIGN.md).
+//  2. Extensions — semantics the closed forms cannot express: aborting
+//     prefetches when a demand fetch arrives, equal-priority bandwidth
+//     sharing (the authors' earlier model, ref [15]), and multi-round
+//     sessions where leftover prefetch work intrudes into the next viewing
+//     window (§4.4).
+package netsim
+
+import "container/heap"
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  int64 // tie-break: FIFO among simultaneous events
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event scheduler. The zero value is ready to use.
+type Clock struct {
+	now    float64
+	nextID int64
+	events eventHeap
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() float64 { return c.now }
+
+// Schedule runs fn at absolute time t (>= Now). Scheduling in the past
+// panics: it is always a simulator bug.
+func (c *Clock) Schedule(t float64, fn func()) {
+	if t < c.now {
+		panic("netsim: scheduling into the past")
+	}
+	c.nextID++
+	heap.Push(&c.events, &event{time: t, seq: c.nextID, fn: fn})
+}
+
+// After schedules fn after a delay (>= 0).
+func (c *Clock) After(delay float64, fn func()) {
+	c.Schedule(c.now+delay, fn)
+}
+
+// Run processes events in time order until none remain.
+func (c *Clock) Run() {
+	for len(c.events) > 0 {
+		c.step()
+	}
+}
+
+// step processes the single earliest event; the caller must ensure at least
+// one event is pending.
+func (c *Clock) step() {
+	e := heap.Pop(&c.events).(*event)
+	c.now = e.time
+	e.fn()
+}
+
+// Pending returns the number of scheduled events.
+func (c *Clock) Pending() int { return len(c.events) }

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+// Cross-mode dominance properties on random rounds.
+
+func randRound(r *rng.Source, mode Mode) Round {
+	nPlan := r.IntRange(0, 6)
+	var transfers []Transfer
+	for i := 0; i < nPlan; i++ {
+		transfers = append(transfers, Transfer{ID: i, Duration: float64(r.IntRange(1, 30))})
+	}
+	requested := 999 // always a miss unless flipped below
+	if nPlan > 0 && r.Float64() < 0.5 {
+		requested = r.IntN(nPlan)
+	}
+	retrieval := float64(r.IntRange(1, 30))
+	if requested != 999 {
+		retrieval = transfers[requested].Duration
+	}
+	return Round{
+		Prefetch:  transfers,
+		Viewing:   float64(r.IntRange(0, 50)),
+		Requested: requested,
+		Retrieval: retrieval,
+		Mode:      mode,
+	}
+}
+
+// Preempting never loses to waiting out the prefetch queue.
+func TestPreemptNeverWorseThanSequential(t *testing.T) {
+	r := rng.New(301)
+	for iter := 0; iter < 300; iter++ {
+		round := randRound(r, ModeSequential)
+		seq, err := SimulateRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round.Mode = ModePreempt
+		pre, err := SimulateRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pre.AccessTime > seq.AccessTime+1e-9 {
+			t.Fatalf("iter %d: preempt %v worse than sequential %v (round %+v)",
+				iter, pre.AccessTime, seq.AccessTime, round)
+		}
+	}
+}
+
+// On hits the three modes agree: contention only matters for misses... with
+// one exception — a hit on the in-flight item is identical by construction.
+func TestModesAgreeOnPureHits(t *testing.T) {
+	r := rng.New(302)
+	for iter := 0; iter < 200; iter++ {
+		round := randRound(r, ModeSequential)
+		if round.Requested == 999 {
+			continue
+		}
+		seq, err := SimulateRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round.Mode = ModeShared
+		sh, err := SimulateRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.AccessTime != sh.AccessTime {
+			t.Fatalf("iter %d: hit timing differs between sequential (%v) and shared (%v)",
+				iter, seq.AccessTime, sh.AccessTime)
+		}
+	}
+}
+
+// Aborted work is only ever reported by the preemptive mode, and total
+// busy time never exceeds the work that exists.
+func TestAccountingInvariants(t *testing.T) {
+	r := rng.New(303)
+	for iter := 0; iter < 300; iter++ {
+		round := randRound(r, Mode(r.IntN(3)))
+		res, err := SimulateRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round.Mode != ModePreempt && res.AbortedWork != 0 {
+			t.Fatalf("iter %d: mode %v reported aborted work", iter, round.Mode)
+		}
+		var planWork float64
+		for _, tr := range round.Prefetch {
+			planWork += tr.Duration
+		}
+		maxWork := planWork + round.Retrieval
+		if res.NetworkBusy > maxWork+1e-9 {
+			t.Fatalf("iter %d: busy %v exceeds total work %v", iter, res.NetworkBusy, maxWork)
+		}
+		if res.AccessTime < 0 {
+			t.Fatalf("iter %d: negative access time", iter)
+		}
+	}
+}
+
+// The mode String methods render.
+func TestModeStrings(t *testing.T) {
+	if ModeSequential.String() != "sequential" || ModePreempt.String() != "preempt" || ModeShared.String() != "shared" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must render")
+	}
+}

@@ -1,0 +1,549 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"prefetch/internal/core"
+	"prefetch/internal/rng"
+)
+
+func TestClockOrdering(t *testing.T) {
+	var c Clock
+	var got []int
+	c.Schedule(5, func() { got = append(got, 2) })
+	c.Schedule(1, func() { got = append(got, 0) })
+	c.Schedule(5, func() { got = append(got, 3) }) // FIFO among ties
+	c.Schedule(2, func() { got = append(got, 1) })
+	c.Run()
+	for i, v := range got {
+		if i != v {
+			t.Fatalf("execution order %v", got)
+		}
+	}
+	if c.Now() != 5 {
+		t.Fatalf("final time %v", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatal("events left after Run")
+	}
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	var c Clock
+	var times []float64
+	c.Schedule(1, func() {
+		c.After(2, func() { times = append(times, c.Now()) })
+	})
+	c.Run()
+	if len(times) != 1 || times[0] != 3 {
+		t.Fatalf("nested event times = %v", times)
+	}
+}
+
+func TestClockPastSchedulingPanics(t *testing.T) {
+	var c Clock
+	c.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		c.Schedule(1, func() {})
+	})
+	c.Run()
+}
+
+func TestLinkSerialFIFO(t *testing.T) {
+	var c Clock
+	l := NewLink(&c)
+	var done []struct {
+		id int
+		at float64
+	}
+	l.OnComplete = func(tr Transfer, at float64) {
+		done = append(done, struct {
+			id int
+			at float64
+		}{tr.ID, at})
+	}
+	if err := l.Enqueue(Transfer{ID: 1, Duration: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Enqueue(Transfer{ID: 2, Duration: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Backlog() != 7 {
+		t.Fatalf("Backlog = %v, want 7", l.Backlog())
+	}
+	c.Run()
+	if len(done) != 2 || done[0].id != 1 || done[0].at != 3 || done[1].id != 2 || done[1].at != 7 {
+		t.Fatalf("completions = %v", done)
+	}
+	if l.BusyTime() != 7 {
+		t.Fatalf("BusyTime = %v, want 7", l.BusyTime())
+	}
+}
+
+func TestLinkRejectsBadDuration(t *testing.T) {
+	var c Clock
+	l := NewLink(&c)
+	if err := l.Enqueue(Transfer{ID: 1, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if err := l.Enqueue(Transfer{ID: 1, Duration: -2}); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
+
+func TestLinkCancelAll(t *testing.T) {
+	var c Clock
+	l := NewLink(&c)
+	var completions int
+	l.OnComplete = func(Transfer, float64) { completions++ }
+	if err := l.Enqueue(Transfer{ID: 1, Duration: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Enqueue(Transfer{ID: 2, Duration: 5}); err != nil {
+		t.Fatal(err)
+	}
+	c.Schedule(4, func() { l.CancelAll() })
+	c.Run()
+	if completions != 0 {
+		t.Fatalf("%d completions after CancelAll", completions)
+	}
+	if l.BusyTime() != 4 {
+		t.Fatalf("BusyTime = %v, want 4 (partial in-flight work)", l.BusyTime())
+	}
+	if l.Backlog() != 0 || l.Busy() {
+		t.Fatal("link not idle after CancelAll")
+	}
+	// The link must accept new work after a cancel and not be confused by
+	// the orphaned completion event.
+	if err := l.Enqueue(Transfer{ID: 3, Duration: 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if completions != 1 {
+		t.Fatalf("completions after re-enqueue = %d, want 1", completions)
+	}
+}
+
+func TestLinkCancelQueuedKeepsInFlight(t *testing.T) {
+	var c Clock
+	l := NewLink(&c)
+	var done []int
+	l.OnComplete = func(tr Transfer, _ float64) { done = append(done, tr.ID) }
+	for id := 1; id <= 3; id++ {
+		if err := l.Enqueue(Transfer{ID: id, Duration: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Schedule(1, func() {
+		l.CancelQueued(func(tr Transfer) bool { return tr.ID == 3 })
+	})
+	c.Run()
+	if len(done) != 2 || done[0] != 1 || done[1] != 3 {
+		t.Fatalf("completions = %v, want [1 3]", done)
+	}
+}
+
+// The central validation: for every outcome class, the event simulation in
+// sequential mode reproduces core.AccessTime exactly.
+func TestRoundMatchesClosedForm(t *testing.T) {
+	r := rng.New(81)
+	for iter := 0; iter < 500; iter++ {
+		n := r.IntRange(1, 10)
+		probs := make([]float64, n)
+		r.Dirichlet(0.5, probs)
+		items := make([]core.Item, n)
+		for i := range items {
+			items[i] = core.Item{ID: i, Prob: probs[i], Retrieval: float64(r.IntRange(1, 30))}
+		}
+		p := core.Problem{Items: items, Viewing: float64(r.IntRange(0, 60))}
+		plan, _, err := core.SolveSKP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requested := r.IntN(n)
+
+		transfers := make([]Transfer, 0, plan.Len())
+		for _, it := range plan.Items {
+			transfers = append(transfers, Transfer{ID: it.ID, Duration: it.Retrieval})
+		}
+		res, err := SimulateRound(Round{
+			Prefetch:  transfers,
+			Viewing:   p.Viewing,
+			Requested: requested,
+			Retrieval: items[requested].Retrieval,
+			Mode:      ModeSequential,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.AccessTime(plan, p.Viewing, requested, func(id int) float64 {
+			return items[id].Retrieval
+		})
+		if math.Abs(res.AccessTime-want) > 1e-9 {
+			t.Fatalf("iter %d: event sim T=%v, closed form T=%v (plan %v, v=%v, req=%d)",
+				iter, res.AccessTime, want, plan, p.Viewing, requested)
+		}
+	}
+}
+
+func TestRoundHitInK(t *testing.T) {
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}},
+		Viewing:   5,
+		Requested: 1,
+		Retrieval: 3,
+		Mode:      ModeSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 0 {
+		t.Fatalf("T = %v, want 0 (item 1 done at t=3 < 5)", res.AccessTime)
+	}
+	if res.DemandFetch {
+		t.Fatal("hit must not demand-fetch")
+	}
+	if len(res.Completed) != 1 || res.Completed[0] != 1 {
+		t.Fatalf("Completed = %v", res.Completed)
+	}
+}
+
+func TestRoundRequestIsStretchingItem(t *testing.T) {
+	// Plan: 3 then 10; request item 2 at v=5; it completes at 13: T = 8 = st.
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}},
+		Viewing:   5,
+		Requested: 2,
+		Retrieval: 10,
+		Mode:      ModeSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 8 {
+		t.Fatalf("T = %v, want st = 8", res.AccessTime)
+	}
+}
+
+func TestRoundMissWaitsForPrefetch(t *testing.T) {
+	// Miss: demand fetch (r=4) queues behind prefetch ending at 13:
+	// T = 13 − 5 + 4 = 12 = st + r.
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}},
+		Viewing:   5,
+		Requested: 99,
+		Retrieval: 4,
+		Mode:      ModeSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 12 {
+		t.Fatalf("T = %v, want st + r = 12", res.AccessTime)
+	}
+	if !res.DemandFetch {
+		t.Fatal("miss must demand-fetch")
+	}
+}
+
+func TestRoundCached(t *testing.T) {
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 30}},
+		Viewing:   2,
+		Requested: 7,
+		Cached:    true,
+		Mode:      ModeSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 0 {
+		t.Fatalf("cached T = %v, want 0", res.AccessTime)
+	}
+}
+
+func TestRoundPreemptAbortsWrongPrefetch(t *testing.T) {
+	// Preempt: the miss kills the prefetch (10 left of item 2 plus nothing
+	// queued) and fetches r=4 immediately: T = 4.
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}},
+		Viewing:   5,
+		Requested: 99,
+		Retrieval: 4,
+		Mode:      ModePreempt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 4 {
+		t.Fatalf("preempt T = %v, want 4", res.AccessTime)
+	}
+	if res.AbortedWork <= 0 {
+		t.Fatal("preemption must report aborted work")
+	}
+}
+
+func TestRoundPreemptKeepsWantedInFlight(t *testing.T) {
+	// Request arrives while the wanted item is on the wire: it finishes
+	// (T = remaining), queued others are dropped.
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}, {ID: 3, Duration: 5}},
+		Viewing:   5,
+		Requested: 2,
+		Retrieval: 10,
+		Mode:      ModePreempt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 2 on wire from t=3 to t=13: T = 8, and item 3's 5 units aborted.
+	if res.AccessTime != 8 {
+		t.Fatalf("preempt in-flight T = %v, want 8", res.AccessTime)
+	}
+	if res.AbortedWork != 5 {
+		t.Fatalf("aborted work = %v, want 5 (item 3)", res.AbortedWork)
+	}
+}
+
+func TestRoundSharedSplitsBandwidth(t *testing.T) {
+	// Miss under processor sharing: W = backlog at request = 8, r = 4.
+	// min(2·4, 8+4) = 8: T = 8, better than sequential's 12.
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}},
+		Viewing:   5,
+		Requested: 99,
+		Retrieval: 4,
+		Mode:      ModeShared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 8 {
+		t.Fatalf("shared T = %v, want 8", res.AccessTime)
+	}
+	// Large r: the prefetch flow drains first; T = W + r.
+	res, err = SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}},
+		Viewing:   5,
+		Requested: 99,
+		Retrieval: 20,
+		Mode:      ModeShared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 28 {
+		t.Fatalf("shared T = %v, want W + r = 28", res.AccessTime)
+	}
+}
+
+func TestSharedNeverWorseThanSequentialOnMisses(t *testing.T) {
+	r := rng.New(82)
+	for iter := 0; iter < 200; iter++ {
+		nPlan := r.IntRange(0, 5)
+		var transfers []Transfer
+		for i := 0; i < nPlan; i++ {
+			transfers = append(transfers, Transfer{ID: i, Duration: float64(r.IntRange(1, 30))})
+		}
+		round := Round{
+			Prefetch:  transfers,
+			Viewing:   float64(r.IntRange(0, 50)),
+			Requested: 999,
+			Retrieval: float64(r.IntRange(1, 30)),
+		}
+		round.Mode = ModeSequential
+		seq, err := SimulateRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round.Mode = ModeShared
+		shared, err := SimulateRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared.AccessTime > seq.AccessTime+1e-9 {
+			t.Fatalf("iter %d: shared %v worse than sequential %v", iter, shared.AccessTime, seq.AccessTime)
+		}
+	}
+}
+
+func TestRoundValidation(t *testing.T) {
+	if _, err := SimulateRound(Round{Viewing: -1, Requested: 0, Retrieval: 1}); err == nil {
+		t.Fatal("negative viewing accepted")
+	}
+	if _, err := SimulateRound(Round{Viewing: 1, Requested: 0, Retrieval: 0}); err == nil {
+		t.Fatal("zero retrieval accepted for non-cached request")
+	}
+	if _, err := SimulateRound(Round{
+		Prefetch: []Transfer{{ID: 1, Duration: 2}, {ID: 1, Duration: 3}},
+		Viewing:  1, Requested: 0, Retrieval: 1,
+	}); err == nil {
+		t.Fatal("duplicate prefetch accepted")
+	}
+	if _, err := SimulateRound(Round{
+		Prefetch: []Transfer{{ID: 1, Duration: 0}},
+		Viewing:  1, Requested: 0, Retrieval: 1,
+	}); err == nil {
+		t.Fatal("zero-duration prefetch accepted")
+	}
+}
+
+func TestRoundCompletionExactlyAtRequest(t *testing.T) {
+	// Item completes exactly at t = v: whichever event order, T must be 0
+	// and there must be no double response.
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 5}},
+		Viewing:   5,
+		Requested: 1,
+		Retrieval: 5,
+		Mode:      ModeSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessTime != 0 {
+		t.Fatalf("T = %v, want 0", res.AccessTime)
+	}
+}
+
+func TestSessionIntrusionDelaysNextRound(t *testing.T) {
+	// Round 1 stretches by 8 (plan 3+10 vs v=5, request the first item).
+	// Round 2's prefetch of item 20 (r=4) starts only after the leftover
+	// drains, so with v=6 < 8 the item is not ready: T2 > 0. A fresh
+	// session with no leftover would have T2 = 0.
+	s := NewSession(SessionOptions{KeepItems: false})
+	t1, err := s.Round([]Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}}, 5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 0 {
+		t.Fatalf("round 1 T = %v, want 0", t1)
+	}
+	if s.Backlog() != 8 {
+		t.Fatalf("leftover backlog = %v, want 8", s.Backlog())
+	}
+	t2, err := s.Round([]Transfer{{ID: 20, Duration: 4}}, 6, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leftover drains at +8; item 20 spans [8,12] but the request came at 6:
+	// response at 12, T = 6.
+	if t2 != 6 {
+		t.Fatalf("round 2 T = %v, want 6 (intrusion)", t2)
+	}
+
+	fresh := NewSession(SessionOptions{KeepItems: false})
+	tf, err := fresh.Round([]Transfer{{ID: 20, Duration: 4}}, 6, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf != 0 {
+		t.Fatalf("fresh round T = %v, want 0", tf)
+	}
+}
+
+func TestSessionKeepItems(t *testing.T) {
+	s := NewSession(SessionOptions{KeepItems: true})
+	if _, err := s.Round([]Transfer{{ID: 1, Duration: 2}}, 5, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(1) {
+		t.Fatal("retrieved item not retained")
+	}
+	// Second round requests the same item: instant.
+	t2, err := s.Round(nil, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 != 0 {
+		t.Fatalf("retained item T = %v, want 0", t2)
+	}
+}
+
+func TestSessionFlushDiscardsStaleCompletions(t *testing.T) {
+	s := NewSession(SessionOptions{KeepItems: false})
+	// Round 1 prefetches item 2 (r=10) but requests item 1; the leftover
+	// completes during round 2's viewing yet must NOT satisfy round 2 from
+	// the flushed cache...
+	if _, err := s.Round([]Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}}, 5, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	// ...unless item 2 is requested again, in which case the in-flight
+	// leftover still serves it (it is physically on the wire).
+	t2, err := s.Round(nil, 20, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 != 0 {
+		t.Fatalf("round 2 T = %v, want 0 (leftover completed during viewing)", t2)
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	s := NewSession(SessionOptions{})
+	if _, err := s.Round(nil, 2, 5, 4); err != nil { // pure miss: T = 4
+		t.Fatal(err)
+	}
+	if _, err := s.Round(nil, 2, 6, 8); err != nil { // pure miss: T = 8
+		t.Fatal(err)
+	}
+	if s.Rounds() != 2 {
+		t.Fatalf("Rounds = %d", s.Rounds())
+	}
+	if s.MeanAccessTime() != 6 {
+		t.Fatalf("MeanAccessTime = %v, want 6", s.MeanAccessTime())
+	}
+	if s.NetworkBusy() != 12 {
+		t.Fatalf("NetworkBusy = %v, want 12", s.NetworkBusy())
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	s := NewSession(SessionOptions{})
+	if _, err := s.Round(nil, -1, 0, 1); err == nil {
+		t.Fatal("negative viewing accepted")
+	}
+	if _, err := s.Round(nil, 1, 0, 0); err == nil {
+		t.Fatal("zero retrieval accepted")
+	}
+	if _, err := s.Round([]Transfer{{ID: 1, Duration: 1}, {ID: 1, Duration: 2}}, 1, 0, 1); err == nil {
+		t.Fatal("duplicate plan accepted")
+	}
+}
+
+func TestRoundCompletedSorted(t *testing.T) {
+	res, err := SimulateRound(Round{
+		Prefetch:  []Transfer{{ID: 9, Duration: 1}, {ID: 3, Duration: 1}, {ID: 7, Duration: 1}},
+		Viewing:   10,
+		Requested: 3,
+		Retrieval: 1,
+		Mode:      ModeSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(res.Completed) {
+		t.Fatalf("Completed not sorted: %v", res.Completed)
+	}
+}
+
+func BenchmarkSimulateRound(b *testing.B) {
+	round := Round{
+		Prefetch:  []Transfer{{ID: 1, Duration: 3}, {ID: 2, Duration: 10}, {ID: 3, Duration: 7}},
+		Viewing:   5,
+		Requested: 99,
+		Retrieval: 4,
+		Mode:      ModeSequential,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateRound(round); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

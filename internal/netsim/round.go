@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadRound reports invalid round parameters.
+var ErrBadRound = errors.New("netsim: bad round")
+
+// Mode selects the contention semantics between an in-progress prefetch and
+// a demand fetch.
+type Mode int
+
+const (
+	// ModeSequential is the paper's model: a prefetch is neither aborted
+	// nor preempted; a demand fetch waits for the whole prefetch queue.
+	ModeSequential Mode = iota
+	// ModePreempt aborts all prefetch work the moment a demand miss
+	// occurs; the demand fetch starts immediately. If the requested item is
+	// itself on the wire it is left to finish (it IS the demand).
+	ModePreempt
+	// ModeShared gives the demand fetch and the remaining prefetch work
+	// equal priority in bandwidth utilisation (the authors' earlier model,
+	// ref [15]): each flow progresses at half rate while both are active.
+	ModeShared
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSequential:
+		return "sequential"
+	case ModePreempt:
+		return "preempt"
+	case ModeShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Round describes one viewing-then-request round.
+type Round struct {
+	Prefetch  []Transfer // prefetch schedule, issued sequentially from t=0
+	Viewing   float64    // request arrives at t = Viewing
+	Requested int        // item the user actually asks for
+	Retrieval float64    // retrieval time of the requested item (used on miss)
+	Cached    bool       // requested item already cached: response is instant
+	Mode      Mode
+}
+
+// RoundResult reports what the event simulation observed.
+type RoundResult struct {
+	AccessTime  float64 // response time − request time
+	ResponseAt  float64 // absolute response time
+	Completed   []int   // prefetched items fully retrieved by the response
+	NetworkBusy float64 // serial-link busy time up to the response (the
+	// shared-mode demand flow bypasses the serial link and is not counted)
+	DemandFetch bool    // whether a demand fetch was needed
+	AbortedWork float64 // prefetch work discarded by preemption
+}
+
+// SimulateRound plays one round through the event queue and returns the
+// observed timings. It is deliberately independent of internal/core so the
+// validation tests compare two genuinely separate implementations of the
+// model.
+func SimulateRound(round Round) (RoundResult, error) {
+	if round.Viewing < 0 {
+		return RoundResult{}, fmt.Errorf("%w: negative viewing time %v", ErrBadRound, round.Viewing)
+	}
+	seen := map[int]bool{}
+	for _, tr := range round.Prefetch {
+		if tr.Duration <= 0 {
+			return RoundResult{}, fmt.Errorf("%w: prefetch %d duration %v", ErrBadRound, tr.ID, tr.Duration)
+		}
+		if seen[tr.ID] {
+			return RoundResult{}, fmt.Errorf("%w: duplicate prefetch of item %d", ErrBadRound, tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+	if !round.Cached && round.Retrieval <= 0 {
+		return RoundResult{}, fmt.Errorf("%w: requested retrieval %v", ErrBadRound, round.Retrieval)
+	}
+
+	var (
+		clock       Clock
+		link        = NewLink(&clock)
+		completed   = map[int]float64{} // item -> completion time
+		result      RoundResult
+		requestMade bool
+		responded   bool
+	)
+	respond := func() {
+		if responded {
+			panic("netsim: double response")
+		}
+		responded = true
+		result.ResponseAt = clock.Now()
+		result.AccessTime = clock.Now() - round.Viewing
+		result.NetworkBusy = link.BusyTime()
+		for id := range completed {
+			result.Completed = append(result.Completed, id)
+		}
+		sort.Ints(result.Completed)
+	}
+	link.OnComplete = func(tr Transfer, at float64) {
+		completed[tr.ID] = at
+		if requestMade && !responded && tr.ID == round.Requested {
+			respond()
+		}
+	}
+	for _, tr := range round.Prefetch {
+		if err := link.Enqueue(tr); err != nil {
+			return RoundResult{}, err
+		}
+	}
+
+	clock.Schedule(round.Viewing, func() {
+		requestMade = true
+		if round.Cached {
+			respond()
+			return
+		}
+		if _, done := completed[round.Requested]; done {
+			respond()
+			return
+		}
+		inPlan := false
+		for _, tr := range round.Prefetch {
+			if tr.ID == round.Requested {
+				inPlan = true
+				break
+			}
+		}
+		switch round.Mode {
+		case ModeSequential:
+			if !inPlan {
+				result.DemandFetch = true
+				// Joins the tail of the prefetch queue: never aborted.
+				if err := link.Enqueue(Transfer{ID: round.Requested, Duration: round.Retrieval}); err != nil {
+					panic(err)
+				}
+			}
+			// If in plan, OnComplete fires the response at its completion.
+		case ModePreempt:
+			if inPlan && link.Busy() && link.current.ID == round.Requested {
+				// The wanted item is already on the wire; drop only the
+				// queued remainder and let it finish.
+				remaining := link.current.Duration - (clock.Now() - link.started)
+				queued := link.Backlog() - remaining
+				link.CancelQueued(func(Transfer) bool { return false })
+				result.AbortedWork += queued
+				return
+			}
+			// Abort everything and demand-fetch the item from scratch.
+			result.AbortedWork += link.Backlog()
+			link.CancelAll()
+			result.DemandFetch = true
+			if err := link.Enqueue(Transfer{ID: round.Requested, Duration: round.Retrieval}); err != nil {
+				panic(err)
+			}
+		case ModeShared:
+			if inPlan {
+				// Inside the prefetch flow: completes on the prefetch
+				// schedule exactly as in ModeSequential.
+				return
+			}
+			result.DemandFetch = true
+			// Processor sharing between the demand fetch (work r) and the
+			// remaining prefetch flow (work W): both progress at half rate
+			// while concurrent, so the demand completes after
+			// min(2r, W + r).
+			w := link.Backlog()
+			r := round.Retrieval
+			demandDelay := w + r
+			if 2*r < demandDelay {
+				demandDelay = 2 * r
+			}
+			clock.After(demandDelay, func() {
+				completed[round.Requested] = clock.Now()
+				if !responded {
+					respond()
+				}
+			})
+		default:
+			panic(fmt.Sprintf("netsim: unknown mode %v", round.Mode))
+		}
+	})
+
+	clock.Run()
+	if !responded {
+		return RoundResult{}, fmt.Errorf("%w: simulation ended without a response (requested %d)", ErrBadRound, round.Requested)
+	}
+	return result, nil
+}

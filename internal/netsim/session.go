@@ -1,0 +1,157 @@
+package netsim
+
+import "fmt"
+
+// Session chains rounds on one persistent link so that leftover prefetch
+// work from round k (the stretch) delays the prefetches of round k+1 — the
+// §4.4 intrusion that the one-step SKP objective ignores and the lookahead
+// extension prices. Rounds use the paper's sequential semantics.
+type Session struct {
+	clock Clock
+	link  *Link
+
+	have        map[int]bool // items fully retrieved and kept
+	wanted      map[int]bool // IDs whose completion matters this round
+	keepItems   bool
+	requested   int
+	requestMade bool
+	responded   bool
+	respondedAt float64
+
+	lastResponse float64
+	rounds       int64
+	totalAccess  float64
+}
+
+// SessionOptions configures NewSession.
+type SessionOptions struct {
+	// KeepItems retains every retrieved item for the rest of the session
+	// (an unbounded cache). When false the session mimics the paper's
+	// "prefetch only" setting: items help only the round that fetched
+	// them, and a stale leftover completing later is pure waste.
+	KeepItems bool
+}
+
+// NewSession creates an empty session at time 0.
+func NewSession(opts SessionOptions) *Session {
+	s := &Session{
+		have:      map[int]bool{},
+		wanted:    map[int]bool{},
+		keepItems: opts.KeepItems,
+	}
+	s.link = NewLink(&s.clock)
+	s.link.OnComplete = func(tr Transfer, at float64) {
+		if s.keepItems || s.wanted[tr.ID] {
+			s.have[tr.ID] = true
+		}
+		if s.requestMade && !s.responded && tr.ID == s.requested {
+			s.respond()
+		}
+	}
+	return s
+}
+
+func (s *Session) respond() {
+	s.responded = true
+	s.respondedAt = s.clock.Now()
+}
+
+// Backlog returns the link work still pending at the current time — the
+// amount the next viewing window is already encumbered by.
+func (s *Session) Backlog() float64 { return s.link.Backlog() }
+
+// Now returns the session clock.
+func (s *Session) Now() float64 { return s.clock.Now() }
+
+// Rounds returns the number of completed rounds.
+func (s *Session) Rounds() int64 { return s.rounds }
+
+// MeanAccessTime returns the average observed access time so far.
+func (s *Session) MeanAccessTime() float64 {
+	if s.rounds == 0 {
+		return 0
+	}
+	return s.totalAccess / float64(s.rounds)
+}
+
+// NetworkBusy returns the total link busy time so far.
+func (s *Session) NetworkBusy() float64 { return s.link.BusyTime() }
+
+// Has reports whether the item is retained from earlier rounds.
+func (s *Session) Has(id int) bool { return s.have[id] }
+
+// Round issues the plan at the previous response time, waits out the
+// viewing period, requests the item, and returns the observed access time.
+// Plan items already retained are skipped (prefetching a cached item is
+// pointless); duplicates are rejected.
+func (s *Session) Round(plan []Transfer, viewing float64, requested int, retrieval float64) (float64, error) {
+	if viewing < 0 {
+		return 0, fmt.Errorf("%w: negative viewing %v", ErrBadRound, viewing)
+	}
+	if retrieval <= 0 {
+		return 0, fmt.Errorf("%w: retrieval %v", ErrBadRound, retrieval)
+	}
+	if !s.keepItems {
+		s.have = map[int]bool{}
+	}
+	s.wanted = map[int]bool{}
+	s.requested = requested
+	s.requestMade = false
+	s.responded = false
+
+	seen := map[int]bool{}
+	for _, tr := range plan {
+		if seen[tr.ID] {
+			return 0, fmt.Errorf("%w: duplicate plan item %d", ErrBadRound, tr.ID)
+		}
+		seen[tr.ID] = true
+		if s.have[tr.ID] {
+			continue
+		}
+		s.wanted[tr.ID] = true
+		if err := s.link.Enqueue(tr); err != nil {
+			return 0, err
+		}
+	}
+	s.wanted[requested] = true
+
+	requestAt := s.lastResponse + viewing
+	s.clock.Schedule(requestAt, func() {
+		s.requestMade = true
+		if s.have[requested] {
+			s.respond()
+			return
+		}
+		// Sequential semantics: a miss joins the tail of the queue. The
+		// requested item may already be queued/in flight as a prefetch.
+		queuedAlready := false
+		if s.link.Busy() && s.link.current.ID == requested {
+			queuedAlready = true
+		}
+		for _, tr := range s.link.queue {
+			if tr.ID == requested {
+				queuedAlready = true
+				break
+			}
+		}
+		if !queuedAlready {
+			if err := s.link.Enqueue(Transfer{ID: requested, Duration: retrieval}); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	// Drive the clock only until the response: leftover transfers stay
+	// scheduled and intrude into the next round.
+	for !s.responded {
+		if s.clock.Pending() == 0 {
+			return 0, fmt.Errorf("%w: no response for item %d", ErrBadRound, requested)
+		}
+		s.clock.step()
+	}
+	access := s.respondedAt - requestAt
+	s.lastResponse = s.respondedAt
+	s.rounds++
+	s.totalAccess += access
+	return access, nil
+}

@@ -1,0 +1,190 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "demo",
+		XLabel: "v",
+		YLabel: "T",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{1, 1, 1}},
+		},
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out, err := CSV(lineChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "series,x,y" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 7 {
+		t.Fatalf("%d lines, want 7", len(lines))
+	}
+	if lines[1] != "a,1,3" {
+		t.Fatalf("first row %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: `x,"y"`, X: []float64{1}, Y: []float64{2}}}}
+	out, err := CSV(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"x,""y""",1,2`) {
+		t.Fatalf("escaping wrong: %q", out)
+	}
+}
+
+func TestASCIIRenders(t *testing.T) {
+	out, err := ASCII(lineChart(), 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatal("legend missing")
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, '+') {
+		t.Fatal("marks missing")
+	}
+}
+
+func TestASCIIScatter(t *testing.T) {
+	c := &Chart{
+		Scatter: true,
+		Series:  []Series{{Name: "pts", X: []float64{0, 5, 10}, Y: []float64{0, 5, 10}}},
+		XLabel:  "x",
+	}
+	out, err := ASCII(c, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("expected at least 3 scatter marks:\n%s", out)
+	}
+}
+
+func TestASCIITooSmall(t *testing.T) {
+	if _, err := ASCII(lineChart(), 5, 2); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+}
+
+func TestSVGRenders(t *testing.T) {
+	out, err := SVG(lineChart(), 400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "demo", ">a<", ">b<"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGScatterCircles(t *testing.T) {
+	c := &Chart{
+		Scatter: true,
+		Series:  []Series{{Name: "pts", X: []float64{1, 2}, Y: []float64{1, 2}}},
+	}
+	out, err := SVG(c, 300, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<circle") != 2 {
+		t.Fatalf("want 2 circles:\n%s", out)
+	}
+}
+
+func TestSVGEscapesXML(t *testing.T) {
+	c := lineChart()
+	c.Title = `a<b&"c"`
+	out, err := SVG(c, 300, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `a<b&"c"`) {
+		t.Fatal("unescaped XML in output")
+	}
+	if !strings.Contains(out, "a&lt;b&amp;&quot;c&quot;") {
+		t.Fatal("expected escaped title")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := CSV(&Chart{}); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := CSV(bad); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	nan := &Chart{Series: []Series{{Name: "a", X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if _, err := ASCII(nan, 30, 8); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := SVG(lineChart(), 10, 10); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+}
+
+func TestYMaxClipping(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{1, 1000}}},
+		YMax:   10,
+	}
+	out, err := ASCII(c, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The top axis label must reflect the clip, not the raw 1000.
+	if strings.Contains(out, "1000") {
+		t.Fatalf("clip ignored:\n%s", out)
+	}
+}
+
+func TestXMaxClipping(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "a", X: []float64{1, 2, 500}, Y: []float64{1, 2, 3}}},
+		XMax:   50,
+	}
+	out, err := CSV(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSV keeps all data (clipping is a rendering concern)...
+	if !strings.Contains(out, "500") {
+		t.Fatal("CSV should not drop data")
+	}
+	// ...but rendered output must not scale to x=500.
+	ascii, err := ASCII(c, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ascii, "500") {
+		t.Fatalf("x clip ignored:\n%s", ascii)
+	}
+}
+
+func TestConstantSeriesDoesNotDivideByZero(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flatline", X: []float64{3, 3}, Y: []float64{7, 7}}}}
+	if _, err := ASCII(c, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SVG(c, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,354 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not merely replay the parent's.
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Fatalf("split stream tracks parent: %d/100 matches", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 10, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.IntN(n)
+			if v < 0 || v >= n {
+				t.Fatalf("IntN(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntNUniform(t *testing.T) {
+	r := New(6)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.IntN(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) did not panic")
+		}
+	}()
+	New(1).IntN(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(8)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(1, 30)
+		if v < 1 || v > 30 {
+			t.Fatalf("IntRange(1,30) = %d", v)
+		}
+		if v == 1 {
+			seenLo = true
+		}
+		if v == 30 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("IntRange(1,30) never hit an endpoint in 10000 draws; inclusive bounds broken")
+	}
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10; i++ {
+		if v := r.IntRange(5, 5); v != 5 {
+			t.Fatalf("IntRange(5,5) = %d", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(10)
+	const lambda, n = 2.0, 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(lambda)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Fatalf("Exp(%v) mean = %v, want %v", lambda, mean, 1/lambda)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const mu, sigma, n = 3.0, 2.0, 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(mu, sigma)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-mu) > 0.05 {
+		t.Fatalf("Norm mean = %v, want %v", mean, mu)
+	}
+	if math.Abs(variance-sigma*sigma) > 0.2 {
+		t.Fatalf("Norm variance = %v, want %v", variance, sigma*sigma)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(14)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw) % (n + 1)
+		s := r.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementCoverage(t *testing.T) {
+	// Sampling n of n must return every element.
+	r := New(15)
+	s := r.SampleWithoutReplacement(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d missing from full sample", i)
+		}
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	r := New(16)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.15 {
+		t.Fatalf("weight-3 vs weight-1 ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {-1, 2}, {math.NaN()}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(17)
+	for _, alpha := range []float64{0.1, 0.5, 1, 5} {
+		out := make([]float64, 12)
+		r.Dirichlet(alpha, out)
+		var sum float64
+		for _, p := range out {
+			if p < 0 {
+				t.Fatalf("Dirichlet(alpha=%v) produced negative mass %v", alpha, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet(alpha=%v) sums to %v", alpha, sum)
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Small alpha should concentrate mass: the max component under alpha=0.1
+	// should on average dominate the max under alpha=5.
+	r := New(18)
+	maxMean := func(alpha float64) float64 {
+		var total float64
+		out := make([]float64, 10)
+		const reps = 2000
+		for i := 0; i < reps; i++ {
+			r.Dirichlet(alpha, out)
+			m := 0.0
+			for _, p := range out {
+				if p > m {
+					m = p
+				}
+			}
+			total += m
+		}
+		return total / reps
+	}
+	lo, hi := maxMean(5), maxMean(0.1)
+	if hi <= lo {
+		t.Fatalf("alpha=0.1 max share %v not greater than alpha=5 max share %v", hi, lo)
+	}
+}
+
+func TestZeroStateGuard(t *testing.T) {
+	// Whatever the seed, the generator must produce varied output.
+	for _, seed := range []uint64{0, 1, math.MaxUint64} {
+		r := New(seed)
+		a, b := r.Uint64(), r.Uint64()
+		if a == 0 && b == 0 {
+			t.Fatalf("seed %d produced a dead stream", seed)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkCategorical10(b *testing.B) {
+	r := New(1)
+	w := make([]float64, 10)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Categorical(w)
+	}
+}

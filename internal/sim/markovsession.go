@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+
+	"prefetch/internal/core"
+	"prefetch/internal/netsim"
+	"prefetch/internal/stats"
+)
+
+// SessionPlanner plans a round given the decision problem and the weighted
+// successor problems (for policies that look one step further ahead).
+type SessionPlanner interface {
+	Name() string
+	Plan(problem core.Problem, successors []core.WeightedProblem) (core.Plan, error)
+}
+
+// PlainPlanner adapts a Policy (SKP, KP, …) that ignores the successors.
+type PlainPlanner struct {
+	Policy Policy
+}
+
+// Name implements SessionPlanner.
+func (p PlainPlanner) Name() string { return p.Policy.Name() }
+
+// Plan implements SessionPlanner.
+func (p PlainPlanner) Plan(problem core.Problem, _ []core.WeightedProblem) (core.Plan, error) {
+	return p.Policy.Plan(problem)
+}
+
+// LookaheadPlanner prices the stretch at the successors' expected marginal
+// density (depth-2 surrogate; paper §6 / §4.4).
+type LookaheadPlanner struct{}
+
+// Name implements SessionPlanner.
+func (LookaheadPlanner) Name() string { return "skp-lookahead" }
+
+// Plan implements SessionPlanner.
+func (LookaheadPlanner) Plan(problem core.Problem, successors []core.WeightedProblem) (core.Plan, error) {
+	plan, _, err := core.SolveSKPLookahead(problem, successors)
+	return plan, err
+}
+
+// Depth2Planner maximises the exact two-step objective (optimal
+// continuation gain per stretch value, memoised inner solves).
+type Depth2Planner struct{}
+
+// Name implements SessionPlanner.
+func (Depth2Planner) Name() string { return "skp-depth2" }
+
+// Plan implements SessionPlanner.
+func (Depth2Planner) Plan(problem core.Problem, successors []core.WeightedProblem) (core.Plan, error) {
+	plan, _, err := core.SolveSKPDepth2(problem, successors)
+	return plan, err
+}
+
+// SessionOptions tunes RunMarkovSession.
+type SessionOptions struct {
+	// EffectiveViewing lets the planner see the true remaining capacity
+	// v − backlog instead of the nominal viewing time, modelling a
+	// resource-aware prefetcher (paper §1: "a resource model allows a
+	// prefetcher to predict the amount of available ... resources").
+	EffectiveViewing bool
+}
+
+// SessionResult aggregates one planner's run through the event-driven
+// session, where leftover prefetch work really does intrude into the next
+// viewing window (unlike the closed-form harness, which is memoryless).
+type SessionResult struct {
+	Policy      string
+	Access      stats.Accumulator
+	NetworkBusy float64 // total link busy time
+	Requests    int64
+}
+
+// RunMarkovSession replays the trace through netsim.Session under the
+// planner: round k plans for state States[k]'s successors and the request
+// is States[k+1]. Items are flushed after each request (the paper's
+// prefetch-only setting); what persists between rounds is only the link
+// backlog — the stretch intrusion of §4.4.
+func RunMarkovSession(trace *MarkovTrace, planner SessionPlanner, opts SessionOptions) (SessionResult, error) {
+	if trace == nil || len(trace.States) < 2 {
+		return SessionResult{}, fmt.Errorf("%w: empty trace", ErrBadSim)
+	}
+	session := netsim.NewSession(netsim.SessionOptions{KeepItems: false})
+	res := SessionResult{Policy: planner.Name()}
+
+	for k := 0; k+1 < len(trace.States); k++ {
+		s := trace.States[k]
+		requested := trace.States[k+1]
+		v := trace.Chain.Viewing(s)
+		succ, probs := trace.Chain.Successors(s)
+
+		items := make([]core.Item, len(succ))
+		for i, id := range succ {
+			items[i] = core.Item{ID: id, Prob: probs[i], Retrieval: trace.Retrievals[id]}
+		}
+		planningV := v
+		if opts.EffectiveViewing {
+			planningV = v - session.Backlog()
+			if planningV < 0 {
+				planningV = 0
+			}
+		}
+		problem := core.Problem{Items: items, Viewing: planningV, TotalProb: 1}
+
+		successors := make([]core.WeightedProblem, 0, len(succ))
+		for i, id := range succ {
+			nextSucc, nextProbs := trace.Chain.Successors(id)
+			nextItems := make([]core.Item, len(nextSucc))
+			for j, nid := range nextSucc {
+				nextItems[j] = core.Item{ID: nid, Prob: nextProbs[j], Retrieval: trace.Retrievals[nid]}
+			}
+			successors = append(successors, core.WeightedProblem{
+				Weight:  probs[i],
+				Problem: core.Problem{Items: nextItems, Viewing: trace.Chain.Viewing(id), TotalProb: 1},
+			})
+		}
+
+		plan, err := planner.Plan(problem, successors)
+		if err != nil {
+			return SessionResult{}, fmt.Errorf("round %d: %w", k, err)
+		}
+		transfers := make([]netsim.Transfer, 0, plan.Len())
+		for _, it := range plan.Items {
+			transfers = append(transfers, netsim.Transfer{ID: it.ID, Duration: it.Retrieval})
+		}
+		t, err := session.Round(transfers, v, requested, trace.Retrievals[requested])
+		if err != nil {
+			return SessionResult{}, fmt.Errorf("round %d: %w", k, err)
+		}
+		res.Access.Add(t)
+		res.Requests++
+	}
+	res.NetworkBusy = session.NetworkBusy()
+	return res, nil
+}

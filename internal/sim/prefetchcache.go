@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+
+	"prefetch/internal/access"
+	"prefetch/internal/cache"
+	"prefetch/internal/core"
+	"prefetch/internal/rng"
+	"prefetch/internal/stats"
+)
+
+// MarkovTrace is a pre-drawn walk of a Markov source plus per-item
+// retrieval times, so that every policy replays the identical request
+// sequence (common random numbers — the policy cannot influence the walk).
+type MarkovTrace struct {
+	Chain      *access.MarkovSource
+	States     []int     // visited states; States[k+1] is round k's request
+	Retrievals []float64 // r_i per item
+}
+
+// BuildMarkovTrace constructs the Fig. 7 workload: a Markov source from
+// cfg, retrieval times uniform on [rMin, rMax], and a pre-drawn walk of
+// `requests` transitions.
+func BuildMarkovTrace(r *rng.Source, cfg access.MarkovConfig, rMin, rMax, requests int) (*MarkovTrace, error) {
+	if rMin <= 0 || rMax < rMin {
+		return nil, fmt.Errorf("%w: retrieval range [%d,%d]", ErrBadSim, rMin, rMax)
+	}
+	if requests <= 0 {
+		return nil, fmt.Errorf("%w: %d requests", ErrBadSim, requests)
+	}
+	chain, err := access.BuildMarkov(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := &MarkovTrace{
+		Chain:      chain,
+		States:     make([]int, requests+1),
+		Retrievals: make([]float64, cfg.States),
+	}
+	for i := range tr.Retrievals {
+		tr.Retrievals[i] = float64(r.IntRange(rMin, rMax))
+	}
+	tr.States[0] = chain.State()
+	for k := 1; k <= requests; k++ {
+		tr.States[k] = chain.Next()
+	}
+	return tr, nil
+}
+
+// CachePlanner is one prefetch-cache policy of §5.3: a prefetch solver
+// (nil for No+Pr) combined with a sub-arbitration for victim ties.
+type CachePlanner struct {
+	Label  string
+	Solver Policy // nil: no prefetching, demand caching only
+	Sub    core.SubArbitration
+}
+
+// Fig7Planners returns the five policies of Figure 7 in the paper's order:
+// No+Pr, KP+Pr, SKP+Pr, SKP+Pr+LFU, SKP+Pr+DS. The SKP variants use the
+// given delta mode.
+func Fig7Planners(mode core.DeltaMode) []CachePlanner {
+	skp := SKPPolicy{Mode: mode}
+	return []CachePlanner{
+		{Label: "No+Pr", Solver: nil, Sub: core.SubNone},
+		{Label: "KP+Pr", Solver: KPPolicy{}, Sub: core.SubNone},
+		{Label: "SKP+Pr", Solver: skp, Sub: core.SubNone},
+		{Label: "SKP+Pr+LFU", Solver: skp, Sub: core.SubLFU},
+		{Label: "SKP+Pr+DS", Solver: skp, Sub: core.SubDS},
+	}
+}
+
+// CacheResult aggregates one policy run at one cache size.
+type CacheResult struct {
+	Policy    string
+	CacheSize int
+	Access    stats.Accumulator // access time per request
+	Hits      int64             // requests answered with T = 0
+	Requests  int64
+	Prefetch  float64 // total prefetch network time
+	Demand    float64 // total demand-fetch network time
+}
+
+// HitRate returns the fraction of requests with zero access time.
+func (r CacheResult) HitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Requests)
+}
+
+// RunPrefetchCache replays the trace under one planner and cache size —
+// the paper's §5.3 Monte-Carlo. Each round: the client sits in state s for
+// v_s, the planner runs SKP/KP over the non-cached successors of s
+// (TotalProb = 1 per Eq. 9's universe), Pr-arbitration admits prefetches
+// against the cache, the request States[k+1] arrives, and a miss demand-
+// fetches with a mandatory victim. Access frequencies drive LFU/DS.
+func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (CacheResult, error) {
+	if trace == nil || len(trace.States) < 2 {
+		return CacheResult{}, fmt.Errorf("%w: empty trace", ErrBadSim)
+	}
+	if cacheSize <= 0 {
+		return CacheResult{}, fmt.Errorf("%w: cache size %d", ErrBadSim, cacheSize)
+	}
+	c, err := cache.New(cacheSize)
+	if err != nil {
+		return CacheResult{}, err
+	}
+	res := CacheResult{Policy: planner.Label, CacheSize: cacheSize}
+	retrOf := func(id int) float64 { return trace.Retrievals[id] }
+
+	for k := 0; k+1 < len(trace.States); k++ {
+		s := trace.States[k]
+		requested := trace.States[k+1]
+		v := trace.Chain.Viewing(s)
+		succ, probs := trace.Chain.Successors(s)
+		probOf := make(map[int]float64, len(succ))
+		for i, id := range succ {
+			probOf[id] = probs[i]
+		}
+
+		var accepted core.Plan
+		if planner.Solver != nil {
+			var candidates []core.Item
+			for i, id := range succ {
+				if !c.Contains(id) {
+					candidates = append(candidates, core.Item{ID: id, Prob: probs[i], Retrieval: trace.Retrievals[id]})
+				}
+			}
+			problem := core.Problem{Items: candidates, Viewing: v, TotalProb: 1}
+			plan, err := planner.Solver.Plan(problem)
+			if err != nil {
+				return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
+			}
+			entries := arbitrationEntries(c, probOf)
+			arb := core.Arbitrate(plan, entries, c.Free(), planner.Sub)
+			for i, it := range arb.Accepted.Items {
+				if victim := arb.Victims[i]; victim != core.NoVictim {
+					if err := c.Evict(victim); err != nil {
+						return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
+					}
+				}
+				if err := c.Insert(it.ID, it.Retrieval); err != nil {
+					return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
+				}
+			}
+			accepted = arb.Accepted
+			res.Prefetch += accepted.TotalRetrieval()
+		}
+
+		st := accepted.Stretch(v)
+		var t float64
+		switch {
+		case accepted.Contains(requested):
+			t = core.AccessTime(accepted, v, requested, retrOf)
+		case c.Contains(requested):
+			t = 0
+		default:
+			// Demand fetch behind the unaborted prefetch (Fig. 2 case C).
+			t = st + trace.Retrievals[requested]
+			res.Demand += trace.Retrievals[requested]
+			if c.Free() == 0 {
+				victim, ok := core.DemandVictim(arbitrationEntries(c, probOf), planner.Sub)
+				if !ok {
+					return CacheResult{}, fmt.Errorf("round %d: full cache with no victim", k)
+				}
+				if err := c.Evict(victim); err != nil {
+					return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
+				}
+			}
+			if err := c.Insert(requested, trace.Retrievals[requested]); err != nil {
+				return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
+			}
+		}
+
+		c.RecordAccess(requested)
+		res.Access.Add(t)
+		res.Requests++
+		if t == 0 {
+			res.Hits++
+		}
+	}
+	return res, nil
+}
+
+// arbitrationEntries snapshots the cache for core's arbitration: P_d is the
+// next-access probability (zero for non-candidates), freq is the item's
+// observed access count.
+func arbitrationEntries(c *cache.Cache, probOf map[int]float64) []core.CacheEntry {
+	entries := c.Entries()
+	out := make([]core.CacheEntry, len(entries))
+	for i, e := range entries {
+		out[i] = core.CacheEntry{
+			ID:        e.ID,
+			Prob:      probOf[e.ID],
+			Retrieval: e.Retrieval,
+			Freq:      e.Freq,
+		}
+	}
+	return out
+}

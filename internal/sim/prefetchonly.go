@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+
+	"prefetch/internal/core"
+	"prefetch/internal/stats"
+	"prefetch/internal/workload"
+)
+
+// ScatterPoint is one (viewing time, access time) observation for the
+// Figure-4 scatter plots.
+type ScatterPoint struct {
+	Viewing float64
+	Access  float64
+}
+
+// PrefetchOnlyOptions tunes the prefetch-only harness.
+type PrefetchOnlyOptions struct {
+	// ScatterLimit caps the number of scatter points kept per policy
+	// (the paper plots the first 500 iterations). 0 keeps none.
+	ScatterLimit int
+	// VBinLo/VBinHi bound the by-viewing-time series (Fig. 5 bins average
+	// access time per integer v). Defaults to [1, 100] when both are zero.
+	VBinLo, VBinHi int
+}
+
+// PrefetchOnlyResult aggregates one policy's run.
+type PrefetchOnlyResult struct {
+	Policy    string
+	Overall   stats.Accumulator   // access time across all rounds
+	ByViewing *stats.BinnedSeries // average access time per integer v
+	Scatter   []ScatterPoint      // first ScatterLimit observations
+	Waste     stats.Accumulator   // wasted network time per round
+	Usage     stats.Accumulator   // total prefetch network time per round
+}
+
+// RunPrefetchOnly plays every round through every policy — the paper's
+// "prefetch only" simulation (§4.4): the cache holds only the current
+// round's prefetches and is flushed after each request. All policies face
+// identical rounds (common random numbers). The PerfectPolicy oracle is
+// special-cased to see the request.
+func RunPrefetchOnly(rounds []workload.Round, policies []Policy, opts PrefetchOnlyOptions) ([]PrefetchOnlyResult, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("%w: no policies", ErrBadSim)
+	}
+	lo, hi := opts.VBinLo, opts.VBinHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 1, 100
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("%w: viewing bins [%d,%d]", ErrBadSim, lo, hi)
+	}
+	results := make([]PrefetchOnlyResult, len(policies))
+	for i, pol := range policies {
+		results[i] = PrefetchOnlyResult{Policy: pol.Name(), ByViewing: stats.NewBinnedSeries(lo, hi)}
+	}
+	for ri, rd := range rounds {
+		if err := rd.Validate(); err != nil {
+			return nil, fmt.Errorf("round %d: %w", ri, err)
+		}
+		problem := rd.Problem()
+		retrOf := func(id int) float64 { return rd.Retrievals[id] }
+		for pi, pol := range policies {
+			var plan core.Plan
+			if oracle, ok := pol.(PerfectPolicy); ok {
+				plan = oracle.PlanOracle(problem, rd.Requested)
+			} else {
+				var err error
+				plan, err = pol.Plan(problem)
+				if err != nil {
+					return nil, fmt.Errorf("round %d, policy %s: %w", ri, pol.Name(), err)
+				}
+			}
+			t := core.AccessTime(plan, rd.Viewing, rd.Requested, retrOf)
+			res := &results[pi]
+			res.Overall.Add(t)
+			res.ByViewing.Add(int(rd.Viewing), t)
+			res.Waste.Add(core.Waste(plan))
+			res.Usage.Add(plan.TotalRetrieval())
+			if len(res.Scatter) < opts.ScatterLimit {
+				res.Scatter = append(res.Scatter, ScatterPoint{Viewing: rd.Viewing, Access: t})
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"prefetch/internal/access"
+	"prefetch/internal/theory"
+)
+
+// The Monte-Carlo harness must agree with the closed-form expectations for
+// the policies theory can price exactly (experiment E10 in spirit: if these
+// drift, the simulator — not the policy — is broken).
+func TestHarnessMatchesTheory(t *testing.T) {
+	rounds := makeRounds(t, 505, 10, 30000, access.FlatGen{})
+	results, err := RunPrefetchOnly(rounds, []Policy{NoPrefetch{}, PerfectPolicy{}}, PrefetchOnlyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := resultByName(t, results, "none")
+	perfect := resultByName(t, results, "perfect")
+
+	wantNone, err := theory.ExpectedNoPrefetchUniform(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(none.Overall.Mean() - wantNone); diff > 4*none.Overall.StdErr()+0.05 {
+		t.Fatalf("no-prefetch mean %v vs theory %v (diff %v beyond 4 SE)", none.Overall.Mean(), wantNone, diff)
+	}
+
+	wantPerfect, err := theory.ExpectedPerfectOverallUniform(100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(perfect.Overall.Mean() - wantPerfect); diff > 4*perfect.Overall.StdErr()+0.05 {
+		t.Fatalf("perfect mean %v vs theory %v (diff %v beyond 4 SE)", perfect.Overall.Mean(), wantPerfect, diff)
+	}
+
+	// Per-bin check of the perfect curve at a few viewing times.
+	for _, v := range []int{1, 10, 20, 29, 30, 50} {
+		bin := perfect.ByViewing.Bin(v)
+		if bin == nil || bin.N() < 50 {
+			continue
+		}
+		want, err := theory.ExpectedPerfectUniform(v, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(bin.Mean() - want); diff > 5*bin.StdErr()+0.15 {
+			t.Fatalf("perfect @v=%d: sim %v vs theory %v (n=%d)", v, bin.Mean(), want, bin.N())
+		}
+	}
+}

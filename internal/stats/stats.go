@@ -1,0 +1,280 @@
+// Package stats provides the small statistical toolkit used by the
+// simulation harnesses: streaming moment accumulators (Welford), binned
+// series for "average Y against integer X" plots, histograms, and basic
+// descriptive helpers. Everything is allocation-light so it can sit inside
+// 50 000-iteration Monte-Carlo loops without showing up in profiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming count, mean and variance using Welford's
+// online algorithm, plus min and max. The zero value is ready to use.
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 when empty.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 when empty.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance, or 0 for fewer than two
+// observations.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean, or 0 when empty.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval around the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Merge folds another accumulator into a (parallel reduction). Min/max and
+// moments combine exactly (Chan et al. pairwise update).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += delta * float64(b.n) / float64(n)
+	a.n = n
+}
+
+// String summarises the accumulator for logs.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		a.n, a.Mean(), a.StdDev(), a.Min(), a.Max())
+}
+
+// BinnedSeries accumulates observations keyed by an integer bin and reports
+// per-bin means. It backs the "average access time against viewing time"
+// plots: bin = v, observation = T.
+type BinnedSeries struct {
+	lo, hi int
+	bins   []Accumulator
+}
+
+// NewBinnedSeries creates a series over the inclusive bin range [lo, hi].
+func NewBinnedSeries(lo, hi int) *BinnedSeries {
+	if hi < lo {
+		panic("stats: NewBinnedSeries with hi < lo")
+	}
+	return &BinnedSeries{lo: lo, hi: hi, bins: make([]Accumulator, hi-lo+1)}
+}
+
+// Add records observation y in bin x. Observations outside [lo, hi] are
+// clamped to the nearest edge bin.
+func (s *BinnedSeries) Add(x int, y float64) {
+	if x < s.lo {
+		x = s.lo
+	}
+	if x > s.hi {
+		x = s.hi
+	}
+	s.bins[x-s.lo].Add(y)
+}
+
+// Bin returns the accumulator for bin x, or nil if out of range.
+func (s *BinnedSeries) Bin(x int) *Accumulator {
+	if x < s.lo || x > s.hi {
+		return nil
+	}
+	return &s.bins[x-s.lo]
+}
+
+// Lo returns the lowest bin index.
+func (s *BinnedSeries) Lo() int { return s.lo }
+
+// Hi returns the highest bin index.
+func (s *BinnedSeries) Hi() int { return s.hi }
+
+// Points returns (x, mean) pairs for every non-empty bin, in ascending x.
+func (s *BinnedSeries) Points() (xs []float64, ys []float64) {
+	for i := range s.bins {
+		if s.bins[i].N() == 0 {
+			continue
+		}
+		xs = append(xs, float64(s.lo+i))
+		ys = append(ys, s.bins[i].Mean())
+	}
+	return xs, ys
+}
+
+// TotalN returns the number of observations across all bins.
+func (s *BinnedSeries) TotalN() int64 {
+	var n int64
+	for i := range s.bins {
+		n += s.bins[i].N()
+	}
+	return n
+}
+
+// Merge folds another BinnedSeries with identical bounds into s.
+func (s *BinnedSeries) Merge(o *BinnedSeries) error {
+	if o.lo != s.lo || o.hi != s.hi {
+		return fmt.Errorf("stats: merging BinnedSeries with bounds [%d,%d] into [%d,%d]", o.lo, o.hi, s.lo, s.hi)
+	}
+	for i := range s.bins {
+		s.bins[i].Merge(&o.bins[i])
+	}
+	return nil
+}
+
+// Histogram counts observations into equal-width buckets over [lo, hi).
+// Observations outside the range land in saturating edge buckets.
+type Histogram struct {
+	lo, width float64
+	counts    []int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets spanning
+// [lo, hi). It panics on a degenerate range or n <= 0.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: NewHistogram with invalid range or bucket count")
+	}
+	return &Histogram{lo: lo, width: (hi - lo) / float64(n), counts: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(math.Floor((x - h.lo) / h.width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func (h *Histogram) BucketLow(i int) float64 { return h.lo + float64(i)*h.width }
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) from the bucket
+// counts, interpolating within the selected bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.lo
+	}
+	if q >= 1 {
+		return h.lo + h.width*float64(len(h.counts))
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.BucketLow(i) + frac*h.width
+		}
+		cum = next
+	}
+	return h.lo + h.width*float64(len(h.counts))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Median returns the median of xs without modifying it, or 0 when empty.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := make([]float64, n)
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

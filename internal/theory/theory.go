@@ -1,0 +1,108 @@
+// Package theory provides the closed-form expectations the model implies
+// for the paper's synthetic workloads, used to validate the Monte-Carlo
+// harnesses: a simulator whose "no prefetch" and "perfect prefetch" curves
+// drift from these formulas has a bug, whatever the SKP policy does.
+//
+// The Figure-4/5 workload draws the viewing time v uniformly from
+// {1..vMax} and every retrieval time r uniformly from {1..rMax},
+// independently.
+package theory
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadParams reports invalid distribution parameters.
+var ErrBadParams = errors.New("theory: bad parameters")
+
+// ExpectedNoPrefetchUniform returns E[T | no prefetch] = E[r] = (rMax+1)/2
+// for r ~ U{1..rMax}: without prefetching, the access time is exactly the
+// retrieval time of the requested item, whatever the probabilities.
+func ExpectedNoPrefetchUniform(rMax int) (float64, error) {
+	if rMax < 1 {
+		return 0, fmt.Errorf("%w: rMax %d", ErrBadParams, rMax)
+	}
+	return float64(rMax+1) / 2, nil
+}
+
+// ExpectedPerfectUniform returns E[T | perfect prefetch, v] =
+// E[max(0, r − v)] for r ~ U{1..rMax}: the oracle starts fetching the right
+// item at the beginning of the viewing time, so only the part of r beyond
+// v is exposed. For integer v ≥ 0:
+//
+//	E = Σ_{r=v+1}^{rMax} (r − v) / rMax = m(m+1) / (2·rMax),  m = rMax − v
+//
+// and 0 when v ≥ rMax.
+func ExpectedPerfectUniform(v, rMax int) (float64, error) {
+	if rMax < 1 {
+		return 0, fmt.Errorf("%w: rMax %d", ErrBadParams, rMax)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("%w: v %d", ErrBadParams, v)
+	}
+	m := rMax - v
+	if m <= 0 {
+		return 0, nil
+	}
+	return float64(m) * float64(m+1) / (2 * float64(rMax)), nil
+}
+
+// PerfectCurve returns (v, E[T|perfect,v]) for v = vLo..vHi, the theory
+// series drawn against Figure 5's "perfect prefetch" curve.
+func PerfectCurve(vLo, vHi, rMax int) (xs, ys []float64, err error) {
+	if vHi < vLo {
+		return nil, nil, fmt.Errorf("%w: v range [%d,%d]", ErrBadParams, vLo, vHi)
+	}
+	for v := vLo; v <= vHi; v++ {
+		e, err := ExpectedPerfectUniform(v, rMax)
+		if err != nil {
+			return nil, nil, err
+		}
+		xs = append(xs, float64(v))
+		ys = append(ys, e)
+	}
+	return xs, ys, nil
+}
+
+// ExpectedPerfectOverallUniform returns E[T | perfect] with v also
+// marginalised over U{1..vMax}: the overall mean the harness reports.
+func ExpectedPerfectOverallUniform(vMax, rMax int) (float64, error) {
+	if vMax < 1 {
+		return 0, fmt.Errorf("%w: vMax %d", ErrBadParams, vMax)
+	}
+	var total float64
+	for v := 1; v <= vMax; v++ {
+		e, err := ExpectedPerfectUniform(v, rMax)
+		if err != nil {
+			return 0, err
+		}
+		total += e
+	}
+	return total / float64(vMax), nil
+}
+
+// SingleItemGain returns the Eq. 3 gain of prefetching exactly one item
+// with probability p and retrieval r against viewing time v in a universe
+// of total probability 1 — the closed form
+//
+//	g({i}) = p·r − max(0, r − v)
+//
+// used in hand-verifiable sanity checks and the docs.
+func SingleItemGain(p, r, v float64) float64 {
+	st := r - v
+	if st < 0 {
+		st = 0
+	}
+	return p*r - st
+}
+
+// BreakEvenViewing returns the smallest viewing time at which prefetching
+// a single item (p, r) stops hurting: g({i}) ≥ 0 ⇔ v ≥ r(1−p). Below this
+// the stretch penalty outweighs the expected saving.
+func BreakEvenViewing(p, r float64) float64 {
+	if p >= 1 {
+		return 0
+	}
+	return r * (1 - p)
+}

@@ -1,0 +1,136 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedNoPrefetchUniform(t *testing.T) {
+	got, err := ExpectedNoPrefetchUniform(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15.5 {
+		t.Fatalf("E[r] = %v, want 15.5", got)
+	}
+	if _, err := ExpectedNoPrefetchUniform(0); err == nil {
+		t.Fatal("rMax 0 accepted")
+	}
+}
+
+// Brute-force the expectation over the integer grid and compare.
+func TestExpectedPerfectUniformMatchesEnumeration(t *testing.T) {
+	const rMax = 30
+	for v := 0; v <= 40; v++ {
+		var sum float64
+		for r := 1; r <= rMax; r++ {
+			if d := float64(r - v); d > 0 {
+				sum += d
+			}
+		}
+		want := sum / rMax
+		got, err := ExpectedPerfectUniform(v, rMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("v=%d: closed form %v != enumeration %v", v, got, want)
+		}
+	}
+}
+
+func TestExpectedPerfectUniformEdges(t *testing.T) {
+	if e, _ := ExpectedPerfectUniform(30, 30); e != 0 {
+		t.Fatalf("v=rMax must give 0, got %v", e)
+	}
+	if e, _ := ExpectedPerfectUniform(100, 30); e != 0 {
+		t.Fatalf("v>rMax must give 0, got %v", e)
+	}
+	// v=0: E[max(0,r)] = E[r].
+	e, _ := ExpectedPerfectUniform(0, 30)
+	if e != 15.5 {
+		t.Fatalf("v=0 must give E[r]=15.5, got %v", e)
+	}
+	if _, err := ExpectedPerfectUniform(-1, 30); err == nil {
+		t.Fatal("negative v accepted")
+	}
+	if _, err := ExpectedPerfectUniform(1, 0); err == nil {
+		t.Fatal("rMax 0 accepted")
+	}
+}
+
+func TestPerfectCurveMonotone(t *testing.T) {
+	xs, ys, err := PerfectCurve(1, 50, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 50 || len(ys) != 50 {
+		t.Fatalf("curve length %d", len(xs))
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1] {
+			t.Fatalf("perfect curve not non-increasing at v=%v", xs[i])
+		}
+	}
+	if ys[49] != 0 {
+		t.Fatalf("curve at v=50 should be 0, got %v", ys[49])
+	}
+	if _, _, err := PerfectCurve(5, 4, 30); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestExpectedPerfectOverallUniform(t *testing.T) {
+	// Direct average of the per-v values.
+	var want float64
+	for v := 1; v <= 100; v++ {
+		e, err := ExpectedPerfectUniform(v, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += e
+	}
+	want /= 100
+	got, err := ExpectedPerfectOverallUniform(100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("overall %v != average %v", got, want)
+	}
+	if _, err := ExpectedPerfectOverallUniform(0, 30); err == nil {
+		t.Fatal("vMax 0 accepted")
+	}
+}
+
+func TestSingleItemGain(t *testing.T) {
+	// Fits: g = p*r.
+	if g := SingleItemGain(0.6, 4, 6); math.Abs(g-2.4) > 1e-12 {
+		t.Fatalf("g = %v, want 2.4", g)
+	}
+	// Stretches: g = p*r − (r−v).
+	if g := SingleItemGain(0.9, 20, 5); math.Abs(g-(18-15)) > 1e-12 {
+		t.Fatalf("g = %v, want 3", g)
+	}
+}
+
+func TestBreakEvenViewing(t *testing.T) {
+	// g(v) crosses zero exactly at r(1−p).
+	p, r := 0.7, 20.0
+	v := BreakEvenViewing(p, r)
+	if math.Abs(v-6) > 1e-12 {
+		t.Fatalf("break-even %v, want 6", v)
+	}
+	if g := SingleItemGain(p, r, v); math.Abs(g) > 1e-9 {
+		t.Fatalf("gain at break-even = %v, want 0", g)
+	}
+	if g := SingleItemGain(p, r, v-1); g >= 0 {
+		t.Fatalf("gain below break-even = %v, want negative", g)
+	}
+	if g := SingleItemGain(p, r, v+1); g <= 0 {
+		t.Fatalf("gain above break-even = %v, want positive", g)
+	}
+	if BreakEvenViewing(1, 20) != 0 {
+		t.Fatal("certain item must have break-even 0")
+	}
+}

@@ -1,0 +1,188 @@
+// Package webgraph generates synthetic web-site structures and browsing
+// sessions for the example applications: pages with hyperlinks, Zipf-like
+// popularity, and a random surfer who either follows a link from the
+// current page or jumps (bookmark/back-button) to a popular page. The
+// surfer exposes its true next-page distribution, which is exactly the
+// speculative knowledge the paper's prefetcher presupposes; the examples
+// alternatively learn it with the access predictors.
+package webgraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"prefetch/internal/rng"
+)
+
+// ErrBadSite reports invalid site configuration.
+var ErrBadSite = errors.New("webgraph: bad site")
+
+// Page is one document.
+type Page struct {
+	ID        int
+	Links     []int   // outgoing hyperlinks (no duplicates, no self-link)
+	Size      int64   // bytes
+	Retrieval float64 // seconds to fetch over the modelled link
+	Weight    float64 // popularity weight (normalised over the site)
+}
+
+// Site is a generated web site.
+type Site struct {
+	Pages []Page
+}
+
+// SiteConfig parameterises Generate.
+type SiteConfig struct {
+	Pages         int     // number of pages
+	MinLinks      int     // min outgoing links per page
+	MaxLinks      int     // max outgoing links per page
+	ZipfS         float64 // popularity exponent (<=0: 1.0)
+	MinSizeKB     int     // min page size in KB
+	MaxSizeKB     int     // max page size in KB
+	BandwidthKBps float64 // link bandwidth used to derive retrieval times
+	LatencyS      float64 // fixed per-fetch latency in seconds
+}
+
+// DefaultSiteConfig returns a plausible mid-1990s site over a slow link —
+// the paper's "distributed information systems" setting.
+func DefaultSiteConfig() SiteConfig {
+	return SiteConfig{
+		Pages: 120, MinLinks: 4, MaxLinks: 12, ZipfS: 1.1,
+		MinSizeKB: 2, MaxSizeKB: 120, BandwidthKBps: 16, LatencyS: 0.3,
+	}
+}
+
+// Generate builds a random site: link targets biased toward popular pages
+// (preferential attachment flavour), sizes log-uniform-ish, retrieval time
+// latency + size/bandwidth.
+func Generate(r *rng.Source, cfg SiteConfig) (*Site, error) {
+	if cfg.Pages < 2 {
+		return nil, fmt.Errorf("%w: %d pages", ErrBadSite, cfg.Pages)
+	}
+	if cfg.MinLinks < 1 || cfg.MaxLinks < cfg.MinLinks || cfg.MaxLinks >= cfg.Pages {
+		return nil, fmt.Errorf("%w: link range [%d,%d] with %d pages", ErrBadSite, cfg.MinLinks, cfg.MaxLinks, cfg.Pages)
+	}
+	if cfg.MinSizeKB < 1 || cfg.MaxSizeKB < cfg.MinSizeKB {
+		return nil, fmt.Errorf("%w: size range [%d,%d] KB", ErrBadSite, cfg.MinSizeKB, cfg.MaxSizeKB)
+	}
+	if cfg.BandwidthKBps <= 0 || cfg.LatencyS < 0 {
+		return nil, fmt.Errorf("%w: bandwidth %v latency %v", ErrBadSite, cfg.BandwidthKBps, cfg.LatencyS)
+	}
+	s := cfg.ZipfS
+	if s <= 0 {
+		s = 1
+	}
+	site := &Site{Pages: make([]Page, cfg.Pages)}
+	// Popularity: Zipf over a random permutation of ranks.
+	perm := r.Perm(cfg.Pages)
+	var wsum float64
+	weights := make([]float64, cfg.Pages)
+	for i := 0; i < cfg.Pages; i++ {
+		w := 1 / math.Pow(float64(perm[i]+1), s)
+		weights[i] = w
+		wsum += w
+	}
+	for i := range site.Pages {
+		// Log-ish size spread: squaring a uniform biases toward small pages.
+		u := r.Float64()
+		kb := cfg.MinSizeKB + int(u*u*float64(cfg.MaxSizeKB-cfg.MinSizeKB)+0.5)
+		size := int64(kb) * 1024
+		site.Pages[i] = Page{
+			ID:        i,
+			Size:      size,
+			Retrieval: cfg.LatencyS + float64(kb)/cfg.BandwidthKBps,
+			Weight:    weights[i] / wsum,
+		}
+	}
+	// Links: sample distinct targets with popularity bias, no self-links.
+	for i := range site.Pages {
+		deg := r.IntRange(cfg.MinLinks, cfg.MaxLinks)
+		chosen := map[int]bool{i: true}
+		var links []int
+		for len(links) < deg {
+			t := r.Categorical(weights)
+			if chosen[t] {
+				// Fall back to uniform to guarantee progress on tiny sites.
+				t = r.IntN(cfg.Pages)
+				if chosen[t] {
+					continue
+				}
+			}
+			chosen[t] = true
+			links = append(links, t)
+		}
+		site.Pages[i].Links = links
+	}
+	return site, nil
+}
+
+// Surfer is a random-surfer browsing model over a Site: with probability
+// FollowProb it follows a uniformly chosen link of the current page,
+// otherwise it teleports to a page drawn from the popularity weights.
+type Surfer struct {
+	site       *Site
+	rand       *rng.Source
+	followProb float64
+	current    int
+}
+
+// NewSurfer starts a surfer at page 0. followProb outside (0,1) defaults
+// to 0.85 (the classic damping factor).
+func NewSurfer(r *rng.Source, site *Site, followProb float64) *Surfer {
+	if followProb <= 0 || followProb >= 1 {
+		followProb = 0.85
+	}
+	return &Surfer{site: site, rand: r.Split(), followProb: followProb}
+}
+
+// Current returns the current page ID.
+func (s *Surfer) Current() int { return s.current }
+
+// SetCurrent moves the surfer to a page, for replaying recorded traces
+// (the next-page distribution depends only on the current page). It panics
+// on an out-of-range page: that is always a caller bug.
+func (s *Surfer) SetCurrent(page int) {
+	if page < 0 || page >= len(s.site.Pages) {
+		panic(fmt.Sprintf("webgraph: SetCurrent(%d) outside site of %d pages", page, len(s.site.Pages)))
+	}
+	s.current = page
+}
+
+// NextDistribution returns the true distribution of the next page: the
+// speculative knowledge available to the prefetcher.
+func (s *Surfer) NextDistribution() map[int]float64 {
+	dist := map[int]float64{}
+	links := s.site.Pages[s.current].Links
+	if len(links) > 0 {
+		per := s.followProb / float64(len(links))
+		for _, t := range links {
+			dist[t] += per
+		}
+	}
+	teleport := 1 - s.followProb
+	if len(links) == 0 {
+		teleport = 1
+	}
+	for i := range s.site.Pages {
+		if w := s.site.Pages[i].Weight * teleport; w > 0 {
+			dist[i] += w
+		}
+	}
+	return dist
+}
+
+// Step advances the surfer and returns the new page ID.
+func (s *Surfer) Step() int {
+	links := s.site.Pages[s.current].Links
+	if len(links) > 0 && s.rand.Float64() < s.followProb {
+		s.current = links[s.rand.IntN(len(links))]
+		return s.current
+	}
+	weights := make([]float64, len(s.site.Pages))
+	for i := range s.site.Pages {
+		weights[i] = s.site.Pages[i].Weight
+	}
+	s.current = s.rand.Categorical(weights)
+	return s.current
+}

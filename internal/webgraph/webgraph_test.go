@@ -1,0 +1,174 @@
+package webgraph
+
+import (
+	"math"
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+func mustSite(t *testing.T, seed uint64) *Site {
+	t.Helper()
+	site, err := Generate(rng.New(seed), DefaultSiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultSiteConfig()
+	site := mustSite(t, 1)
+	if len(site.Pages) != cfg.Pages {
+		t.Fatalf("%d pages", len(site.Pages))
+	}
+	var wsum float64
+	for i, pg := range site.Pages {
+		if pg.ID != i {
+			t.Fatalf("page %d has ID %d", i, pg.ID)
+		}
+		if len(pg.Links) < cfg.MinLinks || len(pg.Links) > cfg.MaxLinks {
+			t.Fatalf("page %d has %d links", i, len(pg.Links))
+		}
+		seen := map[int]bool{}
+		for _, l := range pg.Links {
+			if l == i {
+				t.Fatalf("page %d links to itself", i)
+			}
+			if l < 0 || l >= cfg.Pages {
+				t.Fatalf("page %d links out of range: %d", i, l)
+			}
+			if seen[l] {
+				t.Fatalf("page %d has duplicate link %d", i, l)
+			}
+			seen[l] = true
+		}
+		if pg.Size < int64(cfg.MinSizeKB)*1024 || pg.Size > int64(cfg.MaxSizeKB)*1024 {
+			t.Fatalf("page %d size %d out of range", i, pg.Size)
+		}
+		wantRetr := cfg.LatencyS + float64(pg.Size)/1024/cfg.BandwidthKBps
+		if math.Abs(pg.Retrieval-wantRetr) > 1e-9 {
+			t.Fatalf("page %d retrieval %v, want %v", i, pg.Retrieval, wantRetr)
+		}
+		wsum += pg.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", wsum)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rng.New(2)
+	bad := []SiteConfig{
+		{Pages: 1, MinLinks: 1, MaxLinks: 1, MinSizeKB: 1, MaxSizeKB: 2, BandwidthKBps: 1},
+		{Pages: 10, MinLinks: 0, MaxLinks: 3, MinSizeKB: 1, MaxSizeKB: 2, BandwidthKBps: 1},
+		{Pages: 10, MinLinks: 5, MaxLinks: 3, MinSizeKB: 1, MaxSizeKB: 2, BandwidthKBps: 1},
+		{Pages: 10, MinLinks: 1, MaxLinks: 10, MinSizeKB: 1, MaxSizeKB: 2, BandwidthKBps: 1},
+		{Pages: 10, MinLinks: 1, MaxLinks: 3, MinSizeKB: 0, MaxSizeKB: 2, BandwidthKBps: 1},
+		{Pages: 10, MinLinks: 1, MaxLinks: 3, MinSizeKB: 3, MaxSizeKB: 2, BandwidthKBps: 1},
+		{Pages: 10, MinLinks: 1, MaxLinks: 3, MinSizeKB: 1, MaxSizeKB: 2, BandwidthKBps: 0},
+		{Pages: 10, MinLinks: 1, MaxLinks: 3, MinSizeKB: 1, MaxSizeKB: 2, BandwidthKBps: 1, LatencyS: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(r, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNextDistributionIsDistribution(t *testing.T) {
+	site := mustSite(t, 3)
+	s := NewSurfer(rng.New(4), site, 0.85)
+	for step := 0; step < 200; step++ {
+		dist := s.NextDistribution()
+		var sum float64
+		for id, p := range dist {
+			if p < 0 || id < 0 || id >= len(site.Pages) {
+				t.Fatalf("bad entry %d:%v", id, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("step %d: distribution sums to %v", step, sum)
+		}
+		s.Step()
+	}
+}
+
+func TestSurferStepMatchesDistribution(t *testing.T) {
+	// Empirical next-page frequencies from a fixed page must match
+	// NextDistribution.
+	site := mustSite(t, 5)
+	s := NewSurfer(rng.New(6), site, 0.85)
+	start := s.Current()
+	dist := s.NextDistribution()
+	counts := map[int]int{}
+	const reps = 200000
+	for i := 0; i < reps; i++ {
+		s.current = start
+		counts[s.Step()]++
+	}
+	for id, want := range dist {
+		if want < 0.01 {
+			continue // skip tiny teleport slivers: too noisy to check
+		}
+		got := float64(counts[id]) / reps
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("page %d: frequency %v, distribution says %v", id, got, want)
+		}
+	}
+}
+
+func TestSurferDefaultDamping(t *testing.T) {
+	site := mustSite(t, 7)
+	s := NewSurfer(rng.New(8), site, 0)
+	if s.followProb != 0.85 {
+		t.Fatalf("default damping %v", s.followProb)
+	}
+	s = NewSurfer(rng.New(8), site, 1.5)
+	if s.followProb != 0.85 {
+		t.Fatalf("out-of-range damping %v", s.followProb)
+	}
+}
+
+func TestPopularPagesGetMoreInlinks(t *testing.T) {
+	site := mustSite(t, 9)
+	// Correlation check: the top-decile pages by weight should receive
+	// clearly more inbound links than the bottom decile.
+	inlinks := make([]int, len(site.Pages))
+	for _, pg := range site.Pages {
+		for _, l := range pg.Links {
+			inlinks[l]++
+		}
+	}
+	type pw struct {
+		w  float64
+		in int
+	}
+	items := make([]pw, len(site.Pages))
+	for i, pg := range site.Pages {
+		items[i] = pw{pg.Weight, inlinks[i]}
+	}
+	var topW, topIn, botIn float64
+	var topN, botN int
+	for _, it := range items {
+		topW += it.w
+	}
+	avgW := topW / float64(len(items))
+	for _, it := range items {
+		if it.w > 2*avgW {
+			topIn += float64(it.in)
+			topN++
+		} else if it.w < avgW/2 {
+			botIn += float64(it.in)
+			botN++
+		}
+	}
+	if topN == 0 || botN == 0 {
+		t.Skip("degenerate weight spread")
+	}
+	if topIn/float64(topN) <= botIn/float64(botN) {
+		t.Fatalf("popular pages not preferentially linked: top avg %v vs bottom avg %v",
+			topIn/float64(topN), botIn/float64(botN))
+	}
+}

@@ -1,0 +1,207 @@
+// Package workload generates and replays the synthetic workloads of the
+// paper's experiments. A Round is one prefetch decision situation — the
+// candidate probabilities, retrieval times, viewing time, and the request
+// that actually arrives — so that every policy in a comparison faces the
+// identical random draw (common random numbers), and so that workloads can
+// be recorded to a trace file and replayed bit-for-bit.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"prefetch/internal/access"
+	"prefetch/internal/core"
+	"prefetch/internal/rng"
+)
+
+// ErrBadWorkload reports invalid workload parameters or trace data.
+var ErrBadWorkload = errors.New("workload: bad workload")
+
+// Round is one decision situation: item i has probability Probs[i] and
+// retrieval time Retrievals[i]; the viewing time is Viewing; Requested is
+// the index of the item actually requested.
+type Round struct {
+	Viewing    float64   `json:"v"`
+	Probs      []float64 `json:"p"`
+	Retrievals []float64 `json:"r"`
+	Requested  int       `json:"req"`
+}
+
+// Validate checks internal consistency.
+func (rd Round) Validate() error {
+	if len(rd.Probs) == 0 || len(rd.Probs) != len(rd.Retrievals) {
+		return fmt.Errorf("%w: %d probs vs %d retrievals", ErrBadWorkload, len(rd.Probs), len(rd.Retrievals))
+	}
+	if rd.Viewing < 0 {
+		return fmt.Errorf("%w: viewing %v", ErrBadWorkload, rd.Viewing)
+	}
+	if rd.Requested < 0 || rd.Requested >= len(rd.Probs) {
+		return fmt.Errorf("%w: requested index %d of %d items", ErrBadWorkload, rd.Requested, len(rd.Probs))
+	}
+	for i := range rd.Probs {
+		if rd.Probs[i] < 0 {
+			return fmt.Errorf("%w: prob[%d] = %v", ErrBadWorkload, i, rd.Probs[i])
+		}
+		if rd.Retrievals[i] <= 0 {
+			return fmt.Errorf("%w: retrieval[%d] = %v", ErrBadWorkload, i, rd.Retrievals[i])
+		}
+	}
+	return nil
+}
+
+// Problem converts the round into a solver instance. Item IDs are indices.
+func (rd Round) Problem() core.Problem {
+	items := make([]core.Item, len(rd.Probs))
+	for i := range items {
+		items[i] = core.Item{ID: i, Prob: rd.Probs[i], Retrieval: rd.Retrievals[i]}
+	}
+	return core.Problem{Items: items, Viewing: rd.Viewing}
+}
+
+// PrefetchOnlyConfig parameterises the paper's "prefetch only" simulation
+// (§4.4): n items, integer retrieval times uniform on [RMin, RMax], integer
+// viewing times uniform on [VMin, VMax], probabilities from Gen.
+type PrefetchOnlyConfig struct {
+	N          int
+	RMin, RMax int
+	VMin, VMax int
+	Gen        access.ProbGen
+}
+
+// Fig45Config returns the paper's Figure 4/5 parameters for the given item
+// count (10 or 25) and probability generator.
+func Fig45Config(n int, gen access.ProbGen) PrefetchOnlyConfig {
+	return PrefetchOnlyConfig{N: n, RMin: 1, RMax: 30, VMin: 1, VMax: 100, Gen: gen}
+}
+
+// Validate checks the configuration.
+func (c PrefetchOnlyConfig) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("%w: n = %d", ErrBadWorkload, c.N)
+	}
+	if c.RMin <= 0 || c.RMax < c.RMin {
+		return fmt.Errorf("%w: retrieval range [%d,%d]", ErrBadWorkload, c.RMin, c.RMax)
+	}
+	if c.VMin < 0 || c.VMax < c.VMin {
+		return fmt.Errorf("%w: viewing range [%d,%d]", ErrBadWorkload, c.VMin, c.VMax)
+	}
+	if c.Gen == nil {
+		return fmt.Errorf("%w: nil probability generator", ErrBadWorkload)
+	}
+	return nil
+}
+
+// Source yields rounds until exhausted.
+type Source interface {
+	Next() (Round, bool)
+}
+
+// randomSource draws i.i.d. rounds from a PrefetchOnlyConfig.
+type randomSource struct {
+	cfg   PrefetchOnlyConfig
+	rand  *rng.Source
+	left  int
+	probs []float64
+}
+
+// NewRandomSource returns a Source producing count random rounds. The
+// request of each round is drawn from that round's own probabilities —
+// the model's "speculative knowledge" is exact, as in the paper.
+func NewRandomSource(r *rng.Source, cfg PrefetchOnlyConfig, count int) (Source, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: count %d", ErrBadWorkload, count)
+	}
+	return &randomSource{cfg: cfg, rand: r.Split(), left: count, probs: make([]float64, cfg.N)}, nil
+}
+
+// Next implements Source.
+func (s *randomSource) Next() (Round, bool) {
+	if s.left <= 0 {
+		return Round{}, false
+	}
+	s.left--
+	s.cfg.Gen.Generate(s.rand, s.probs)
+	rd := Round{
+		Viewing:    float64(s.rand.IntRange(s.cfg.VMin, s.cfg.VMax)),
+		Probs:      append([]float64(nil), s.probs...),
+		Retrievals: make([]float64, s.cfg.N),
+		Requested:  s.rand.Categorical(s.probs),
+	}
+	for i := range rd.Retrievals {
+		rd.Retrievals[i] = float64(s.rand.IntRange(s.cfg.RMin, s.cfg.RMax))
+	}
+	return rd, true
+}
+
+// sliceSource replays a fixed list of rounds.
+type sliceSource struct {
+	rounds []Round
+	pos    int
+}
+
+// NewSliceSource replays the given rounds in order.
+func NewSliceSource(rounds []Round) Source {
+	return &sliceSource{rounds: rounds}
+}
+
+// Next implements Source.
+func (s *sliceSource) Next() (Round, bool) {
+	if s.pos >= len(s.rounds) {
+		return Round{}, false
+	}
+	rd := s.rounds[s.pos]
+	s.pos++
+	return rd, true
+}
+
+// Collect drains a source into a slice (for recording traces).
+func Collect(src Source) []Round {
+	var out []Round
+	for {
+		rd, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, rd)
+	}
+}
+
+// WriteTrace writes rounds as JSON lines.
+func WriteTrace(w io.Writer, rounds []Round) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, rd := range rounds {
+		if err := rd.Validate(); err != nil {
+			return fmt.Errorf("round %d: %w", i, err)
+		}
+		if err := enc.Encode(rd); err != nil {
+			return fmt.Errorf("workload: encoding round %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reads JSON-lines rounds and validates each.
+func ReadTrace(r io.Reader) ([]Round, error) {
+	var out []Round
+	dec := json.NewDecoder(r)
+	for {
+		var rd Round
+		if err := dec.Decode(&rd); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: decoding round %d: %w", len(out), err)
+		}
+		if err := rd.Validate(); err != nil {
+			return nil, fmt.Errorf("round %d: %w", len(out), err)
+		}
+		out = append(out, rd)
+	}
+}

@@ -1,0 +1,119 @@
+package prefetch
+
+import (
+	"prefetch/internal/access"
+	"prefetch/internal/rng"
+	"prefetch/internal/sim"
+	"prefetch/internal/workload"
+)
+
+// Simulation and workload types, re-exported so library users can rerun
+// the paper's experiments and build their own.
+type (
+	// Rand is the deterministic random source every generator consumes.
+	Rand = rng.Source
+	// Round is one prefetch decision situation of the prefetch-only
+	// simulation (probabilities, retrievals, viewing time, request).
+	Round = workload.Round
+	// PrefetchOnlyConfig parameterises the §4.4 workload.
+	PrefetchOnlyConfig = workload.PrefetchOnlyConfig
+	// RoundSource yields rounds (random or replayed from a trace).
+	RoundSource = workload.Source
+	// Policy decides what to prefetch for a round.
+	Policy = sim.Policy
+	// PrefetchOnlyOptions tunes the §4.4 harness.
+	PrefetchOnlyOptions = sim.PrefetchOnlyOptions
+	// PrefetchOnlyResult aggregates one policy's prefetch-only run.
+	PrefetchOnlyResult = sim.PrefetchOnlyResult
+	// ScatterPoint is one (v, T) observation (Fig. 4).
+	ScatterPoint = sim.ScatterPoint
+	// MarkovTrace is a pre-drawn Markov walk (Fig. 7 workload).
+	MarkovTrace = sim.MarkovTrace
+	// CachePlanner combines a prefetch solver with a sub-arbitration.
+	CachePlanner = sim.CachePlanner
+	// CacheResult aggregates one prefetch-cache run.
+	CacheResult = sim.CacheResult
+	// MarkovConfig parameterises the request source of Fig. 7.
+	MarkovConfig = access.MarkovConfig
+	// MarkovSource is an n-state Markov request generator.
+	MarkovSource = access.MarkovSource
+	// ProbGen generates next-access probability vectors.
+	ProbGen = access.ProbGen
+	// FlatGen is the paper's flat method (unpredictable next access).
+	FlatGen = access.FlatGen
+	// SkewyGen is the paper's skewy method (highly predictable).
+	SkewyGen = access.SkewyGen
+	// ZipfGen produces Zipf-profile probabilities.
+	ZipfGen = access.ZipfGen
+	// GeometricGen produces geometric-profile probabilities.
+	GeometricGen = access.GeometricGen
+	// Predictor learns an access model online (§1.1 lineage).
+	Predictor = access.Predictor
+	// DependencyGraph is an order-1 transition-count predictor.
+	DependencyGraph = access.DependencyGraph
+	// PPM is an order-k prediction-by-partial-matching predictor.
+	PPM = access.PPM
+)
+
+// Simulation policies.
+type (
+	// NoPrefetch never prefetches.
+	NoPrefetch = sim.NoPrefetch
+	// SKPPolicy prefetches the stretch-knapsack solution.
+	SKPPolicy = sim.SKPPolicy
+	// KPPolicy prefetches the classic-knapsack solution.
+	KPPolicy = sim.KPPolicy
+	// GreedyPolicy prefetches the density-greedy fill.
+	GreedyPolicy = sim.GreedyPolicy
+	// PerfectPolicy is the oracle (always fetches the true next item).
+	PerfectPolicy = sim.PerfectPolicy
+	// StretchAwarePolicy prices the stretch at a fixed cost.
+	StretchAwarePolicy = sim.StretchAwarePolicy
+	// CostAwarePolicy trades improvement against network usage.
+	CostAwarePolicy = sim.CostAwarePolicy
+)
+
+// NewRand returns a deterministic random source; identical seeds give
+// identical experiment runs across platforms and Go releases.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewRandomRounds returns a source of `count` random rounds under cfg.
+func NewRandomRounds(r *Rand, cfg PrefetchOnlyConfig, count int) (RoundSource, error) {
+	return workload.NewRandomSource(r, cfg, count)
+}
+
+// Fig45Config returns the paper's Figure-4/5 workload parameters.
+func Fig45Config(n int, gen ProbGen) PrefetchOnlyConfig { return workload.Fig45Config(n, gen) }
+
+// CollectRounds drains a source into a slice.
+func CollectRounds(src RoundSource) []Round { return workload.Collect(src) }
+
+// RunPrefetchOnly plays every round through every policy (§4.4 harness).
+func RunPrefetchOnly(rounds []Round, policies []Policy, opts PrefetchOnlyOptions) ([]PrefetchOnlyResult, error) {
+	return sim.RunPrefetchOnly(rounds, policies, opts)
+}
+
+// Fig7MarkovConfig returns the paper's Figure-7 source parameters
+// (100 states, out-degree 10–20, viewing times 1–100).
+func Fig7MarkovConfig() MarkovConfig { return access.Fig7MarkovConfig() }
+
+// BuildMarkovTrace draws the Fig. 7 workload: a Markov source, per-item
+// retrieval times in [rMin, rMax], and a pre-drawn walk.
+func BuildMarkovTrace(r *Rand, cfg MarkovConfig, rMin, rMax, requests int) (*MarkovTrace, error) {
+	return sim.BuildMarkovTrace(r, cfg, rMin, rMax, requests)
+}
+
+// Fig7Planners returns the paper's five prefetch-cache policies.
+func Fig7Planners(mode DeltaMode) []CachePlanner { return sim.Fig7Planners(mode) }
+
+// RunPrefetchCache replays a Markov trace under one planner and cache size
+// (§5.3 harness).
+func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (CacheResult, error) {
+	return sim.RunPrefetchCache(trace, planner, cacheSize)
+}
+
+// NewDependencyGraph returns an empty order-1 predictor.
+func NewDependencyGraph() *DependencyGraph { return access.NewDependencyGraph() }
+
+// NewPPM returns an order-k PPM predictor.
+func NewPPM(order int) (*PPM, error) { return access.NewPPM(order) }

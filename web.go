@@ -1,0 +1,58 @@
+package prefetch
+
+import (
+	"prefetch/internal/netsim"
+	"prefetch/internal/webgraph"
+)
+
+// Web-browsing workload types (used by the webproxy and newspaper
+// examples) and the event-driven network simulator (used to explore
+// contention semantics beyond the paper's closed forms).
+type (
+	// Site is a generated web site: pages, links, sizes, retrieval times.
+	Site = webgraph.Site
+	// Page is one document of a Site.
+	Page = webgraph.Page
+	// SiteConfig parameterises GenerateSite.
+	SiteConfig = webgraph.SiteConfig
+	// Surfer is a random-surfer browsing model with an exposed true
+	// next-page distribution.
+	Surfer = webgraph.Surfer
+
+	// Transfer is one retrieval on the simulated serial link.
+	Transfer = netsim.Transfer
+	// NetRound describes one viewing-then-request round for the
+	// event-driven simulator.
+	NetRound = netsim.Round
+	// NetRoundResult reports the event-driven observations.
+	NetRoundResult = netsim.RoundResult
+	// NetMode selects prefetch/demand contention semantics.
+	NetMode = netsim.Mode
+)
+
+// Event-driven contention modes.
+const (
+	// ModeSequential is the paper's semantics: prefetches are never
+	// aborted; a demand fetch queues behind them.
+	ModeSequential = netsim.ModeSequential
+	// ModePreempt aborts prefetch work when a demand miss occurs.
+	ModePreempt = netsim.ModePreempt
+	// ModeShared splits bandwidth equally between the demand fetch and
+	// the in-flight prefetches (the authors' earlier model, ref [15]).
+	ModeShared = netsim.ModeShared
+)
+
+// DefaultSiteConfig returns a plausible small site over a slow link.
+func DefaultSiteConfig() SiteConfig { return webgraph.DefaultSiteConfig() }
+
+// GenerateSite builds a random site from the config.
+func GenerateSite(r *Rand, cfg SiteConfig) (*Site, error) { return webgraph.Generate(r, cfg) }
+
+// NewSurfer starts a random surfer on the site (followProb outside (0,1)
+// defaults to 0.85).
+func NewSurfer(r *Rand, site *Site, followProb float64) *Surfer {
+	return webgraph.NewSurfer(r, site, followProb)
+}
+
+// SimulateNetRound plays one round through the discrete-event simulator.
+func SimulateNetRound(round NetRound) (NetRoundResult, error) { return netsim.SimulateRound(round) }
