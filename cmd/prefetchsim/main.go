@@ -11,14 +11,26 @@
 //	prefetchsim -mode cache -states 100 -requests 50000 -cachesize 40 \
 //	            -policies "No+Pr,KP+Pr,SKP+Pr,SKP+Pr+LFU,SKP+Pr+DS"
 //
+// Multi-client mode (shared-server contention beyond the paper's
+// single-client link): N concurrent surfers with SKP planners and client
+// caches share a server with bounded transfer concurrency and an optional
+// server-side cache. A single -clients value prints the per-client table;
+// a comma list sweeps N with seed-replicated parallel runs:
+//
+//	prefetchsim -mode multiclient -clients 8 -serverconc 2 -servercache 40
+//	prefetchsim -mode multiclient -clients 1,2,4,8,16 -serverconc 2 -reps 3
+//
 // Traces: -record FILE writes the generated workload as JSON lines;
 // -replay FILE replays a previously recorded workload (prefetch-only mode).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"prefetch"
@@ -28,36 +40,51 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "prefetchsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prefetchsim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		mode      = flag.String("mode", "prefetch-only", "prefetch-only | cache | session")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		n         = flag.Int("n", 10, "items per round (prefetch-only)")
-		gen       = flag.String("gen", "skewy", "probability generator: skewy | flat | zipf | geometric")
-		iters     = flag.Int("iters", 50000, "iterations (prefetch-only)")
-		policies  = flag.String("policies", "none,perfect,kp,skp", "comma-separated policy list")
-		record    = flag.String("record", "", "write the workload trace to this file")
-		replay    = flag.String("replay", "", "replay a workload trace from this file")
-		states    = flag.Int("states", 100, "Markov states (cache/session)")
-		requests  = flag.Int("requests", 50000, "requests (cache/session)")
-		cacheSize = flag.Int("cachesize", 40, "cache capacity in items (cache)")
-		skew      = flag.Float64("skew", 0, "Markov transition skew alpha (cache/session)")
+		mode      = fs.String("mode", "prefetch-only", "prefetch-only | cache | session | multiclient")
+		seed      = fs.Uint64("seed", 42, "random seed")
+		n         = fs.Int("n", 10, "items per round (prefetch-only)")
+		gen       = fs.String("gen", "skewy", "probability generator: skewy | flat | zipf | geometric")
+		iters     = fs.Int("iters", 50000, "iterations (prefetch-only)")
+		policies  = fs.String("policies", "none,perfect,kp,skp", "comma-separated policy list")
+		record    = fs.String("record", "", "write the workload trace to this file")
+		replay    = fs.String("replay", "", "replay a workload trace from this file")
+		states    = fs.Int("states", 100, "Markov states (cache/session)")
+		requests  = fs.Int("requests", 50000, "requests (cache/session)")
+		cacheSize = fs.Int("cachesize", 40, "cache capacity in items (cache)")
+		skew      = fs.Float64("skew", 0, "Markov transition skew alpha (cache/session)")
+
+		clients     = fs.String("clients", "8", "client count, or comma list to sweep (multiclient)")
+		serverConc  = fs.Int("serverconc", 2, "server transfer concurrency (multiclient)")
+		serverCache = fs.Int("servercache", 0, "shared server cache slots, 0 = none (multiclient)")
+		rounds      = fs.Int("rounds", 300, "browsing rounds per client (multiclient)")
+		reps        = fs.Int("reps", 3, "seed replications per sweep point (multiclient)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	switch *mode {
 	case "prefetch-only":
-		return runPrefetchOnly(*seed, *n, *gen, *iters, *policies, *record, *replay)
+		return runPrefetchOnly(out, *seed, *n, *gen, *iters, *policies, *record, *replay)
 	case "cache":
-		return runCache(*seed, *states, *requests, *cacheSize, *skew, *policies)
+		return runCache(out, *seed, *states, *requests, *cacheSize, *skew, *policies)
 	case "session":
-		return runSession(*seed, *states, *requests, *skew)
+		return runSession(out, *seed, *states, *requests, *skew)
+	case "multiclient":
+		return runMultiClient(out, *seed, *clients, *serverConc, *serverCache, *rounds, *reps)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -90,7 +117,7 @@ func parsePolicies(list string) ([]sim.Policy, error) {
 	return out, nil
 }
 
-func runPrefetchOnly(seed uint64, n int, genName string, iters int, policyList, record, replay string) error {
+func runPrefetchOnly(out io.Writer, seed uint64, n int, genName string, iters int, policyList, record, replay string) error {
 	var rounds []workload.Round
 	if replay != "" {
 		f, err := os.Open(replay)
@@ -126,7 +153,7 @@ func runPrefetchOnly(seed uint64, n int, genName string, iters int, policyList, 
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("recorded %d rounds to %s\n", len(rounds), record)
+		fmt.Fprintf(out, "recorded %d rounds to %s\n", len(rounds), record)
 	}
 	pols, err := parsePolicies(policyList)
 	if err != nil {
@@ -136,9 +163,9 @@ func runPrefetchOnly(seed uint64, n int, genName string, iters int, policyList, 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %10s %10s %10s %12s %12s\n", "policy", "mean T", "±95%", "max T", "waste/round", "usage/round")
+	fmt.Fprintf(out, "%-12s %10s %10s %10s %12s %12s\n", "policy", "mean T", "±95%", "max T", "waste/round", "usage/round")
 	for _, res := range results {
-		fmt.Printf("%-12s %10.4f %10.4f %10.2f %12.3f %12.3f\n",
+		fmt.Fprintf(out, "%-12s %10.4f %10.4f %10.2f %12.3f %12.3f\n",
 			res.Policy, res.Overall.Mean(), res.Overall.CI95(), res.Overall.Max(),
 			res.Waste.Mean(), res.Usage.Mean())
 	}
@@ -160,7 +187,7 @@ func genByName(name string) (prefetch.ProbGen, error) {
 	}
 }
 
-func runCache(seed uint64, states, requests, cacheSize int, skew float64, policyList string) error {
+func runCache(out io.Writer, seed uint64, states, requests, cacheSize int, skew float64, policyList string) error {
 	r := prefetch.NewRand(seed)
 	cfg := prefetch.Fig7MarkovConfig()
 	cfg.States = states
@@ -180,7 +207,7 @@ func runCache(seed uint64, states, requests, cacheSize int, skew float64, policy
 		wanted[strings.TrimSpace(name)] = true
 	}
 	runAll := wanted["all"] || policyList == "none,perfect,kp,skp"
-	fmt.Printf("%-12s %10s %10s %8s %14s %14s\n", "policy", "mean T", "±95%", "hit%", "prefetch-net", "demand-net")
+	fmt.Fprintf(out, "%-12s %10s %10s %8s %14s %14s\n", "policy", "mean T", "±95%", "hit%", "prefetch-net", "demand-net")
 	for _, planner := range prefetch.Fig7Planners(prefetch.DeltaTheorem3) {
 		if !runAll && !wanted[planner.Label] {
 			continue
@@ -189,14 +216,14 @@ func runCache(seed uint64, states, requests, cacheSize int, skew float64, policy
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-12s %10.4f %10.4f %7.1f%% %14.0f %14.0f\n",
+		fmt.Fprintf(out, "%-12s %10.4f %10.4f %7.1f%% %14.0f %14.0f\n",
 			res.Policy, res.Access.Mean(), res.Access.CI95(), 100*res.HitRate(),
 			res.Prefetch, res.Demand)
 	}
 	return nil
 }
 
-func runSession(seed uint64, states, requests int, skew float64) error {
+func runSession(out io.Writer, seed uint64, states, requests int, skew float64) error {
 	r := prefetch.NewRand(seed)
 	cfg := prefetch.MarkovConfig{
 		States: states, MinOut: 10, MaxOut: 20, MinViewing: 1, MaxViewing: 20, SkewAlpha: skew,
@@ -220,7 +247,7 @@ func runSession(seed uint64, states, requests int, skew float64) error {
 		{sim.Depth2Planner{}, sim.SessionOptions{}},
 		{sim.Depth2Planner{}, sim.SessionOptions{EffectiveViewing: true}},
 	}
-	fmt.Printf("%-16s %10s %14s\n", "planner", "mean T", "net/request")
+	fmt.Fprintf(out, "%-16s %10s %14s\n", "planner", "mean T", "net/request")
 	for _, pl := range planners {
 		res, err := sim.RunMarkovSession(trace, pl.planner, pl.opts)
 		if err != nil {
@@ -230,7 +257,85 @@ func runSession(seed uint64, states, requests int, skew float64) error {
 		if pl.opts.EffectiveViewing {
 			label += "+eff-v"
 		}
-		fmt.Printf("%-16s %10.4f %14.3f\n", label, res.Access.Mean(), res.NetworkBusy/float64(res.Requests))
+		fmt.Fprintf(out, "%-16s %10.4f %14.3f\n", label, res.Access.Mean(), res.NetworkBusy/float64(res.Requests))
+	}
+	return nil
+}
+
+// parseClients parses a single client count or a comma-separated sweep axis.
+func parseClients(list string) ([]int, error) {
+	var ns []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("no client counts given")
+	}
+	return ns, nil
+}
+
+func runMultiClient(out io.Writer, seed uint64, clients string, serverConc, serverCache, rounds, reps int) error {
+	ns, err := parseClients(clients)
+	if err != nil {
+		return err
+	}
+	cfg := prefetch.DefaultMultiClientConfig()
+	cfg.Seed = seed
+	cfg.ServerConcurrency = serverConc
+	cfg.ServerCacheSlots = serverCache
+	cfg.Rounds = rounds
+
+	if len(ns) == 1 {
+		cfg.Clients = ns[0]
+		cmp, err := prefetch.CompareMultiClient(cfg)
+		if err != nil {
+			return err
+		}
+		res := cmp.Prefetch
+		fmt.Fprintf(out, "%d clients, server concurrency %d, server cache %d slots, %d rounds each\n\n",
+			cfg.Clients, cfg.ServerConcurrency, cfg.ServerCacheSlots, cfg.Rounds)
+		fmt.Fprintf(out, "%-8s %10s %12s %12s %10s %10s\n",
+			"client", "mean T", "queue wait", "prefetches", "0-wait%", "improve%")
+		for i, pc := range res.PerClient {
+			fmt.Fprintf(out, "%-8d %10.4f %12.4f %12d %9.1f%% %9.1f%%\n",
+				pc.Client, pc.Access.Mean(), pc.QueueWait.Mean(), pc.PrefetchIssued,
+				100*float64(pc.ZeroWaitRounds)/float64(pc.Access.N()),
+				100*cmp.ClientImprovement(i))
+		}
+		var zeroWait int64
+		for _, pc := range res.PerClient {
+			zeroWait += pc.ZeroWaitRounds
+		}
+		fmt.Fprintf(out, "\n%-8s %10.4f %12.4f %12s %9.1f%% %9.1f%%\n",
+			"all", res.Access.Mean(), res.QueueWait.Mean(), "",
+			100*float64(zeroWait)/float64(res.Access.N()), 100*cmp.Improvement())
+		fmt.Fprintf(out, "server utilization %.1f%%\n", 100*res.Utilization())
+		if cfg.ServerCacheSlots > 0 {
+			fmt.Fprintf(out, "server cache hit rate %.1f%%\n", 100*res.HitRate())
+		}
+		return nil
+	}
+
+	points, err := prefetch.SweepMultiClient(cfg, ns, reps, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sweep over clients, server concurrency %d, %d reps, %d rounds each\n\n",
+		cfg.ServerConcurrency, reps, cfg.Rounds)
+	fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s\n",
+		"clients", "mean T", "±95%", "queue wait", "util%", "improve%")
+	for _, p := range points {
+		fmt.Fprintf(out, "%-8d %10.4f %10.4f %12.4f %9.1f%% %9.1f%%\n",
+			p.Clients, p.Access.Mean(), p.Access.CI95(), p.QueueWait.Mean(),
+			100*p.Utilization.Mean(), 100*p.Improvement.Mean())
 	}
 	return nil
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOut drives run() and returns its stdout.
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestRunPrefetchOnlyMode(t *testing.T) {
+	out := runOut(t, "-mode", "prefetch-only", "-n", "5", "-iters", "300", "-policies", "none,skp")
+	for _, want := range []string{"policy", "mean T", "none", "skp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPrefetchOnlyRecordReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	runOut(t, "-mode", "prefetch-only", "-n", "5", "-iters", "200", "-policies", "skp", "-record", trace)
+	out := runOut(t, "-mode", "prefetch-only", "-replay", trace, "-policies", "skp")
+	if !strings.Contains(out, "skp") {
+		t.Errorf("replay output missing skp:\n%s", out)
+	}
+}
+
+func TestRunCacheMode(t *testing.T) {
+	out := runOut(t, "-mode", "cache", "-states", "30", "-requests", "500", "-cachesize", "10", "-policies", "all")
+	for _, want := range []string{"policy", "hit%", "SKP+Pr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSessionMode(t *testing.T) {
+	out := runOut(t, "-mode", "session", "-states", "15", "-requests", "150")
+	for _, want := range []string{"planner", "skp-depth2", "net/request"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientMode(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "2", "-rounds", "30", "-serverconc", "2", "-servercache", "20")
+	for _, want := range []string{"client", "queue wait", "improve%", "server utilization", "server cache hit rate", "all"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientSweep(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "1,2", "-rounds", "20", "-reps", "2")
+	for _, want := range []string{"sweep over clients", "clients", "util%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if got, want := len(lines), 5; got != want {
+		t.Errorf("sweep printed %d lines, want %d:\n%s", got, want, out)
+	}
+}
+
+func TestRunHelpSucceeds(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-h"}, &sb); err != nil {
+		t.Fatalf("run(-h): %v", err)
+	}
+	if !strings.Contains(sb.String(), "Usage of prefetchsim") {
+		t.Errorf("help output missing usage:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "nope"},
+		{"-mode", "prefetch-only", "-policies", "unknown"},
+		{"-mode", "prefetch-only", "-gen", "unknown"},
+		{"-mode", "multiclient", "-clients", "zero"},
+		{"-mode", "multiclient", "-clients", ""},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad input", args)
+		}
+	}
+}

@@ -38,7 +38,19 @@
 // internal/: core (model + solvers), knapsack (the classic-KP baseline),
 // access (probability generators, Markov sources, learned predictors),
 // cache (replacement policies), sim (the paper's Monte-Carlo harnesses),
-// netsim (an event-driven validation simulator), stats, plot and rng.
-// The cmd/ tools regenerate every figure of the paper; see DESIGN.md for
-// the experiment index and EXPERIMENTS.md for measured results.
+// netsim (an event-driven validation simulator), multiclient (N concurrent
+// sessions contending for a shared server — see RunMultiClient), stats,
+// plot, rng and sweep. The cmd/ tools regenerate every figure of the
+// paper; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// measured results.
+//
+// # Beyond the paper: shared-server contention
+//
+// The paper's model gives each client a private serial link. The
+// multiclient simulation (RunMultiClient, CompareMultiClient,
+// SweepMultiClient) runs N concurrent surfer sessions — each with its own
+// SKP planner, derived random stream and client cache — against one server
+// with bounded transfer concurrency and an optional shared server-side
+// cache, reporting per-client and aggregate access times, queueing delay
+// and server utilisation. Identical master seeds replay bit-for-bit.
 package prefetch

@@ -1,0 +1,3 @@
+module prefetch
+
+go 1.21

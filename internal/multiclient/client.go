@@ -1,0 +1,200 @@
+package multiclient
+
+import (
+	"sort"
+
+	"prefetch/internal/cache"
+	"prefetch/internal/core"
+	"prefetch/internal/netsim"
+	"prefetch/internal/rng"
+	"prefetch/internal/stats"
+	"prefetch/internal/webgraph"
+)
+
+// client is one browsing session: a random surfer with its own derived RNG
+// stream, an SKP planner over the surfer's true next-page distribution, and
+// a private client-side cache. It runs as a callback state machine on the
+// shared clock so any number of clients interleave on the same timeline.
+type client struct {
+	id     int
+	cfg    *Config
+	clock  *netsim.Clock
+	server *server
+	site   *webgraph.Site
+	surfer *webgraph.Surfer
+	rand   *rng.Source
+
+	cache   *cache.Cache // nil ⇒ per-round prefetch-only semantics
+	ready   map[int]bool // prefetches completed this round (cache == nil)
+	pending map[int]bool // pages requested from the server, not yet completed
+
+	round       int
+	roundsLeft  int
+	waitingFor  int // page the client is blocked on; -1 when browsing
+	requestedAt float64
+
+	access         stats.Accumulator
+	queueWait      stats.Accumulator
+	prefetchIssued int64
+	demandFetches  int64
+	zeroWaitRounds int64
+}
+
+func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site) (*client, error) {
+	c := &client{
+		id:         id,
+		cfg:        cfg,
+		clock:      clock,
+		server:     srv,
+		site:       site,
+		rand:       rng.Derive(cfg.Seed, clientLabel(id)),
+		ready:      map[int]bool{},
+		pending:    map[int]bool{},
+		roundsLeft: cfg.Rounds,
+		waitingFor: -1,
+	}
+	c.surfer = webgraph.NewSurfer(c.rand, site, cfg.FollowProb)
+	if cfg.ClientCacheSlots > 0 {
+		cc, err := cache.New(cfg.ClientCacheSlots)
+		if err != nil {
+			return nil, err
+		}
+		c.cache = cc
+	}
+	return c, nil
+}
+
+// holds reports whether the page is usable without a network fetch.
+func (c *client) holds(page int) bool {
+	if c.cache != nil {
+		return c.cache.Contains(page)
+	}
+	return c.ready[page]
+}
+
+// store keeps a completed retrieval. Without a client cache the item is
+// usable only within the round that planned it (netsim.Session's
+// prefetch-only semantics: a stale leftover completing later is pure waste).
+func (c *client) store(req request) {
+	if c.cache == nil {
+		if req.round == c.round {
+			c.ready[req.page] = true
+		}
+		return
+	}
+	insertLRU(c.cache, req.page, c.site.Pages[req.page].Retrieval)
+}
+
+// startRound plans and issues this round's prefetches, draws the viewing
+// time and the next page, and schedules the demand request. Leftover
+// transfers from earlier rounds stay in the server queue and intrude on
+// this round — the §4.4 stretch generalised to a shared link.
+func (c *client) startRound(now float64) {
+	if c.roundsLeft == 0 {
+		return
+	}
+	c.roundsLeft--
+	c.round++
+	if c.cache == nil {
+		c.ready = map[int]bool{}
+	}
+
+	v := c.rand.Exp(1 / c.cfg.MeanViewing)
+	if v < c.cfg.MinViewing {
+		v = c.cfg.MinViewing
+	}
+
+	if !c.cfg.DisablePrefetch {
+		plan := c.plan(v)
+		for _, it := range plan.Items {
+			c.pending[it.ID] = true
+			c.prefetchIssued++
+			c.server.enqueue(request{
+				client:   c,
+				page:     it.ID,
+				duration: it.Retrieval,
+				round:    c.round,
+			})
+		}
+	}
+
+	next := c.surfer.Step()
+	c.clock.Schedule(now+v, func() { c.request(next) })
+}
+
+// plan solves the SKP over the surfer's true next-page distribution,
+// excluding pages already held or in flight. Candidates are capped at the
+// MaxCandidates highest-probability pages to bound the solver's search.
+func (c *client) plan(viewing float64) core.Plan {
+	dist := c.surfer.NextDistribution()
+	items := make([]core.Item, 0, len(dist))
+	for page, prob := range dist {
+		if prob <= 0 || c.holds(page) || c.pending[page] {
+			continue
+		}
+		items = append(items, core.Item{ID: page, Prob: prob, Retrieval: c.site.Pages[page].Retrieval})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Prob != items[b].Prob {
+			return items[a].Prob > items[b].Prob
+		}
+		return items[a].ID < items[b].ID
+	})
+	if len(items) > c.cfg.MaxCandidates {
+		items = items[:c.cfg.MaxCandidates]
+	}
+	problem := core.Problem{Items: items, Viewing: viewing, TotalProb: 1}
+	plan, _, err := core.SolveSKP(problem)
+	if err != nil {
+		// The problem is constructed valid by design; a failure here is a
+		// simulator bug, not a configuration error.
+		panic(err)
+	}
+	return plan
+}
+
+// request is the demand access at the end of the viewing period.
+func (c *client) request(page int) {
+	c.requestedAt = c.clock.Now()
+	if c.holds(page) {
+		if c.cache != nil {
+			c.cache.RecordAccess(page)
+		}
+		c.respond(0)
+		return
+	}
+	c.waitingFor = page
+	if c.pending[page] {
+		// Already queued or in flight as a prefetch: sequential semantics,
+		// the demand waits for the speculative transfer to finish.
+		return
+	}
+	c.demandFetches++
+	c.server.enqueue(request{
+		client:   c,
+		page:     page,
+		duration: c.site.Pages[page].Retrieval,
+		demand:   true,
+		round:    c.round,
+	})
+}
+
+// onTransferDone is the server's completion callback.
+func (c *client) onTransferDone(req request, waited float64) {
+	delete(c.pending, req.page)
+	c.queueWait.Add(waited)
+	c.store(req)
+	if c.waitingFor == req.page {
+		c.waitingFor = -1
+		c.respond(c.clock.Now() - c.requestedAt)
+	}
+}
+
+// respond closes the round and immediately begins the next one.
+func (c *client) respond(access float64) {
+	c.access.Add(access)
+	if access == 0 {
+		c.zeroWaitRounds++
+	}
+	c.startRound(c.clock.Now())
+}

@@ -1,0 +1,241 @@
+// Package multiclient extends the paper's single-client, single-link model
+// to a shared-server setting: N concurrent browsing sessions, each an
+// independent random surfer with its own SKP planner and client cache,
+// contend for a server with bounded transfer concurrency and an optional
+// shared server-side cache. The paper's closed forms assume the client owns
+// the link; here speculative work from one user queues behind — and ahead
+// of — everyone else's demand fetches, so the same prefetch policy can help
+// at N=1 and hurt at N=64. The simulation reports per-client and aggregate
+// access times, queueing delay, and server utilisation so the single-client
+// curves can be compared against their contention-degraded counterparts.
+//
+// Determinism: everything runs on one netsim.Clock (FIFO tie-breaks), and
+// every random stream is derived up front from one master seed via
+// rng.Derive (the partitioned-RNG idiom) — client i's workload is a pure
+// function of (seed, i), so runs replay bit-for-bit and adding clients
+// never perturbs the workloads of existing ones.
+package multiclient
+
+import (
+	"errors"
+	"fmt"
+
+	"prefetch/internal/netsim"
+	"prefetch/internal/rng"
+	"prefetch/internal/stats"
+	"prefetch/internal/webgraph"
+)
+
+// ErrBadConfig reports an invalid multi-client configuration.
+var ErrBadConfig = errors.New("multiclient: bad config")
+
+// Config parameterises one multi-client simulation.
+type Config struct {
+	Clients int // number of concurrent browsing sessions
+	Rounds  int // browsing rounds per client
+
+	ServerConcurrency int     // simultaneous transfers the server sustains
+	ServerCacheSlots  int     // shared server-side cache capacity (0 = none)
+	ServerHitFactor   float64 // service-time multiplier on a server-cache hit
+
+	ClientCacheSlots int // per-client cache capacity (0 = per-round prefetch-only)
+
+	MeanViewing float64 // mean of the exponential viewing (reading) time
+	MinViewing  float64 // truncation floor for viewing times
+	FollowProb  float64 // surfer link-follow probability
+
+	MaxCandidates   int  // cap on SKP candidate list size per round
+	DisablePrefetch bool // demand-fetch only (the no-prefetch baseline)
+
+	Site webgraph.SiteConfig // the shared site every client browses
+	Seed uint64              // master seed; all streams derive from it
+}
+
+// DefaultConfig returns a contended but healthy starting point: eight
+// clients on a two-transfer server over the default site.
+func DefaultConfig() Config {
+	return Config{
+		Clients:           8,
+		Rounds:            200,
+		ServerConcurrency: 2,
+		ServerCacheSlots:  0,
+		ServerHitFactor:   0.25,
+		ClientCacheSlots:  20,
+		MeanViewing:       8,
+		MinViewing:        1,
+		FollowProb:        0.85,
+		MaxCandidates:     16,
+		Site:              webgraph.DefaultSiteConfig(),
+		Seed:              1,
+	}
+}
+
+// Validate checks the configuration.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Clients < 1:
+		return fmt.Errorf("%w: %d clients", ErrBadConfig, cfg.Clients)
+	case cfg.Rounds < 1:
+		return fmt.Errorf("%w: %d rounds", ErrBadConfig, cfg.Rounds)
+	case cfg.ServerConcurrency < 1:
+		return fmt.Errorf("%w: server concurrency %d", ErrBadConfig, cfg.ServerConcurrency)
+	case cfg.ServerCacheSlots < 0:
+		return fmt.Errorf("%w: server cache slots %d", ErrBadConfig, cfg.ServerCacheSlots)
+	case cfg.ServerCacheSlots > 0 && (cfg.ServerHitFactor <= 0 || cfg.ServerHitFactor > 1):
+		return fmt.Errorf("%w: server hit factor %v (need 0 < f <= 1)", ErrBadConfig, cfg.ServerHitFactor)
+	case cfg.ClientCacheSlots < 0:
+		return fmt.Errorf("%w: client cache slots %d", ErrBadConfig, cfg.ClientCacheSlots)
+	case cfg.MeanViewing <= 0:
+		return fmt.Errorf("%w: mean viewing %v", ErrBadConfig, cfg.MeanViewing)
+	case cfg.MinViewing < 0:
+		return fmt.Errorf("%w: min viewing %v", ErrBadConfig, cfg.MinViewing)
+	case cfg.MaxCandidates < 1:
+		return fmt.Errorf("%w: max candidates %d", ErrBadConfig, cfg.MaxCandidates)
+	}
+	return nil
+}
+
+// ClientResult is one session's view of the run.
+type ClientResult struct {
+	Client         int
+	Access         stats.Accumulator // per-round observed access times
+	QueueWait      stats.Accumulator // per-transfer wait for a server slot
+	PrefetchIssued int64
+	DemandFetches  int64
+	ZeroWaitRounds int64 // rounds answered with no waiting at all
+}
+
+// Result aggregates one multi-client run.
+type Result struct {
+	Clients     int
+	Concurrency int
+	PerClient   []ClientResult
+
+	Access    stats.Accumulator // all clients' rounds merged
+	QueueWait stats.Accumulator // all server transfers merged
+
+	Elapsed         float64 // simulated time until the last event
+	ServerBusy      float64 // slot-seconds of service performed
+	ServerRequests  int64
+	ServerCacheHits int64
+}
+
+// Utilization returns the fraction of server slot-time spent serving.
+func (r Result) Utilization() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.ServerBusy / (r.Elapsed * float64(r.Concurrency))
+}
+
+// HitRate returns the shared server cache hit rate over all requests.
+func (r Result) HitRate() float64 {
+	if r.ServerRequests == 0 {
+		return 0
+	}
+	return float64(r.ServerCacheHits) / float64(r.ServerRequests)
+}
+
+// clientLabel names client i's derived RNG stream.
+func clientLabel(i int) string { return fmt.Sprintf("client/%d", i) }
+
+// Run plays the full simulation: all clients start browsing at time zero
+// and the event loop drains every scheduled transfer, including stale
+// prefetches left over after the last round.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	site, err := webgraph.Generate(rng.Derive(cfg.Seed, "site"), cfg.Site)
+	if err != nil {
+		return Result{}, err
+	}
+	var clock netsim.Clock
+	srv, err := newServer(&clock, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	clients := make([]*client, cfg.Clients)
+	for i := range clients {
+		c, err := newClient(i, &cfg, &clock, srv, site)
+		if err != nil {
+			return Result{}, err
+		}
+		clients[i] = c
+	}
+	for _, c := range clients {
+		c := c
+		clock.Schedule(0, func() { c.startRound(0) })
+	}
+	clock.Run()
+
+	res := Result{
+		Clients:         cfg.Clients,
+		Concurrency:     cfg.ServerConcurrency,
+		PerClient:       make([]ClientResult, cfg.Clients),
+		Elapsed:         clock.Now(),
+		ServerBusy:      srv.busyTime,
+		ServerRequests:  srv.served,
+		ServerCacheHits: srv.cacheHits,
+	}
+	for i, c := range clients {
+		if c.access.N() != int64(cfg.Rounds) {
+			return Result{}, fmt.Errorf("multiclient: client %d finished %d/%d rounds", i, c.access.N(), cfg.Rounds)
+		}
+		res.PerClient[i] = ClientResult{
+			Client:         i,
+			Access:         c.access,
+			QueueWait:      c.queueWait,
+			PrefetchIssued: c.prefetchIssued,
+			DemandFetches:  c.demandFetches,
+			ZeroWaitRounds: c.zeroWaitRounds,
+		}
+		res.Access.Merge(&c.access)
+		res.QueueWait.Merge(&c.queueWait)
+	}
+	return res, nil
+}
+
+// Comparison pairs a prefetching run with its no-prefetch baseline over the
+// identical workload (same seed ⇒ same sites, pages, and viewing times, as
+// the page trace does not depend on timing).
+type Comparison struct {
+	Prefetch Result
+	Baseline Result
+}
+
+// Improvement returns the aggregate relative access improvement,
+// (baseline − prefetch) / baseline, the multi-client analogue of the
+// paper's access improvement I.
+func (c Comparison) Improvement() float64 {
+	base := c.Baseline.Access.Mean()
+	if base <= 0 {
+		return 0
+	}
+	return (base - c.Prefetch.Access.Mean()) / base
+}
+
+// ClientImprovement returns client i's relative access improvement.
+func (c Comparison) ClientImprovement(i int) float64 {
+	base := c.Baseline.PerClient[i].Access.Mean()
+	if base <= 0 {
+		return 0
+	}
+	return (base - c.Prefetch.PerClient[i].Access.Mean()) / base
+}
+
+// Compare runs cfg twice — prefetching as configured, then with prefetching
+// disabled — over the identical derived workload.
+func Compare(cfg Config) (Comparison, error) {
+	cfg.DisablePrefetch = false
+	pre, err := Run(cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cfg.DisablePrefetch = true
+	base, err := Run(cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Prefetch: pre, Baseline: base}, nil
+}

@@ -1,0 +1,234 @@
+package multiclient
+
+import (
+	"errors"
+	"testing"
+
+	"prefetch/internal/webgraph"
+)
+
+// testConfig is a small, fast configuration with real contention.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clients = 4
+	cfg.Rounds = 80
+	cfg.ServerConcurrency = 2
+	cfg.Site = webgraph.SiteConfig{
+		Pages: 60, MinLinks: 3, MaxLinks: 8, ZipfS: 1.1,
+		MinSizeKB: 2, MaxSizeKB: 60, BandwidthKBps: 16, LatencyS: 0.3,
+	}
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Clients = 0 },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.ServerConcurrency = 0 },
+		func(c *Config) { c.ServerCacheSlots = -1 },
+		func(c *Config) { c.ServerCacheSlots = 10; c.ServerHitFactor = 0 },
+		func(c *Config) { c.ServerCacheSlots = 10; c.ServerHitFactor = 1.5 },
+		func(c *Config) { c.ClientCacheSlots = -1 },
+		func(c *Config) { c.MeanViewing = 0 },
+		func(c *Config) { c.MinViewing = -1 },
+		func(c *Config) { c.MaxCandidates = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("mutation %d: Run error = %v, want ErrBadConfig", i, err)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+// TestDeterminism proves two runs with the same master seed produce
+// identical aggregate metrics, bit for bit.
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Access.Mean() != b.Access.Mean() || a.Access.N() != b.Access.N() {
+		t.Errorf("aggregate access differs: %v/%d vs %v/%d",
+			a.Access.Mean(), a.Access.N(), b.Access.Mean(), b.Access.N())
+	}
+	if a.QueueWait.Mean() != b.QueueWait.Mean() {
+		t.Errorf("queue wait differs: %v vs %v", a.QueueWait.Mean(), b.QueueWait.Mean())
+	}
+	if a.Elapsed != b.Elapsed || a.ServerBusy != b.ServerBusy {
+		t.Errorf("timeline differs: elapsed %v/%v busy %v/%v",
+			a.Elapsed, b.Elapsed, a.ServerBusy, b.ServerBusy)
+	}
+	if a.ServerRequests != b.ServerRequests {
+		t.Errorf("server requests differ: %d vs %d", a.ServerRequests, b.ServerRequests)
+	}
+	for i := range a.PerClient {
+		pa, pb := a.PerClient[i], b.PerClient[i]
+		if pa.Access.Mean() != pb.Access.Mean() || pa.PrefetchIssued != pb.PrefetchIssued {
+			t.Errorf("client %d differs: mean %v/%v prefetches %d/%d",
+				i, pa.Access.Mean(), pb.Access.Mean(), pa.PrefetchIssued, pb.PrefetchIssued)
+		}
+	}
+}
+
+// TestClientWorkloadsStableAcrossN proves the partitioned-RNG property:
+// client i's derived stream, and hence its page/viewing workload, is the
+// same no matter how many other clients run beside it. Demand-fetch counts
+// depend only on the client's own trace and cache, both timing-independent
+// with prefetching disabled and an unbounded round scope.
+func TestClientWorkloadsStableAcrossN(t *testing.T) {
+	cfg := testConfig()
+	cfg.DisablePrefetch = true
+	cfg.Clients = 2
+	small, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Clients = 5
+	big, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.PerClient {
+		if small.PerClient[i].DemandFetches != big.PerClient[i].DemandFetches {
+			t.Errorf("client %d demand fetches changed with N: %d vs %d",
+				i, small.PerClient[i].DemandFetches, big.PerClient[i].DemandFetches)
+		}
+	}
+}
+
+// TestContentionMonotonic shows mean access time is monotonically
+// non-decreasing as the client count grows with fixed server concurrency.
+func TestContentionMonotonic(t *testing.T) {
+	cfg := testConfig()
+	cfg.ServerConcurrency = 1
+	prev := -1.0
+	for _, n := range []int{1, 2, 4, 8} {
+		cfg.Clients = n
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := res.Access.Mean()
+		t.Logf("N=%d mean access %.4f queue wait %.4f util %.3f", n, mean, res.QueueWait.Mean(), res.Utilization())
+		if mean < prev {
+			t.Errorf("mean access decreased from %.6f to %.6f at N=%d", prev, mean, n)
+		}
+		prev = mean
+	}
+}
+
+// TestNoContentionNoQueueing gives every possible outstanding transfer its
+// own server slot, so no request ever waits.
+func TestNoContentionNoQueueing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 3
+	cfg.ServerConcurrency = cfg.Clients * (cfg.MaxCandidates + 1)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueWait.Max() != 0 {
+		t.Errorf("queue wait max = %v with surplus concurrency, want 0", res.QueueWait.Max())
+	}
+}
+
+// TestServerCacheHelps: a shared server cache over a popularity-skewed site
+// must get hits and cut total service time.
+func TestServerCacheHelps(t *testing.T) {
+	cfg := testConfig()
+	without, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ServerCacheSlots = cfg.Site.Pages
+	with, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.ServerCacheHits == 0 {
+		t.Fatal("server cache recorded no hits")
+	}
+	if with.HitRate() <= 0 || with.HitRate() > 1 {
+		t.Errorf("hit rate %v out of (0,1]", with.HitRate())
+	}
+	if with.ServerBusy >= without.ServerBusy {
+		t.Errorf("server busy time did not drop with a full-site cache: %v vs %v",
+			with.ServerBusy, without.ServerBusy)
+	}
+}
+
+// TestPrefetchImproves: without slot contention, speculative prefetching
+// must beat the demand-only baseline on the identical workload. (Under
+// contention it may legitimately lose — that regime is exactly what this
+// subsystem exists to expose.)
+func TestPrefetchImproves(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 2
+	cfg.ServerConcurrency = cfg.Clients * (cfg.MaxCandidates + 1)
+	cmp, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp := cmp.Improvement(); imp <= 0 {
+		t.Errorf("aggregate improvement %v, want > 0 (prefetch %v baseline %v)",
+			imp, cmp.Prefetch.Access.Mean(), cmp.Baseline.Access.Mean())
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		t.Logf("client %d improvement %.3f", i, cmp.ClientImprovement(i))
+	}
+}
+
+func TestSweepClients(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rounds = 40
+	ns := []int{1, 2, 4}
+	a, err := SweepClients(cfg, ns, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(ns) {
+		t.Fatalf("got %d points, want %d", len(a), len(ns))
+	}
+	for i, p := range a {
+		if p.Clients != ns[i] || p.Reps != 2 {
+			t.Errorf("point %d = (N=%d, reps=%d), want (N=%d, reps=2)", i, p.Clients, p.Reps, ns[i])
+		}
+		if want := int64(ns[i] * cfg.Rounds * 2); p.Access.N() != want {
+			t.Errorf("point %d merged %d access observations, want %d", i, p.Access.N(), want)
+		}
+	}
+	// The sweep is deterministic regardless of worker parallelism.
+	b, err := SweepClients(cfg, ns, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Access.Mean() != b[i].Access.Mean() || a[i].Improvement.Mean() != b[i].Improvement.Mean() {
+			t.Errorf("point %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestSweepClientsBadAxis(t *testing.T) {
+	cfg := testConfig()
+	if _, err := SweepClients(cfg, nil, 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty axis: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := SweepClients(cfg, []int{1, 0}, 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero clients in axis: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := SweepClients(cfg, []int{1}, 0, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero reps: err = %v, want ErrBadConfig", err)
+	}
+}

@@ -1,0 +1,112 @@
+package multiclient
+
+import (
+	"prefetch/internal/cache"
+	"prefetch/internal/netsim"
+)
+
+// request is one retrieval submitted to the shared server, demand or
+// speculative, tagged with the client round that issued it so stale
+// prefetch completions can be recognised.
+type request struct {
+	client     *client
+	page       int
+	duration   float64 // origin service time (before any server-cache hit)
+	demand     bool
+	round      int
+	enqueuedAt float64
+}
+
+// server is the shared bottleneck every client contends for: a bounded pool
+// of `concurrency` transfer slots fed by one FIFO queue (demand fetches and
+// prefetches are not distinguished — the paper's sequential semantics, where
+// speculative work is never aborted, generalised to a shared link). An
+// optional shared server-side cache shortens the service of pages it holds,
+// modelling an origin-fetch avoided at the server.
+type server struct {
+	clock       *netsim.Clock
+	concurrency int
+	hitFactor   float64
+	cache       *cache.Cache // nil ⇒ no shared cache
+
+	queue    []request
+	inFlight int
+
+	busyTime  float64 // accumulated slot-seconds of service
+	served    int64
+	cacheHits int64
+}
+
+func newServer(clock *netsim.Clock, cfg Config) (*server, error) {
+	s := &server{
+		clock:       clock,
+		concurrency: cfg.ServerConcurrency,
+		hitFactor:   cfg.ServerHitFactor,
+	}
+	if cfg.ServerCacheSlots > 0 {
+		c, err := cache.New(cfg.ServerCacheSlots)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	return s, nil
+}
+
+// enqueue submits a request; it is served FIFO as slots free up.
+func (s *server) enqueue(r request) {
+	r.enqueuedAt = s.clock.Now()
+	s.queue = append(s.queue, r)
+	s.dispatch()
+}
+
+// dispatch starts queued requests while free slots remain. The server-cache
+// lookup happens at service start: a hit means the page is already at the
+// server, so only the hitFactor fraction of the origin time is spent.
+func (s *server) dispatch() {
+	for s.inFlight < s.concurrency && len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		waited := s.clock.Now() - req.enqueuedAt
+		service := req.duration
+		if s.cache != nil && s.cache.Contains(req.page) {
+			s.cache.RecordAccess(req.page)
+			service *= s.hitFactor
+			s.cacheHits++
+		}
+		s.served++
+		s.inFlight++
+		s.clock.After(service, func() {
+			s.complete(req, service, waited)
+		})
+	}
+}
+
+func (s *server) complete(req request, service, waited float64) {
+	s.inFlight--
+	s.busyTime += service
+	if s.cache != nil {
+		insertLRU(s.cache, req.page, req.duration)
+	}
+	req.client.onTransferDone(req, waited)
+	s.dispatch()
+}
+
+// insertLRU caches an item, evicting the least recently used entry when the
+// cache is full. A no-op if the item is already cached. Eviction and insert
+// cannot fail on a well-formed cache, so errors are simulator bugs.
+func insertLRU(c *cache.Cache, id int, retrieval float64) {
+	if c.Contains(id) {
+		return
+	}
+	if c.Free() == 0 {
+		if victim, ok := c.Victim(cache.LRU{}); ok {
+			if err := c.Evict(victim); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := c.Insert(id, retrieval); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,68 @@
+package multiclient
+
+import (
+	"fmt"
+
+	"prefetch/internal/stats"
+	"prefetch/internal/sweep"
+)
+
+// SweepPoint aggregates the seed replications at one client count.
+type SweepPoint struct {
+	Clients     int
+	Reps        int
+	Access      stats.Accumulator // every round of every rep merged
+	QueueWait   stats.Accumulator // every server transfer of every rep merged
+	Utilization stats.Accumulator // one observation per rep
+	Improvement stats.Accumulator // one aggregate improvement per rep
+}
+
+// SweepClients sweeps the client count over ns, replicating each point with
+// reps derived seeds (rep r uses master seed cfg.Seed + r), in parallel via
+// the sweep worker pool. Each task runs both the prefetching configuration
+// and its no-prefetch baseline so every point carries an access-improvement
+// estimate. Tasks derive all randomness from their own (seed, client) pairs,
+// so the result is independent of worker scheduling.
+func SweepClients(cfg Config, ns []int, reps, workers int) ([]SweepPoint, error) {
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("%w: empty client-count axis", ErrBadConfig)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
+	}
+	type task struct {
+		n   int
+		rep int
+	}
+	var tasks []task
+	for _, n := range ns {
+		if n < 1 {
+			return nil, fmt.Errorf("%w: %d clients in sweep axis", ErrBadConfig, n)
+		}
+		for r := 0; r < reps; r++ {
+			tasks = append(tasks, task{n: n, rep: r})
+		}
+	}
+	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
+		c := cfg
+		c.Clients = t.n
+		c.Seed = cfg.Seed + uint64(t.rep)
+		return Compare(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(ns))
+	for i, n := range ns {
+		points[i].Clients = n
+		points[i].Reps = reps
+		for r := 0; r < reps; r++ {
+			cmp := comparisons[i*reps+r]
+			points[i].Access.Merge(&cmp.Prefetch.Access)
+			points[i].QueueWait.Merge(&cmp.Prefetch.QueueWait)
+			points[i].Utilization.Add(cmp.Prefetch.Utilization())
+			points[i].Improvement.Add(cmp.Improvement())
+		}
+	}
+	return points, nil
+}

@@ -68,6 +68,28 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// Derive returns a Source for the named subsystem, deterministically derived
+// from a master seed: the same (seed, label) pair always yields the same
+// stream, and distinct labels yield statistically independent streams. This
+// is the partitioned-RNG idiom for concurrent simulations — each client or
+// subsystem derives its own stream up front, so the interleaving of events
+// at run time cannot perturb anyone's randomness.
+func Derive(seed uint64, label string) *Source {
+	return New(seed ^ fnv1a64(label))
+}
+
+// fnv1a64 hashes a label with FNV-1a; implemented locally (like the
+// generator itself) so derived streams never drift across Go releases.
+func fnv1a64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
 	// 53 high bits → uniform dyadic rational in [0,1).

@@ -45,6 +45,34 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestDeriveDeterminism(t *testing.T) {
+	a := Derive(42, "client/3")
+	b := Derive(42, "client/3")
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("derived streams from identical (seed, label) diverged at step %d", i)
+		}
+	}
+}
+
+func TestDeriveLabelsIndependent(t *testing.T) {
+	labels := []string{"site", "client/0", "client/1", "client/10"}
+	for i, la := range labels {
+		for _, lb := range labels[i+1:] {
+			a, b := Derive(9, la), Derive(9, lb)
+			same := 0
+			for k := 0; k < 100; k++ {
+				if a.Uint64() == b.Uint64() {
+					same++
+				}
+			}
+			if same > 2 {
+				t.Fatalf("labels %q and %q produced %d/100 identical outputs", la, lb, same)
+			}
+		}
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 10000; i++ {

@@ -15,6 +15,10 @@ import (
 // ErrBadSweep reports invalid sweep configuration.
 var ErrBadSweep = errors.New("sweep: bad sweep")
 
+// ErrPanic reports a task that panicked; the wrapping error carries the
+// index of the parameter that caused it.
+var ErrPanic = errors.New("task panicked")
+
 // Run applies fn to every parameter on up to `workers` goroutines
 // (0 ⇒ GOMAXPROCS) and returns the results in input order. The first error
 // (by input order) is returned with its parameter index; all tasks run to
@@ -46,7 +50,7 @@ func Run[P, R any](params []P, workers int, fn func(P) (R, error)) ([]R, error) 
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				results[i], errs[i] = fn(params[i])
+				results[i], errs[i] = protect(fn, params[i])
 			}
 		}()
 	}
@@ -62,6 +66,18 @@ func Run[P, R any](params []P, workers int, fn func(P) (R, error)) ([]R, error) 
 		}
 	}
 	return results, nil
+}
+
+// protect invokes fn and converts a panic into an error, so one bad
+// parameter cannot kill the whole process; Run's error wrapping attaches
+// the offending task index.
+func protect[P, R any](fn func(P) (R, error), p P) (r R, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("%w: %v", ErrPanic, rec)
+		}
+	}()
+	return fn(p)
 }
 
 // Map is Run with the worker count defaulted, for readability at call

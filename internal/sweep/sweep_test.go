@@ -66,6 +66,47 @@ func TestRunAllTasksExecuteDespiteError(t *testing.T) {
 	}
 }
 
+func TestRunRecoversPanicWithTaskIndex(t *testing.T) {
+	params := []int{0, 1, 2, 3, 4, 5}
+	results, err := Run(params, 3, func(p int) (int, error) {
+		if p == 3 {
+			panic(fmt.Sprintf("bad parameter %d", p))
+		}
+		return p * 10, nil
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if got, want := err.Error(), "sweep: task 3: task panicked: bad parameter 3"; got != want {
+		t.Fatalf("err = %q, want %q", got, want)
+	}
+	// The surviving tasks still completed into the partial results.
+	for _, i := range []int{0, 1, 2, 4, 5} {
+		if results[i] != i*10 {
+			t.Errorf("result[%d] = %d, want %d", i, results[i], i*10)
+		}
+	}
+}
+
+func TestRunPanicKeepsFirstErrorByInputOrder(t *testing.T) {
+	params := []int{0, 1, 2, 3}
+	_, err := Run(params, 2, func(p int) (int, error) {
+		switch p {
+		case 1:
+			return 0, errors.New("plain error")
+		case 3:
+			panic("later panic")
+		}
+		return p, nil
+	})
+	if err == nil || err.Error() != "sweep: task 1: plain error" {
+		t.Fatalf("err = %v, want the first failure by input order", err)
+	}
+	if errors.Is(err, ErrPanic) {
+		t.Fatal("plain error misreported as panic")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := Run([]int{1}, -1, func(p int) (int, error) { return p, nil }); err == nil {
 		t.Fatal("negative workers accepted")

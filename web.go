@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"prefetch/internal/multiclient"
 	"prefetch/internal/netsim"
 	"prefetch/internal/webgraph"
 )
@@ -56,3 +57,39 @@ func NewSurfer(r *Rand, site *Site, followProb float64) *Surfer {
 
 // SimulateNetRound plays one round through the discrete-event simulator.
 func SimulateNetRound(round NetRound) (NetRoundResult, error) { return netsim.SimulateRound(round) }
+
+// Multi-client shared-server simulation: N concurrent surfers, each with
+// its own SKP planner and client cache, contending for a server with
+// bounded transfer concurrency and an optional shared server-side cache.
+type (
+	// MultiClientConfig parameterises RunMultiClient.
+	MultiClientConfig = multiclient.Config
+	// MultiClientResult aggregates one multi-client run.
+	MultiClientResult = multiclient.Result
+	// MultiClientClientResult is one session's view of the run.
+	MultiClientClientResult = multiclient.ClientResult
+	// MultiClientComparison pairs a prefetching run with its no-prefetch
+	// baseline over the identical workload.
+	MultiClientComparison = multiclient.Comparison
+	// MultiClientSweepPoint aggregates seed replications at one client count.
+	MultiClientSweepPoint = multiclient.SweepPoint
+)
+
+// DefaultMultiClientConfig returns a contended but healthy starting point.
+func DefaultMultiClientConfig() MultiClientConfig { return multiclient.DefaultConfig() }
+
+// RunMultiClient plays N concurrent sessions against the shared server.
+// Identical seeds replay bit-for-bit.
+func RunMultiClient(cfg MultiClientConfig) (MultiClientResult, error) { return multiclient.Run(cfg) }
+
+// CompareMultiClient runs cfg with and without prefetching over the
+// identical workload and reports the access improvement under contention.
+func CompareMultiClient(cfg MultiClientConfig) (MultiClientComparison, error) {
+	return multiclient.Compare(cfg)
+}
+
+// SweepMultiClient sweeps the client count over ns with seed-replicated
+// parallel runs (reps derived seeds per point, sweep worker pool).
+func SweepMultiClient(cfg MultiClientConfig, ns []int, reps, workers int) ([]MultiClientSweepPoint, error) {
+	return multiclient.SweepClients(cfg, ns, reps, workers)
+}
