@@ -20,6 +20,18 @@
 //	prefetchsim -mode multiclient -clients 8 -serverconc 2 -servercache 40
 //	prefetchsim -mode multiclient -clients 1,2,4,8,16 -serverconc 2 -reps 3
 //
+// The shared server's scheduling subsystem (internal/schedsrv) is selected
+// with -discipline: fifo (seed behaviour), priority (strict demand
+// priority; add -preempt to abort in-flight speculative transfers), wfq
+// (weighted fair queueing with -weights demand:spec), or shaped
+// (per-client token buckets, -rate and -burst). -admit-util enables
+// utilisation-gated admission control of speculative requests. A comma
+// list (or "all") sweeps disciplines over the identical workload:
+//
+//	prefetchsim -mode multiclient -clients 16 -discipline priority -preempt
+//	prefetchsim -mode multiclient -clients 16 -discipline wfq -weights 8:1
+//	prefetchsim -mode multiclient -clients 16 -discipline all -admit-util 0.85
+//
 // Traces: -record FILE writes the generated workload as JSON lines;
 // -replay FILE replays a previously recorded workload (prefetch-only mode).
 package main
@@ -68,6 +80,15 @@ func run(args []string, out io.Writer) error {
 		serverCache = fs.Int("servercache", 0, "shared server cache slots, 0 = none (multiclient)")
 		rounds      = fs.Int("rounds", 300, "browsing rounds per client (multiclient)")
 		reps        = fs.Int("reps", 3, "seed replications per sweep point (multiclient)")
+
+		discipline  = fs.String("discipline", "fifo", "server scheduling: fifo | priority | wfq | shaped, comma list or \"all\" to sweep (multiclient)")
+		preempt     = fs.Bool("preempt", false, "priority discipline: demands abort in-flight speculative transfers (multiclient)")
+		weights     = fs.String("weights", "4:1", "wfq demand:speculative class weights (multiclient)")
+		shapeRate   = fs.Float64("rate", 0.5, "shaped discipline: per-client service-seconds of credit per second (multiclient)")
+		shapeBurst  = fs.Float64("burst", 8, "shaped discipline: per-client bucket depth in service-seconds (multiclient)")
+		admitUtil   = fs.Float64("admit-util", 0, "drop speculative requests above this utilisation, 0 = off (multiclient)")
+		admitWindow = fs.Float64("admit-window", 50, "sliding window for the utilisation estimate (multiclient)")
+		admitDefer  = fs.Bool("admit-defer", false, "defer gated speculative requests instead of dropping them (multiclient)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -84,7 +105,22 @@ func run(args []string, out io.Writer) error {
 	case "session":
 		return runSession(out, *seed, *states, *requests, *skew)
 	case "multiclient":
-		return runMultiClient(out, *seed, *clients, *serverConc, *serverCache, *rounds, *reps)
+		return runMultiClient(out, mcOptions{
+			seed:        *seed,
+			clients:     *clients,
+			serverConc:  *serverConc,
+			serverCache: *serverCache,
+			rounds:      *rounds,
+			reps:        *reps,
+			discipline:  *discipline,
+			preempt:     *preempt,
+			weights:     *weights,
+			rate:        *shapeRate,
+			burst:       *shapeBurst,
+			admitUtil:   *admitUtil,
+			admitWindow: *admitWindow,
+			admitDefer:  *admitDefer,
+		})
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -262,6 +298,71 @@ func runSession(out io.Writer, seed uint64, states, requests int, skew float64) 
 	return nil
 }
 
+// mcOptions bundles the multiclient-mode flags.
+type mcOptions struct {
+	seed        uint64
+	clients     string
+	serverConc  int
+	serverCache int
+	rounds      int
+	reps        int
+	discipline  string
+	preempt     bool
+	weights     string
+	rate        float64
+	burst       float64
+	admitUtil   float64
+	admitWindow float64
+	admitDefer  bool
+}
+
+// parseWeights parses "demand:spec" wfq class weights.
+func parseWeights(s string) (demand, spec float64, err error) {
+	d, sp, ok := strings.Cut(s, ":")
+	if ok {
+		demand, err = strconv.ParseFloat(strings.TrimSpace(d), 64)
+		if err == nil {
+			spec, err = strconv.ParseFloat(strings.TrimSpace(sp), 64)
+		}
+	}
+	// Positive-form checks so NaN is rejected too.
+	if !ok || err != nil || !(demand > 0) || !(spec > 0) {
+		return 0, 0, fmt.Errorf("bad -weights %q (want demand:spec, e.g. 4:1)", s)
+	}
+	return demand, spec, nil
+}
+
+// parseDisciplines parses a single discipline, a comma list, or "all",
+// against the canonical prefetch.SchedKinds() list.
+func parseDisciplines(s string) ([]prefetch.SchedKind, error) {
+	if strings.TrimSpace(s) == "all" {
+		return prefetch.SchedKinds(), nil
+	}
+	var kinds []prefetch.SchedKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind := prefetch.SchedKind(part)
+		known := false
+		for _, k := range prefetch.SchedKinds() {
+			if kind == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown discipline %q", part)
+		}
+		kinds = append(kinds, kind)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no disciplines given")
+	}
+	return kinds, nil
+}
+
 // parseClients parses a single client count or a comma-separated sweep axis.
 func parseClients(list string) ([]int, error) {
 	var ns []int
@@ -282,16 +383,54 @@ func parseClients(list string) ([]int, error) {
 	return ns, nil
 }
 
-func runMultiClient(out io.Writer, seed uint64, clients string, serverConc, serverCache, rounds, reps int) error {
-	ns, err := parseClients(clients)
+func runMultiClient(out io.Writer, opt mcOptions) error {
+	ns, err := parseClients(opt.clients)
 	if err != nil {
 		return err
 	}
+	kinds, err := parseDisciplines(opt.discipline)
+	if err != nil {
+		return err
+	}
+	demandW, specW, err := parseWeights(opt.weights)
+	if err != nil {
+		return err
+	}
+	// SchedConfig treats zero tunables as "use the default", so an explicit
+	// -rate 0 would silently become 0.5; refuse it (and NaN) here instead.
+	if !(opt.rate > 0) || !(opt.burst > 0) {
+		return fmt.Errorf("-rate and -burst must be positive (got %v, %v)", opt.rate, opt.burst)
+	}
+	if !(opt.admitWindow > 0) {
+		return fmt.Errorf("-admit-window must be positive (got %v)", opt.admitWindow)
+	}
+	if opt.admitDefer && !(opt.admitUtil > 0) {
+		return fmt.Errorf("-admit-defer requires -admit-util > 0")
+	}
 	cfg := prefetch.DefaultMultiClientConfig()
-	cfg.Seed = seed
-	cfg.ServerConcurrency = serverConc
-	cfg.ServerCacheSlots = serverCache
-	cfg.Rounds = rounds
+	cfg.Seed = opt.seed
+	cfg.ServerConcurrency = opt.serverConc
+	cfg.ServerCacheSlots = opt.serverCache
+	cfg.Rounds = opt.rounds
+	cfg.Sched = prefetch.SchedConfig{
+		Kind:         kinds[0],
+		Preempt:      opt.preempt,
+		DemandWeight: demandW,
+		SpecWeight:   specW,
+		Rate:         opt.rate,
+		Burst:        opt.burst,
+		AdmitUtil:    opt.admitUtil,
+		AdmitWindow:  opt.admitWindow,
+		AdmitDefer:   opt.admitDefer,
+	}
+	reps := opt.reps
+	// Non-default scheduling extends the seed's tables with the
+	// discipline-specific columns; the default output stays byte-identical.
+	extended := cfg.Sched.Kind != prefetch.SchedFIFO || opt.preempt || opt.admitUtil > 0
+
+	if len(kinds) > 1 {
+		return runDisciplineSweep(out, cfg, ns, kinds, reps)
+	}
 
 	if len(ns) == 1 {
 		cfg.Clients = ns[0]
@@ -321,12 +460,34 @@ func runMultiClient(out io.Writer, seed uint64, clients string, serverConc, serv
 		if cfg.ServerCacheSlots > 0 {
 			fmt.Fprintf(out, "server cache hit rate %.1f%%\n", 100*res.HitRate())
 		}
+		if extended {
+			fmt.Fprintf(out, "\ndiscipline %s: demand access %.4f, speculative throughput %.4f/s\n",
+				res.Discipline, res.DemandAccess.Mean(), res.SpecThroughput())
+			if res.Preemptions > 0 {
+				fmt.Fprintf(out, "preempted speculative transfers: %d\n", res.Preemptions)
+			}
+			if opt.admitUtil > 0 {
+				fmt.Fprintf(out, "admission: %d dropped, %d deferred\n", res.PrefetchDropped, res.PrefetchDeferred)
+			}
+		}
 		return nil
 	}
 
 	points, err := prefetch.SweepMultiClient(cfg, ns, reps, 0)
 	if err != nil {
 		return err
+	}
+	if extended {
+		fmt.Fprintf(out, "sweep over clients, discipline %s, server concurrency %d, %d reps, %d rounds each\n\n",
+			cfg.Sched.Kind, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s %10s\n",
+			"clients", "demand T", "mean T", "queue wait", "spec/s", "util%", "improve%")
+		for _, p := range points {
+			fmt.Fprintf(out, "%-8d %10.4f %10.4f %12.4f %10.4f %9.1f%% %9.1f%%\n",
+				p.Clients, p.DemandAccess.Mean(), p.Access.Mean(), p.QueueWait.Mean(),
+				p.SpecThroughput.Mean(), 100*p.Utilization.Mean(), 100*p.Improvement.Mean())
+		}
+		return nil
 	}
 	fmt.Fprintf(out, "sweep over clients, server concurrency %d, %d reps, %d rounds each\n\n",
 		cfg.ServerConcurrency, reps, cfg.Rounds)
@@ -336,6 +497,32 @@ func runMultiClient(out io.Writer, seed uint64, clients string, serverConc, serv
 		fmt.Fprintf(out, "%-8d %10.4f %10.4f %12.4f %9.1f%% %9.1f%%\n",
 			p.Clients, p.Access.Mean(), p.Access.CI95(), p.QueueWait.Mean(),
 			100*p.Utilization.Mean(), 100*p.Improvement.Mean())
+	}
+	return nil
+}
+
+// runDisciplineSweep tabulates every requested discipline over the
+// identical seed-replicated workload, one table per client count.
+func runDisciplineSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, kinds []prefetch.SchedKind, reps int) error {
+	for i, n := range ns {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		cfg.Clients = n
+		points, err := prefetch.SweepMultiClientDisciplines(cfg, kinds, reps, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "discipline sweep, %d clients, server concurrency %d, %d reps, %d rounds each\n\n",
+			n, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "%-10s %10s %10s %12s %10s %8s %8s %10s\n",
+			"discipline", "demand T", "mean T", "queue wait", "spec/s", "drops", "preempt", "improve%")
+		for _, p := range points {
+			fmt.Fprintf(out, "%-10s %10.4f %10.4f %12.4f %10.4f %8d %8d %9.1f%%\n",
+				p.Kind, p.DemandAccess.Mean(), p.Access.Mean(), p.QueueWait.Mean(),
+				p.SpecThroughput.Mean(), p.PrefetchDropped, p.Preemptions,
+				100*p.Improvement.Mean())
+		}
 	}
 	return nil
 }

@@ -100,3 +100,109 @@ func TestRunRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+func TestRunMultiClientDisciplines(t *testing.T) {
+	for _, disc := range []string{"priority", "wfq", "shaped"} {
+		out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "25", "-discipline", disc)
+		if !strings.Contains(out, "discipline "+disc) {
+			t.Errorf("%s output missing discipline line:\n%s", disc, out)
+		}
+		if !strings.Contains(out, "demand access") {
+			t.Errorf("%s output missing demand access:\n%s", disc, out)
+		}
+	}
+}
+
+func TestRunMultiClientDisciplineDeterminism(t *testing.T) {
+	for _, disc := range []string{"fifo", "priority", "wfq", "shaped"} {
+		args := []string{"-mode", "multiclient", "-clients", "3", "-rounds", "25", "-discipline", disc, "-seed", "9"}
+		if a, b := runOut(t, args...), runOut(t, args...); a != b {
+			t.Errorf("%s: two identical invocations differ:\n%s\n---\n%s", disc, a, b)
+		}
+	}
+}
+
+func TestRunMultiClientDisciplineSweep(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-reps", "2", "-discipline", "all")
+	for _, want := range []string{"discipline sweep", "demand T", "spec/s", "fifo", "priority", "wfq", "shaped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientPreemptAndAdmission(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "4", "-rounds", "30",
+		"-discipline", "priority", "-preempt", "-admit-util", "0.6", "-admit-window", "25")
+	for _, want := range []string{"discipline priority", "admission:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientWeights(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-discipline", "wfq", "-weights", "8:1")
+	if !strings.Contains(out, "discipline wfq") {
+		t.Errorf("output missing wfq discipline line:\n%s", out)
+	}
+}
+
+func TestRunMultiClientBadScheduling(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "multiclient", "-discipline", "lifo"},
+		{"-mode", "multiclient", "-discipline", ""},
+		{"-mode", "multiclient", "-weights", "4"},
+		{"-mode", "multiclient", "-weights", "0:1"},
+		{"-mode", "multiclient", "-discipline", "fifo", "-preempt"}, // preempt needs priority
+		{"-mode", "multiclient", "-admit-util", "1.5"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad scheduling input", args)
+		}
+	}
+}
+
+func TestRunMultiClientDisciplineClientSweep(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "2,3", "-rounds", "20", "-reps", "2", "-discipline", "priority")
+	for _, want := range []string{"discipline priority", "demand T", "spec/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("discipline client-sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientBadShaping(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "multiclient", "-rate", "0"},
+		{"-mode", "multiclient", "-burst", "-1"},
+		{"-mode", "multiclient", "-admit-window", "0"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad shaping input", args)
+		}
+	}
+}
+
+func TestRunMultiClientNaNRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "multiclient", "-discipline", "wfq", "-weights", "NaN:1"},
+		{"-mode", "multiclient", "-discipline", "shaped", "-rate", "NaN"},
+		{"-mode", "multiclient", "-admit-util", "NaN"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted NaN input", args)
+		}
+	}
+}
+
+func TestRunMultiClientAdmitDeferRequiresUtil(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "multiclient", "-admit-defer"}, &sb); err == nil {
+		t.Error("-admit-defer without -admit-util was accepted as a silent no-op")
+	}
+}

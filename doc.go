@@ -38,11 +38,13 @@
 // internal/: core (model + solvers), knapsack (the classic-KP baseline),
 // access (probability generators, Markov sources, learned predictors),
 // cache (replacement policies), sim (the paper's Monte-Carlo harnesses),
-// netsim (an event-driven validation simulator), multiclient (N concurrent
-// sessions contending for a shared server — see RunMultiClient), stats,
-// plot, rng and sweep. The cmd/ tools regenerate every figure of the
-// paper; see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// measured results.
+// netsim (an event-driven validation simulator), eventq (the binary-heap
+// priority queue under every discrete-event scheduler), multiclient (N
+// concurrent sessions contending for a shared server — see
+// RunMultiClient), schedsrv (the server's pluggable scheduling
+// subsystem), stats, plot, rng and sweep. The cmd/ tools regenerate every
+// figure of the paper; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured results.
 //
 // # Beyond the paper: shared-server contention
 //
@@ -53,4 +55,21 @@
 // with bounded transfer concurrency and an optional shared server-side
 // cache, reporting per-client and aggregate access times, queueing delay
 // and server utilisation. Identical master seeds replay bit-for-bit.
+//
+// # Server scheduling: arbitrating speculation against demand
+//
+// Under contention, how the shared server arbitrates speculative vs.
+// demand traffic dominates prefetching's net benefit, so that decision
+// layer is pluggable (MultiClientConfig.Sched, a SchedConfig). Built-in
+// disciplines: SchedFIFO (the seed behaviour — speculation and demand
+// queue equally), SchedPriority (strict demand priority, optionally
+// preempting in-flight speculative transfers), SchedWFQ (weighted fair
+// queueing over per-client demand/speculative flows) and SchedShaped
+// (per-client token-bucket bandwidth shaping; demand runs on credit
+// debt). An admission controller (SchedConfig.AdmitUtil) drops or defers
+// speculative requests while a sliding-window utilisation estimate is
+// above threshold. A demand arrival for a page whose prefetch is still
+// queued promotes that transfer into the demand class. Compare
+// disciplines over identical workloads with SweepMultiClientDisciplines
+// or examples/scheduling.
 package prefetch

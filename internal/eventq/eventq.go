@@ -1,0 +1,93 @@
+// Package eventq provides the binary-heap priority queue shared by the
+// discrete-event schedulers in this repository: netsim's Clock (which
+// previously carried its own container/heap implementation) and the
+// schedsrv server-scheduling disciplines. Both need the same operation
+// mix — push an element with a priority, pop the minimum, peek — on hot
+// paths that grow linearly with the number of concurrent clients, where a
+// sorted-slice insert degrades to O(n) per operation while the heap stays
+// O(log n); BenchmarkEventQueue documents that gap.
+//
+// The queue is ordered by a caller-supplied strict less function. Callers
+// that need FIFO behaviour among equal priorities must fold a sequence
+// number into less (as netsim.Clock and schedsrv do); the heap itself does
+// not promise stability.
+package eventq
+
+// Queue is a binary min-heap ordered by the less function given to New.
+type Queue[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// New returns an empty queue ordered by less.
+func New[T any](less func(a, b T) bool) *Queue[T] {
+	return &Queue[T]{less: less}
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push adds v to the queue in O(log n).
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.up(len(q.items) - 1)
+}
+
+// Peek returns the minimum element without removing it. It reports false on
+// an empty queue.
+func (q *Queue[T]) Peek() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Pop removes and returns the minimum element in O(log n). It reports false
+// on an empty queue.
+func (q *Queue[T]) Pop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	min := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	var zero T
+	q.items[last] = zero // release the reference for the GC
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return min, true
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && q.less(q.items[right], q.items[left]) {
+			child = right
+		}
+		if !q.less(q.items[child], q.items[i]) {
+			return
+		}
+		q.items[i], q.items[child] = q.items[child], q.items[i]
+		i = child
+	}
+}

@@ -1,0 +1,194 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+
+	"prefetch/internal/rng"
+)
+
+type stamped struct {
+	time float64
+	seq  int64
+}
+
+func stampedLess(a, b stamped) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := New(stampedLess)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue reported ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue reported ok")
+	}
+}
+
+// TestPopsInSortedOrder drains a randomly-pushed queue and checks the pop
+// sequence equals the fully sorted order — the heap's only contract.
+func TestPopsInSortedOrder(t *testing.T) {
+	r := rng.New(11)
+	q := New(stampedLess)
+	var want []stamped
+	for i := 0; i < 500; i++ {
+		// Coarse times force plenty of ties so the seq tie-break is exercised.
+		s := stamped{time: float64(r.Uint64() % 50), seq: int64(i)}
+		want = append(want, s)
+		q.Push(s)
+	}
+	sort.Slice(want, func(i, j int) bool { return stampedLess(want[i], want[j]) })
+	for i, w := range want {
+		got, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue empty after %d pops, want %d", i, len(want))
+		}
+		if got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after full drain", q.Len())
+	}
+}
+
+// TestInterleavedPushPop mimics the simulator's workload: pop the earliest
+// event, push a few more in the future, and confirm times never go backward.
+func TestInterleavedPushPop(t *testing.T) {
+	r := rng.New(23)
+	q := New(stampedLess)
+	var seq int64
+	push := func(now float64) {
+		seq++
+		q.Push(stamped{time: now + float64(r.Uint64()%100)/10, seq: seq})
+	}
+	for i := 0; i < 32; i++ {
+		push(0)
+	}
+	now := 0.0
+	for pops := 0; pops < 2000 && q.Len() > 0; pops++ {
+		peeked, _ := q.Peek()
+		e, ok := q.Pop()
+		if !ok || e != peeked {
+			t.Fatalf("Peek %+v disagrees with Pop %+v", peeked, e)
+		}
+		if e.time < now {
+			t.Fatalf("time went backward: %v after %v", e.time, now)
+		}
+		now = e.time
+		if pops < 1000 {
+			push(now)
+		}
+	}
+}
+
+// sortedSlice is the obvious alternative scheduler the heap is measured
+// against: insert keeps the slice ordered (binary search + copy, O(n) per
+// insert), pop takes the head. It exists only as the benchmark baseline —
+// the guard that documents why every event scheduler here stays a heap.
+type sortedSlice struct {
+	items []stamped
+}
+
+func (s *sortedSlice) Push(v stamped) {
+	i := sort.Search(len(s.items), func(i int) bool { return stampedLess(v, s.items[i]) })
+	s.items = append(s.items, stamped{})
+	copy(s.items[i+1:], s.items[i:])
+	s.items[i] = v
+}
+
+func (s *sortedSlice) Pop() (stamped, bool) {
+	if len(s.items) == 0 {
+		return stamped{}, false
+	}
+	v := s.items[0]
+	s.items = s.items[1:]
+	return v, true
+}
+
+func (s *sortedSlice) Len() int { return len(s.items) }
+
+// benchEvents generates the event stream once: a hold-N churn where every
+// pop schedules a successor at a random future offset, the access pattern of
+// Clock under a large multi-client simulation.
+func benchEvents(n, churn int) []float64 {
+	r := rng.New(99)
+	offsets := make([]float64, n+churn)
+	for i := range offsets {
+		offsets[i] = float64(r.Uint64()%1000) / 10
+	}
+	return offsets
+}
+
+func benchmarkSchedulers(b *testing.B, n int) {
+	const churn = 4096
+	offsets := benchEvents(n, churn)
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := New(stampedLess)
+			var seq int64
+			for j := 0; j < n; j++ {
+				seq++
+				q.Push(stamped{time: offsets[j], seq: seq})
+			}
+			for j := 0; j < churn; j++ {
+				e, _ := q.Pop()
+				seq++
+				q.Push(stamped{time: e.time + offsets[n+j], seq: seq})
+			}
+		}
+	})
+	b.Run("sorted-slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var q sortedSlice
+			var seq int64
+			for j := 0; j < n; j++ {
+				seq++
+				q.Push(stamped{time: offsets[j], seq: seq})
+			}
+			for j := 0; j < churn; j++ {
+				e, _ := q.Pop()
+				seq++
+				q.Push(stamped{time: e.time + offsets[n+j], seq: seq})
+			}
+		}
+	})
+}
+
+// BenchmarkEventQueue compares the binary heap against a sorted-slice
+// scheduler, holding N pending events under steady churn.
+func BenchmarkEventQueue(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		b.Run(sizeLabel(n), func(b *testing.B) { benchmarkSchedulers(b, n) })
+	}
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1024:
+		return itoa(n/1024) + "k"
+	default:
+		return itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

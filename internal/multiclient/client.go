@@ -30,14 +30,17 @@ type client struct {
 
 	round       int
 	roundsLeft  int
-	waitingFor  int // page the client is blocked on; -1 when browsing
+	waitingFor  int  // page the client is blocked on; -1 when browsing
+	demandRound bool // this round needed a network fetch (shared or own)
 	requestedAt float64
 
-	access         stats.Accumulator
-	queueWait      stats.Accumulator
-	prefetchIssued int64
-	demandFetches  int64
-	zeroWaitRounds int64
+	access          stats.Accumulator
+	demandAccess    stats.Accumulator // access times of rounds that fetched
+	queueWait       stats.Accumulator
+	prefetchIssued  int64
+	prefetchDropped int64 // speculative submissions admission refused
+	demandFetches   int64
+	zeroWaitRounds  int64
 }
 
 func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site) (*client, error) {
@@ -107,14 +110,20 @@ func (c *client) startRound(now float64) {
 	if !c.cfg.DisablePrefetch {
 		plan := c.plan(v)
 		for _, it := range plan.Items {
-			c.pending[it.ID] = true
 			c.prefetchIssued++
-			c.server.enqueue(request{
+			ok := c.server.enqueue(request{
 				client:   c,
 				page:     it.ID,
 				duration: it.Retrieval,
 				round:    c.round,
 			})
+			if !ok {
+				// Admission control dropped it: no transfer will happen,
+				// so the page must stay requestable on demand.
+				c.prefetchDropped++
+				continue
+			}
+			c.pending[it.ID] = true
 		}
 	}
 
@@ -164,9 +173,14 @@ func (c *client) request(page int) {
 		return
 	}
 	c.waitingFor = page
+	c.demandRound = true
 	if c.pending[page] {
 		// Already queued or in flight as a prefetch: sequential semantics,
-		// the demand waits for the speculative transfer to finish.
+		// the demand waits for the speculative transfer to finish — but the
+		// scheduler learns the transfer is now demand-critical, so
+		// class-aware disciplines stop deprioritising it. Under FIFO this
+		// is a pure accounting change and reorders nothing.
+		c.server.promote(c.id, page)
 		return
 	}
 	c.demandFetches++
@@ -193,6 +207,10 @@ func (c *client) onTransferDone(req request, waited float64) {
 // respond closes the round and immediately begins the next one.
 func (c *client) respond(access float64) {
 	c.access.Add(access)
+	if c.demandRound {
+		c.demandAccess.Add(access)
+		c.demandRound = false
+	}
 	if access == 0 {
 		c.zeroWaitRounds++
 	}

@@ -22,6 +22,7 @@ import (
 
 	"prefetch/internal/netsim"
 	"prefetch/internal/rng"
+	"prefetch/internal/schedsrv"
 	"prefetch/internal/stats"
 	"prefetch/internal/webgraph"
 )
@@ -46,6 +47,12 @@ type Config struct {
 
 	MaxCandidates   int  // cap on SKP candidate list size per round
 	DisablePrefetch bool // demand-fetch only (the no-prefetch baseline)
+
+	// Sched selects the server's scheduling discipline, shaping and
+	// admission control (see internal/schedsrv). The zero value is the
+	// seed's FIFO server; Sched.Concurrency is overridden by
+	// ServerConcurrency.
+	Sched schedsrv.Config
 
 	Site webgraph.SiteConfig // the shared site every client browses
 	Seed uint64              // master seed; all streams derive from it
@@ -92,32 +99,46 @@ func (cfg Config) Validate() error {
 	case cfg.MaxCandidates < 1:
 		return fmt.Errorf("%w: max candidates %d", ErrBadConfig, cfg.MaxCandidates)
 	}
+	scfg := cfg.Sched
+	scfg.Concurrency = cfg.ServerConcurrency
+	if err := scfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	return nil
 }
 
 // ClientResult is one session's view of the run.
 type ClientResult struct {
-	Client         int
-	Access         stats.Accumulator // per-round observed access times
-	QueueWait      stats.Accumulator // per-transfer wait for a server slot
-	PrefetchIssued int64
-	DemandFetches  int64
-	ZeroWaitRounds int64 // rounds answered with no waiting at all
+	Client          int
+	Access          stats.Accumulator // per-round observed access times
+	DemandAccess    stats.Accumulator // rounds that needed a network fetch
+	QueueWait       stats.Accumulator // per-transfer wait for a server slot
+	PrefetchIssued  int64
+	PrefetchDropped int64 // speculative submissions refused by admission
+	DemandFetches   int64
+	ZeroWaitRounds  int64 // rounds answered with no waiting at all
 }
 
 // Result aggregates one multi-client run.
 type Result struct {
 	Clients     int
 	Concurrency int
+	Discipline  string // scheduling discipline the server ran
 	PerClient   []ClientResult
 
-	Access    stats.Accumulator // all clients' rounds merged
-	QueueWait stats.Accumulator // all server transfers merged
+	Access       stats.Accumulator // all clients' rounds merged
+	DemandAccess stats.Accumulator // all clients' fetching rounds merged
+	QueueWait    stats.Accumulator // all server transfers merged
 
 	Elapsed         float64 // simulated time until the last event
 	ServerBusy      float64 // slot-seconds of service performed
 	ServerRequests  int64
 	ServerCacheHits int64
+
+	SpecCompleted    int64 // transfers completed still speculative-class
+	Preemptions      int64 // in-flight speculative transfers aborted
+	PrefetchDropped  int64 // speculative requests dropped by admission
+	PrefetchDeferred int64 // speculative requests deferred by admission
 }
 
 // Utilization returns the fraction of server slot-time spent serving.
@@ -134,6 +155,15 @@ func (r Result) HitRate() float64 {
 		return 0
 	}
 	return float64(r.ServerCacheHits) / float64(r.ServerRequests)
+}
+
+// SpecThroughput returns completed speculative transfers per unit of
+// simulated time — the bandwidth the server actually spent on speculation.
+func (r Result) SpecThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.SpecCompleted) / r.Elapsed
 }
 
 // clientLabel names client i's derived RNG stream.
@@ -170,27 +200,35 @@ func Run(cfg Config) (Result, error) {
 	clock.Run()
 
 	res := Result{
-		Clients:         cfg.Clients,
-		Concurrency:     cfg.ServerConcurrency,
-		PerClient:       make([]ClientResult, cfg.Clients),
-		Elapsed:         clock.Now(),
-		ServerBusy:      srv.busyTime,
-		ServerRequests:  srv.served,
-		ServerCacheHits: srv.cacheHits,
+		Clients:          cfg.Clients,
+		Concurrency:      cfg.ServerConcurrency,
+		Discipline:       srv.sched.Discipline(),
+		PerClient:        make([]ClientResult, cfg.Clients),
+		Elapsed:          clock.Now(),
+		ServerBusy:       srv.sched.BusyTime(),
+		ServerRequests:   srv.served,
+		ServerCacheHits:  srv.cacheHits,
+		SpecCompleted:    srv.sched.SpecCompleted(),
+		Preemptions:      srv.sched.Preemptions(),
+		PrefetchDropped:  srv.sched.Dropped(),
+		PrefetchDeferred: srv.sched.Deferred(),
 	}
 	for i, c := range clients {
 		if c.access.N() != int64(cfg.Rounds) {
 			return Result{}, fmt.Errorf("multiclient: client %d finished %d/%d rounds", i, c.access.N(), cfg.Rounds)
 		}
 		res.PerClient[i] = ClientResult{
-			Client:         i,
-			Access:         c.access,
-			QueueWait:      c.queueWait,
-			PrefetchIssued: c.prefetchIssued,
-			DemandFetches:  c.demandFetches,
-			ZeroWaitRounds: c.zeroWaitRounds,
+			Client:          i,
+			Access:          c.access,
+			DemandAccess:    c.demandAccess,
+			QueueWait:       c.queueWait,
+			PrefetchIssued:  c.prefetchIssued,
+			PrefetchDropped: c.prefetchDropped,
+			DemandFetches:   c.demandFetches,
+			ZeroWaitRounds:  c.zeroWaitRounds,
 		}
 		res.Access.Merge(&c.access)
+		res.DemandAccess.Merge(&c.demandAccess)
 		res.QueueWait.Merge(&c.queueWait)
 	}
 	return res, nil

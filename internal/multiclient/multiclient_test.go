@@ -2,8 +2,10 @@ package multiclient
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
+	"prefetch/internal/schedsrv"
 	"prefetch/internal/webgraph"
 )
 
@@ -230,5 +232,243 @@ func TestSweepClientsBadAxis(t *testing.T) {
 	}
 	if _, err := SweepClients(cfg, []int{1}, 0, 0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("zero reps: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// schedConfigs enumerates every discipline (plus option variants) for the
+// replay tests.
+func schedConfigs() map[string]schedsrv.Config {
+	return map[string]schedsrv.Config{
+		"fifo":           {Kind: schedsrv.KindFIFO},
+		"priority":       {Kind: schedsrv.KindPriority},
+		"priority-pre":   {Kind: schedsrv.KindPriority, Preempt: true},
+		"wfq":            {Kind: schedsrv.KindWFQ, DemandWeight: 4, SpecWeight: 1},
+		"shaped":         {Kind: schedsrv.KindShaped, Rate: 0.6, Burst: 6},
+		"fifo-admit":     {Kind: schedsrv.KindFIFO, AdmitUtil: 0.7, AdmitWindow: 30},
+		"fifo-admit-def": {Kind: schedsrv.KindFIFO, AdmitUtil: 0.7, AdmitWindow: 30, AdmitDefer: true},
+	}
+}
+
+// TestDisciplineDeterminism proves every discipline replays bit for bit:
+// same seed, same full result, including per-client traces.
+func TestDisciplineDeterminism(t *testing.T) {
+	for name, sched := range schedConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Sched = sched
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Access.Mean() != b.Access.Mean() || a.Access.N() != b.Access.N() ||
+				a.Elapsed != b.Elapsed || a.ServerBusy != b.ServerBusy ||
+				a.QueueWait.Mean() != b.QueueWait.Mean() ||
+				a.SpecCompleted != b.SpecCompleted || a.Preemptions != b.Preemptions ||
+				a.PrefetchDropped != b.PrefetchDropped {
+				t.Errorf("replay diverged: %+v vs %+v", summary(a), summary(b))
+			}
+			for i := range a.PerClient {
+				pa, pb := a.PerClient[i], b.PerClient[i]
+				if pa.Access.Mean() != pb.Access.Mean() || pa.DemandAccess.Mean() != pb.DemandAccess.Mean() ||
+					pa.PrefetchIssued != pb.PrefetchIssued || pa.PrefetchDropped != pb.PrefetchDropped {
+					t.Errorf("client %d replay diverged", i)
+				}
+			}
+		})
+	}
+}
+
+func summary(r Result) string {
+	return fmt.Sprintf("access=%v elapsed=%v busy=%v spec=%d pre=%d drop=%d",
+		r.Access.Mean(), r.Elapsed, r.ServerBusy, r.SpecCompleted, r.Preemptions, r.PrefetchDropped)
+}
+
+// TestPriorityBeatsFIFOOnDemand: at high client counts, strict demand
+// priority must yield strictly lower mean demand access time than FIFO on
+// the identical workload — the acceptance bar for the subsystem.
+func TestPriorityBeatsFIFOOnDemand(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 12
+	cfg.Rounds = 120
+	fifoRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sched = schedsrv.Config{Kind: schedsrv.KindPriority}
+	prioRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("demand access: fifo %.4f, priority %.4f (overall %.4f vs %.4f)",
+		fifoRes.DemandAccess.Mean(), prioRes.DemandAccess.Mean(),
+		fifoRes.Access.Mean(), prioRes.Access.Mean())
+	if prioRes.DemandAccess.Mean() >= fifoRes.DemandAccess.Mean() {
+		t.Errorf("priority demand access %.4f not below fifo %.4f",
+			prioRes.DemandAccess.Mean(), fifoRes.DemandAccess.Mean())
+	}
+	if prioRes.Access.Mean() >= fifoRes.Access.Mean() {
+		t.Errorf("priority overall access %.4f not below fifo %.4f",
+			prioRes.Access.Mean(), fifoRes.Access.Mean())
+	}
+}
+
+// TestAdmissionReducesSpeculation: with a low admission threshold on a
+// saturated server, speculative requests must actually be dropped, demand
+// service must go on, and every client still finishes every round.
+func TestAdmissionReducesSpeculation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 8
+	cfg.Sched = schedsrv.Config{AdmitUtil: 0.5, AdmitWindow: 20}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefetchDropped == 0 {
+		t.Error("no speculative requests dropped on a saturated server with a 0.5 threshold")
+	}
+	var dropped int64
+	for _, pc := range res.PerClient {
+		dropped += pc.PrefetchDropped
+	}
+	if dropped != res.PrefetchDropped {
+		t.Errorf("per-client drops %d disagree with server total %d", dropped, res.PrefetchDropped)
+	}
+	// Deferred admission must not lose transfers either.
+	cfg.Sched.AdmitDefer = true
+	defRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defRes.PrefetchDropped != 0 {
+		t.Errorf("defer mode dropped %d requests", defRes.PrefetchDropped)
+	}
+	if defRes.PrefetchDeferred == 0 {
+		t.Error("defer mode deferred nothing on a saturated server")
+	}
+}
+
+// TestPreemptionOccursUnderContention: the preemptive priority variant
+// actually aborts speculative transfers under load, and stays consistent.
+func TestPreemptionOccursUnderContention(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 8
+	cfg.Sched = schedsrv.Config{Kind: schedsrv.KindPriority, Preempt: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Error("no preemptions on a contended server")
+	}
+}
+
+// TestShapedReducesSpecThroughput: token-bucket shaping must cut the
+// server bandwidth spent on speculation relative to FIFO.
+func TestShapedReducesSpecThroughput(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 8
+	fifoRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sched = schedsrv.Config{Kind: schedsrv.KindShaped, Rate: 0.1, Burst: 2}
+	shapedRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spec throughput: fifo %.4f, shaped %.4f", fifoRes.SpecThroughput(), shapedRes.SpecThroughput())
+	if shapedRes.SpecThroughput() >= fifoRes.SpecThroughput() {
+		t.Errorf("shaping did not reduce speculative throughput: %.4f vs %.4f",
+			shapedRes.SpecThroughput(), fifoRes.SpecThroughput())
+	}
+}
+
+// TestSweepDisciplines covers the discipline sweep: one point per kind,
+// deterministic across worker counts, FIFO point matching a direct run.
+func TestSweepDisciplines(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rounds = 40
+	kinds := schedsrv.Kinds()
+	a, err := SweepDisciplines(cfg, kinds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(kinds) {
+		t.Fatalf("got %d points, want %d", len(a), len(kinds))
+	}
+	for i, p := range a {
+		if p.Kind != kinds[i] || p.Clients != cfg.Clients || p.Reps != 2 {
+			t.Errorf("point %d = (%s, N=%d, reps=%d)", i, p.Kind, p.Clients, p.Reps)
+		}
+		if want := int64(cfg.Clients * cfg.Rounds * 2); p.Access.N() != want {
+			t.Errorf("point %d merged %d access observations, want %d", i, p.Access.N(), want)
+		}
+	}
+	b, err := SweepDisciplines(cfg, kinds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Access.Mean() != b[i].Access.Mean() || a[i].DemandAccess.Mean() != b[i].DemandAccess.Mean() {
+			t.Errorf("point %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestSweepDisciplinesBadAxis(t *testing.T) {
+	cfg := testConfig()
+	if _, err := SweepDisciplines(cfg, nil, 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty axis: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := SweepDisciplines(cfg, []schedsrv.Kind{"lifo"}, 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown kind: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := SweepDisciplines(cfg, schedsrv.Kinds(), 0, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero reps: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestFIFOPromoteIsPureAccounting: promotion must not change FIFO timing —
+// a run with the zero scheduling config matches the Sched-explicit FIFO.
+func TestFIFOPromoteIsPureAccounting(t *testing.T) {
+	cfg := testConfig()
+	implicit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sched = schedsrv.Config{Kind: schedsrv.KindFIFO}
+	explicit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Access.Mean() != explicit.Access.Mean() || implicit.Elapsed != explicit.Elapsed {
+		t.Error("explicit FIFO config diverged from the zero-value default")
+	}
+}
+
+// TestServerRequestsCountLogicalRequests: preemption restarts must not
+// inflate ServerRequests — it equals admitted submissions exactly.
+func TestServerRequestsCountLogicalRequests(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 8
+	cfg.Sched = schedsrv.Config{Kind: schedsrv.KindPriority, Preempt: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("test needs preemptions to be meaningful")
+	}
+	var want int64
+	for _, pc := range res.PerClient {
+		want += pc.PrefetchIssued - pc.PrefetchDropped + pc.DemandFetches
+	}
+	if res.ServerRequests != want {
+		t.Errorf("ServerRequests = %d, want %d admitted submissions (preemptions %d)",
+			res.ServerRequests, want, res.Preemptions)
 	}
 }

@@ -3,45 +3,47 @@ package multiclient
 import (
 	"prefetch/internal/cache"
 	"prefetch/internal/netsim"
+	"prefetch/internal/schedsrv"
 )
 
 // request is one retrieval submitted to the shared server, demand or
 // speculative, tagged with the client round that issued it so stale
-// prefetch completions can be recognised.
+// prefetch completions can be recognised. It rides through the scheduling
+// subsystem as the opaque Tag of a schedsrv.Request.
 type request struct {
-	client     *client
-	page       int
-	duration   float64 // origin service time (before any server-cache hit)
-	demand     bool
-	round      int
-	enqueuedAt float64
+	client   *client
+	page     int
+	duration float64 // origin service time (before any server-cache hit)
+	demand   bool
+	round    int
 }
 
-// server is the shared bottleneck every client contends for: a bounded pool
-// of `concurrency` transfer slots fed by one FIFO queue (demand fetches and
-// prefetches are not distinguished — the paper's sequential semantics, where
-// speculative work is never aborted, generalised to a shared link). An
-// optional shared server-side cache shortens the service of pages it holds,
-// modelling an origin-fetch avoided at the server.
+// server is the shared bottleneck every client contends for. Since PR 2 it
+// owns only the storage side — the optional shared server-side cache that
+// shortens the service of pages it holds — and delegates every queueing,
+// ordering, shaping and admission decision to a schedsrv.Scheduler, whose
+// discipline is chosen by Config.Sched. The seed behaviour (one FIFO queue
+// over `concurrency` slots, demand and prefetch traffic indistinguishable)
+// is schedsrv.KindFIFO and replays the seed's timelines bit for bit.
 type server struct {
-	clock       *netsim.Clock
-	concurrency int
-	hitFactor   float64
-	cache       *cache.Cache // nil ⇒ no shared cache
+	sched     *schedsrv.Scheduler
+	hitFactor float64
+	cache     *cache.Cache // nil ⇒ no shared cache
 
-	queue    []request
-	inFlight int
-
-	busyTime  float64 // accumulated slot-seconds of service
 	served    int64
 	cacheHits int64
 }
 
 func newServer(clock *netsim.Clock, cfg Config) (*server, error) {
+	scfg := cfg.Sched
+	scfg.Concurrency = cfg.ServerConcurrency
+	sched, err := schedsrv.New(clock, scfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
-		clock:       clock,
-		concurrency: cfg.ServerConcurrency,
-		hitFactor:   cfg.ServerHitFactor,
+		sched:     sched,
+		hitFactor: cfg.ServerHitFactor,
 	}
 	if cfg.ServerCacheSlots > 0 {
 		c, err := cache.New(cfg.ServerCacheSlots)
@@ -50,46 +52,59 @@ func newServer(clock *netsim.Clock, cfg Config) (*server, error) {
 		}
 		s.cache = c
 	}
+	sched.ServiceTime = s.serviceTime
+	sched.Done = s.done
 	return s, nil
 }
 
-// enqueue submits a request; it is served FIFO as slots free up.
-func (s *server) enqueue(r request) {
-	r.enqueuedAt = s.clock.Now()
-	s.queue = append(s.queue, r)
-	s.dispatch()
+// enqueue submits a request to the scheduling subsystem. It reports false
+// when admission control dropped a speculative request: the transfer will
+// never happen and no completion callback will fire.
+func (s *server) enqueue(r request) bool {
+	return s.sched.Submit(schedsrv.Request{
+		Client:  r.client.id,
+		Page:    r.page,
+		Service: r.duration,
+		Demand:  r.demand,
+		Tag:     r,
+	})
 }
 
-// dispatch starts queued requests while free slots remain. The server-cache
-// lookup happens at service start: a hit means the page is already at the
-// server, so only the hitFactor fraction of the origin time is spent.
-func (s *server) dispatch() {
-	for s.inFlight < s.concurrency && len(s.queue) > 0 {
-		req := s.queue[0]
-		s.queue = s.queue[1:]
-		waited := s.clock.Now() - req.enqueuedAt
-		service := req.duration
-		if s.cache != nil && s.cache.Contains(req.page) {
-			s.cache.RecordAccess(req.page)
-			service *= s.hitFactor
+// promote tells the scheduler the demand for a page arrived while its
+// speculative transfer is still outstanding, so disciplines that separate
+// the classes stop treating it as deferrable speculation.
+func (s *server) promote(clientID, page int) bool {
+	return s.sched.Promote(clientID, page)
+}
+
+// serviceTime is the scheduler's service-start hook: a server-cache hit
+// means the page is already at the server, so only the hitFactor fraction
+// of the origin time is spent. Preemption restarts re-resolve the cache
+// (the second attempt's timing is real) but count as neither a new
+// request nor a new hit — served and cacheHits count logical requests.
+func (s *server) serviceTime(r *schedsrv.Request) float64 {
+	first := r.Attempt() == 1
+	if first {
+		s.served++
+	}
+	service := r.Service
+	if s.cache != nil && s.cache.Contains(r.Page) {
+		s.cache.RecordAccess(r.Page)
+		service *= s.hitFactor
+		if first {
 			s.cacheHits++
 		}
-		s.served++
-		s.inFlight++
-		s.clock.After(service, func() {
-			s.complete(req, service, waited)
-		})
 	}
+	return service
 }
 
-func (s *server) complete(req request, service, waited float64) {
-	s.inFlight--
-	s.busyTime += service
+// done is the scheduler's completion callback.
+func (s *server) done(r *schedsrv.Request, service, waited float64) {
+	req := r.Tag.(request)
 	if s.cache != nil {
 		insertLRU(s.cache, req.page, req.duration)
 	}
 	req.client.onTransferDone(req, waited)
-	s.dispatch()
 }
 
 // insertLRU caches an item, evicting the least recently used entry when the

@@ -3,18 +3,21 @@ package multiclient
 import (
 	"fmt"
 
+	"prefetch/internal/schedsrv"
 	"prefetch/internal/stats"
 	"prefetch/internal/sweep"
 )
 
 // SweepPoint aggregates the seed replications at one client count.
 type SweepPoint struct {
-	Clients     int
-	Reps        int
-	Access      stats.Accumulator // every round of every rep merged
-	QueueWait   stats.Accumulator // every server transfer of every rep merged
-	Utilization stats.Accumulator // one observation per rep
-	Improvement stats.Accumulator // one aggregate improvement per rep
+	Clients        int
+	Reps           int
+	Access         stats.Accumulator // every round of every rep merged
+	DemandAccess   stats.Accumulator // every fetching round of every rep merged
+	QueueWait      stats.Accumulator // every server transfer of every rep merged
+	Utilization    stats.Accumulator // one observation per rep
+	Improvement    stats.Accumulator // one aggregate improvement per rep
+	SpecThroughput stats.Accumulator // one speculative-throughput obs per rep
 }
 
 // SweepClients sweeps the client count over ns, replicating each point with
@@ -59,10 +62,102 @@ func SweepClients(cfg Config, ns []int, reps, workers int) ([]SweepPoint, error)
 		for r := 0; r < reps; r++ {
 			cmp := comparisons[i*reps+r]
 			points[i].Access.Merge(&cmp.Prefetch.Access)
+			points[i].DemandAccess.Merge(&cmp.Prefetch.DemandAccess)
 			points[i].QueueWait.Merge(&cmp.Prefetch.QueueWait)
 			points[i].Utilization.Add(cmp.Prefetch.Utilization())
 			points[i].Improvement.Add(cmp.Improvement())
+			points[i].SpecThroughput.Add(cmp.Prefetch.SpecThroughput())
 		}
 	}
 	return points, nil
+}
+
+// DisciplinePoint aggregates the seed replications of one scheduling
+// discipline at a fixed client count.
+type DisciplinePoint struct {
+	Kind    schedsrv.Kind
+	Clients int
+	Reps    int
+
+	Access         stats.Accumulator // every round of every rep merged
+	DemandAccess   stats.Accumulator // every fetching round merged
+	QueueWait      stats.Accumulator // every server transfer merged
+	Utilization    stats.Accumulator // one observation per rep
+	Improvement    stats.Accumulator // one aggregate improvement per rep
+	SpecThroughput stats.Accumulator // one speculative-throughput obs per rep
+
+	Preemptions      int64 // summed over reps
+	PrefetchDropped  int64
+	PrefetchDeferred int64
+}
+
+// SweepDisciplines runs the identical workload (cfg.Clients sessions,
+// seed-replicated like SweepClients) under each scheduling discipline in
+// kinds, preserving every non-Kind field of cfg.Sched (weights, shaping
+// rate, admission threshold, preemption flag — the latter only applies
+// where valid). Because client workloads derive purely from (seed, id),
+// every discipline faces the same browsing sessions: the sweep isolates
+// how the server's arbitration policy alone moves demand latency and
+// speculative throughput.
+func SweepDisciplines(cfg Config, kinds []schedsrv.Kind, reps, workers int) ([]DisciplinePoint, error) {
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("%w: empty discipline axis", ErrBadConfig)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
+	}
+	type task struct {
+		kind schedsrv.Kind
+		rep  int
+	}
+	var tasks []task
+	for _, k := range kinds {
+		c := cfg
+		c.Sched = schedFor(cfg.Sched, k)
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		for r := 0; r < reps; r++ {
+			tasks = append(tasks, task{kind: k, rep: r})
+		}
+	}
+	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
+		c := cfg
+		c.Sched = schedFor(cfg.Sched, t.kind)
+		c.Seed = cfg.Seed + uint64(t.rep)
+		return Compare(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]DisciplinePoint, len(kinds))
+	for i, k := range kinds {
+		points[i].Kind = k
+		points[i].Clients = cfg.Clients
+		points[i].Reps = reps
+		for r := 0; r < reps; r++ {
+			res := comparisons[i*reps+r].Prefetch
+			points[i].Access.Merge(&res.Access)
+			points[i].DemandAccess.Merge(&res.DemandAccess)
+			points[i].QueueWait.Merge(&res.QueueWait)
+			points[i].Utilization.Add(res.Utilization())
+			points[i].Improvement.Add(comparisons[i*reps+r].Improvement())
+			points[i].SpecThroughput.Add(res.SpecThroughput())
+			points[i].Preemptions += res.Preemptions
+			points[i].PrefetchDropped += res.PrefetchDropped
+			points[i].PrefetchDeferred += res.PrefetchDeferred
+		}
+	}
+	return points, nil
+}
+
+// schedFor swaps the discipline kind into a scheduling config, keeping
+// kind-specific options only where they are valid.
+func schedFor(base schedsrv.Config, kind schedsrv.Kind) schedsrv.Config {
+	c := base
+	c.Kind = kind
+	if kind != schedsrv.KindPriority {
+		c.Preempt = false
+	}
+	return c
 }

@@ -14,7 +14,7 @@
 //     window (§4.4).
 package netsim
 
-import "container/heap"
+import "prefetch/internal/eventq"
 
 // event is a scheduled callback.
 type event struct {
@@ -23,31 +23,18 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func eventLess(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Clock is a discrete-event scheduler. The zero value is ready to use.
 type Clock struct {
 	now    float64
 	nextID int64
-	events eventHeap
+	events *eventq.Queue[event]
 }
 
 // Now returns the current simulated time.
@@ -59,8 +46,11 @@ func (c *Clock) Schedule(t float64, fn func()) {
 	if t < c.now {
 		panic("netsim: scheduling into the past")
 	}
+	if c.events == nil {
+		c.events = eventq.New(eventLess)
+	}
 	c.nextID++
-	heap.Push(&c.events, &event{time: t, seq: c.nextID, fn: fn})
+	c.events.Push(event{time: t, seq: c.nextID, fn: fn})
 }
 
 // After schedules fn after a delay (>= 0).
@@ -70,7 +60,7 @@ func (c *Clock) After(delay float64, fn func()) {
 
 // Run processes events in time order until none remain.
 func (c *Clock) Run() {
-	for len(c.events) > 0 {
+	for c.Pending() > 0 {
 		c.step()
 	}
 }
@@ -78,10 +68,18 @@ func (c *Clock) Run() {
 // step processes the single earliest event; the caller must ensure at least
 // one event is pending.
 func (c *Clock) step() {
-	e := heap.Pop(&c.events).(*event)
+	e, ok := c.events.Pop()
+	if !ok {
+		panic("netsim: step with no pending events")
+	}
 	c.now = e.time
 	e.fn()
 }
 
 // Pending returns the number of scheduled events.
-func (c *Clock) Pending() int { return len(c.events) }
+func (c *Clock) Pending() int {
+	if c.events == nil {
+		return 0
+	}
+	return c.events.Len()
+}

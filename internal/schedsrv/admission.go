@@ -1,0 +1,128 @@
+package schedsrv
+
+// Decision is an admission controller's verdict on a speculative request.
+type Decision int
+
+// Admission verdicts.
+const (
+	// Admit lets the request into the discipline's backlog.
+	Admit Decision = iota
+	// Drop rejects the request outright; Submit returns false and the
+	// transfer never happens. The client keeps its demand path.
+	Drop
+	// Defer parks the request inside the scheduler; it is re-offered,
+	// oldest first, after each completion until the controller admits it.
+	Defer
+)
+
+// AdmissionController gates speculative requests before they reach the
+// discipline. Demand requests are never consulted — the server always
+// accepts real work; admission control exists to stop speculation from
+// amplifying an overload. util is the scheduler's sliding-window
+// utilisation estimate at now (0 when the server has been idle).
+type AdmissionController interface {
+	Name() string
+	Admit(r Request, now, util float64) Decision
+}
+
+// UtilizationGate is the default controller: it rejects speculative
+// requests while the utilisation estimate is at or above Threshold. The
+// paper prices a prefetch purely by the issuing client's own stretch; at
+// a shared server the real price is the queueing it inflicts on everyone,
+// which grows without bound as utilisation approaches 1 — so above the
+// threshold speculation is no longer worth its externality.
+type UtilizationGate struct {
+	Threshold    float64 // reject at util >= Threshold (> 0)
+	DeferInstead bool    // park rejected requests instead of dropping them
+}
+
+// Name identifies the gate, including its mode.
+func (g UtilizationGate) Name() string {
+	if g.DeferInstead {
+		return "util-gate/defer"
+	}
+	return "util-gate/drop"
+}
+
+// Admit applies the threshold.
+func (g UtilizationGate) Admit(r Request, now, util float64) Decision {
+	if util < g.Threshold {
+		return Admit
+	}
+	if g.DeferInstead {
+		return Defer
+	}
+	return Drop
+}
+
+// utilWindow estimates server utilisation over a sliding window: it
+// integrates the in-flight slot count over time, keeps the busy segments
+// that overlap [now-window, now], and reports busy slot-seconds divided
+// by window capacity. Before one full window has elapsed it divides by
+// elapsed time, so early estimates are honest rather than diluted.
+type utilWindow struct {
+	window float64
+	conc   int
+
+	segs  []utilSeg // completed busy segments, oldest first
+	cur   int       // current in-flight count
+	since float64   // time cur took effect
+}
+
+type utilSeg struct {
+	from, to float64
+	slots    int
+}
+
+func newUtilWindow(window float64, conc int) *utilWindow {
+	return &utilWindow{window: window, conc: conc}
+}
+
+// transition records that the in-flight count changed to slots at now.
+func (u *utilWindow) transition(now float64, slots int) {
+	if u.cur > 0 && now > u.since {
+		u.segs = append(u.segs, utilSeg{from: u.since, to: now, slots: u.cur})
+	}
+	u.cur = slots
+	u.since = now
+	// Trim segments that fell wholly out of the window.
+	lo := now - u.window
+	i := 0
+	for i < len(u.segs) && u.segs[i].to <= lo {
+		i++
+	}
+	if i > 0 {
+		u.segs = append(u.segs[:0], u.segs[i:]...)
+	}
+}
+
+// estimate returns the busy fraction of slot capacity over the window
+// ending at now.
+func (u *utilWindow) estimate(now float64) float64 {
+	span := u.window
+	if now < span {
+		span = now
+	}
+	if span <= 0 {
+		return 0
+	}
+	lo := now - span
+	var busy float64
+	for _, s := range u.segs {
+		from := s.from
+		if from < lo {
+			from = lo
+		}
+		if s.to > from {
+			busy += float64(s.slots) * (s.to - from)
+		}
+	}
+	if u.cur > 0 && now > u.since {
+		from := u.since
+		if from < lo {
+			from = lo
+		}
+		busy += float64(u.cur) * (now - from)
+	}
+	return busy / (span * float64(u.conc))
+}

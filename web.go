@@ -3,6 +3,7 @@ package prefetch
 import (
 	"prefetch/internal/multiclient"
 	"prefetch/internal/netsim"
+	"prefetch/internal/schedsrv"
 	"prefetch/internal/webgraph"
 )
 
@@ -73,7 +74,49 @@ type (
 	MultiClientComparison = multiclient.Comparison
 	// MultiClientSweepPoint aggregates seed replications at one client count.
 	MultiClientSweepPoint = multiclient.SweepPoint
+	// MultiClientDisciplinePoint aggregates seed replications of one
+	// scheduling discipline at a fixed client count.
+	MultiClientDisciplinePoint = multiclient.DisciplinePoint
 )
+
+// Server scheduling subsystem: the shared server's queueing discipline,
+// per-client bandwidth shaping and speculative admission control
+// (MultiClientConfig.Sched).
+type (
+	// SchedConfig selects and tunes the server scheduling discipline.
+	SchedConfig = schedsrv.Config
+	// SchedKind names a built-in scheduling discipline.
+	SchedKind = schedsrv.Kind
+	// SchedDiscipline is the pluggable queueing-discipline interface.
+	SchedDiscipline = schedsrv.Discipline
+	// SchedAdmissionController gates speculative requests by utilisation.
+	SchedAdmissionController = schedsrv.AdmissionController
+	// SchedRequest is one transfer submitted to the scheduling subsystem.
+	SchedRequest = schedsrv.Request
+)
+
+// The built-in server scheduling disciplines.
+const (
+	// SchedFIFO is the seed behaviour: one queue, arrival order.
+	SchedFIFO = schedsrv.KindFIFO
+	// SchedPriority serves queued demand fetches before any speculation;
+	// SchedConfig.Preempt additionally aborts in-flight speculative work.
+	SchedPriority = schedsrv.KindPriority
+	// SchedWFQ is weighted fair queueing over (client, class) flows.
+	SchedWFQ = schedsrv.KindWFQ
+	// SchedShaped is per-client token-bucket bandwidth shaping.
+	SchedShaped = schedsrv.KindShaped
+)
+
+// SchedKinds lists the built-in disciplines in canonical order.
+func SchedKinds() []SchedKind { return schedsrv.Kinds() }
+
+// SweepMultiClientDisciplines runs the identical seed-replicated workload
+// under each scheduling discipline, isolating the server's arbitration
+// policy: demand latency vs speculative throughput per discipline.
+func SweepMultiClientDisciplines(cfg MultiClientConfig, kinds []SchedKind, reps, workers int) ([]MultiClientDisciplinePoint, error) {
+	return multiclient.SweepDisciplines(cfg, kinds, reps, workers)
+}
 
 // DefaultMultiClientConfig returns a contended but healthy starting point.
 func DefaultMultiClientConfig() MultiClientConfig { return multiclient.DefaultConfig() }
