@@ -1,0 +1,47 @@
+# Benchmark-regression tooling. `make bench` reruns the tracked
+# benchmarks, records them as BENCH_<sha>.json and gates against the
+# committed BENCH_baseline.json via cmd/benchjson (>25% slower on any
+# tracked benchmark fails). `make bench-baseline` refreshes the baseline
+# after an intentional performance change — commit the result.
+#
+# The gate compares absolute ns/op, so the baseline must come from the
+# same class of machine that runs the gate: after the first green CI run
+# on main, download its BENCH_<sha>.json artifact and commit it as
+# BENCH_baseline.json so baseline and measurements share runner
+# hardware. A baseline recorded on a developer laptop is only meaningful
+# for local `make bench` runs.
+
+GO ?= go
+SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
+
+# The tracked hot paths: the shared event-queue heap, the scheduling
+# subsystem's submit/dispatch/complete cycle, and the end-to-end
+# multiclient simulation round.
+BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound)$$
+BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient
+BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -count 3
+
+.PHONY: test bench bench-raw bench-baseline clean-bench
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Always re-runs (phony): a stale bench-raw.txt must never satisfy the
+# gate. The redirect (not a tee pipe) preserves go test's exit status,
+# so a failing benchmark aborts make instead of producing a truncated
+# record.
+bench-raw:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) > bench-raw.txt
+	@cat bench-raw.txt
+
+bench: bench-raw
+	$(GO) run ./cmd/benchjson -out BENCH_$(SHA).json -baseline BENCH_baseline.json \
+		-note "make bench @ $(SHA)" < bench-raw.txt
+
+bench-baseline: bench-raw
+	$(GO) run ./cmd/benchjson -out BENCH_baseline.json -note "baseline @ $(SHA)" < bench-raw.txt
+
+clean-bench:
+	rm -f bench-raw.txt BENCH_*.json
+	git checkout -- BENCH_baseline.json 2>/dev/null || true

@@ -1,0 +1,207 @@
+// Command benchjson turns `go test -bench` output into a committed,
+// diffable benchmark record and enforces a regression gate against it.
+//
+// It reads benchmark output on stdin, keys every result by
+// "<package>.<benchmark>" (the -GOMAXPROCS suffix is stripped so records
+// compare across machines), keeps the fastest ns/op seen for each key
+// (run with -count > 1 so the minimum is meaningful), and writes the
+// result as JSON:
+//
+//	go test -run '^$' -bench 'EventQueue|SchedulerDequeue|MultiClientRound' \
+//	    -count 3 ./internal/... | benchjson -out BENCH_$(git rev-parse --short=12 HEAD).json
+//
+// With -baseline, every benchmark tracked by the baseline file must be
+// present in the new record and must not be slower than threshold x its
+// baseline ns/op, or benchjson exits non-zero listing the regressions —
+// the CI gate that turns the repo's speed claims into enforced facts. A
+// tracked benchmark that disappears also fails, so renaming a benchmark
+// cannot silently disarm its gate. New benchmarks absent from the
+// baseline pass (they start being tracked when the baseline is
+// regenerated with `make bench-baseline`).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Record is the JSON layout of a benchmark file.
+type Record struct {
+	Go         string             `json:"go"`   // toolchain that produced the record
+	Note       string             `json:"note"` // free-form provenance note
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName/sub-8   	    1000	   123456 ns/op	  12 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// pkgLine matches the package banner `go test` prints before results.
+var pkgLine = regexp.MustCompile(`^pkg:\s+(\S+)`)
+
+// stripProcs removes the trailing -GOMAXPROCS suffix from a benchmark
+// name so records compare across machines with different core counts.
+//
+// Caveat: go only appends the suffix when GOMAXPROCS > 1, and a
+// sub-benchmark whose own name ends in -<digits> is indistinguishable
+// from a suffixed one, so such names key differently at GOMAXPROCS=1
+// versus >1. Tracked benchmarks must therefore not end their names in
+// -<digits> (none of this repo's do); prefer "/n2" over "/n-2".
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parse reads benchmark output into a name → fastest-ns/op map.
+func parse(in io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		key := stripProcs(m[1])
+		if pkg != "" {
+			key = pkg + "." + key
+		}
+		if prev, seen := out[key]; !seen || ns < prev {
+			out[key] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no benchmark results on stdin (run go test -bench and pipe its output)")
+	}
+	return out, nil
+}
+
+// compare gates current against the baseline record: every tracked
+// benchmark must exist and stay within threshold x its baseline ns/op.
+func compare(out io.Writer, baseline Record, current map[string]float64, threshold float64) error {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	fmt.Fprintf(out, "%-70s %12s %12s %8s\n", "benchmark", "baseline", "current", "ratio")
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: tracked benchmark missing from this run", name))
+			fmt.Fprintf(out, "%-70s %12.1f %12s %8s\n", name, base, "MISSING", "-")
+			continue
+		}
+		ratio := cur / base
+		status := ""
+		if base > 0 && ratio > threshold {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx)",
+				name, cur, base, ratio, threshold))
+			status = "  REGRESSION"
+		}
+		fmt.Fprintf(out, "%-70s %12.1f %12.1f %7.2fx%s\n", name, base, cur, ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression gate tripped:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		outPath   = fs.String("out", "", "write the parsed benchmark record to this JSON file")
+		basePath  = fs.String("baseline", "", "compare against this baseline record and fail on regression")
+		threshold = fs.Float64("threshold", 1.25, "regression gate: fail when current > threshold * baseline ns/op")
+		note      = fs.String("note", "", "provenance note stored in the record")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v (benchmark output is read from stdin)", fs.Args())
+	}
+	if !(*threshold > 1) {
+		return fmt.Errorf("-threshold %v must be > 1", *threshold)
+	}
+	if *outPath == "" && *basePath == "" {
+		return errors.New("nothing to do: give -out and/or -baseline")
+	}
+	current, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		rec := Record{Go: runtime.Version(), Note: *note, Benchmarks: current}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d benchmarks to %s\n", len(current), *outPath)
+	}
+	if *basePath != "" {
+		data, err := os.ReadFile(*basePath)
+		if err != nil {
+			return err
+		}
+		var baseline Record
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %v", *basePath, err)
+		}
+		if len(baseline.Benchmarks) == 0 {
+			return fmt.Errorf("baseline %s tracks no benchmarks", *basePath)
+		}
+		if err := compare(out, baseline, current, *threshold); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "all %d tracked benchmarks within %.2fx of baseline\n",
+			len(baseline.Benchmarks), *threshold)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample mimics `go test -bench -count=2` output across two packages,
+// with noise lines and per-count variation (the parser keeps the min).
+const sample = `goos: linux
+goarch: amd64
+pkg: prefetch/internal/eventq
+cpu: Fake CPU @ 2.00GHz
+BenchmarkEventQueue/64/heap-8         	    3521	    340123 ns/op
+BenchmarkEventQueue/64/heap-8         	    3600	    335000 ns/op
+BenchmarkEventQueue/16k/heap-8        	     804	   1490321 ns/op
+PASS
+ok  	prefetch/internal/eventq	2.153s
+pkg: prefetch/internal/multiclient
+BenchmarkMultiClientRound-8           	      52	  22512345 ns/op
+BenchmarkMultiClientRound-8           	      50	  23012345 ns/op
+PASS
+ok  	prefetch/internal/multiclient	3.001s
+`
+
+func TestParseKeysAndMin(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"prefetch/internal/eventq.BenchmarkEventQueue/64/heap":    335000,
+		"prefetch/internal/eventq.BenchmarkEventQueue/16k/heap":   1490321,
+		"prefetch/internal/multiclient.BenchmarkMultiClientRound": 22512345,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok \tpkg\t0.1s\n")); err == nil {
+		t.Error("empty benchmark output accepted")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":   "BenchmarkFoo/sub",
+		"BenchmarkFoo/n-2-4":    "BenchmarkFoo/n-2",
+		"BenchmarkFoo/heap":     "BenchmarkFoo/heap",
+		"BenchmarkFoo/size-big": "BenchmarkFoo/size-big",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// writeRecord writes a baseline file for the gate tests.
+func writeRecord(t *testing.T, path string, benchmarks map[string]float64) {
+	t.Helper()
+	data, err := json.Marshal(Record{Go: "go1.21", Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesRecord(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_abc.json")
+	var sb strings.Builder
+	if err := run([]string{"-out", out}, strings.NewReader(sample), &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 3 || rec.Go == "" {
+		t.Errorf("record = %+v, want 3 benchmarks and a go version", rec)
+	}
+}
+
+// TestGateTripsOnSlowdown is the satellite's acceptance check: a
+// synthetic 2x slowdown of one tracked benchmark must fail the gate at
+// the default 1.25x threshold.
+func TestGateTripsOnSlowdown(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	writeRecord(t, base, map[string]float64{
+		// Baseline at half the sampled ns/op = the sample is a 2x slowdown.
+		"prefetch/internal/multiclient.BenchmarkMultiClientRound": 22512345.0 / 2,
+		"prefetch/internal/eventq.BenchmarkEventQueue/64/heap":    335000,
+	})
+	var sb strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader(sample), &sb)
+	if err == nil {
+		t.Fatalf("2x slowdown passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkMultiClientRound") {
+		t.Errorf("gate error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", sb.String())
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	writeRecord(t, base, map[string]float64{
+		// Current is within 1.25x of these baselines (up to ~1.2x slower).
+		"prefetch/internal/multiclient.BenchmarkMultiClientRound": 22512345.0 / 1.2,
+		"prefetch/internal/eventq.BenchmarkEventQueue/64/heap":    335000,
+		"prefetch/internal/eventq.BenchmarkEventQueue/16k/heap":   1600000, // current is faster
+	})
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base}, strings.NewReader(sample), &sb); err != nil {
+		t.Fatalf("within-threshold run failed the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "all 3 tracked benchmarks within") {
+		t.Errorf("missing pass summary:\n%s", sb.String())
+	}
+}
+
+// TestGateTripsOnMissingBenchmark: renaming or deleting a tracked
+// benchmark must fail rather than silently disarm its gate.
+func TestGateTripsOnMissingBenchmark(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	writeRecord(t, base, map[string]float64{
+		"prefetch/internal/schedsrv.BenchmarkSchedulerDequeue/fifo": 100000,
+	})
+	var sb strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader(sample), &sb)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing tracked benchmark did not trip the gate: %v", err)
+	}
+}
+
+// TestGateIgnoresUntrackedBenchmarks: new benchmarks absent from the
+// baseline pass — they start being tracked at the next baseline refresh.
+func TestGateIgnoresUntrackedBenchmarks(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	writeRecord(t, base, map[string]float64{
+		"prefetch/internal/eventq.BenchmarkEventQueue/64/heap": 335000,
+	})
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base}, strings.NewReader(sample), &sb); err != nil {
+		t.Errorf("untracked benchmarks tripped the gate: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                         // nothing to do
+		{"-threshold", "0.9"},      // gate below 1x
+		{"-threshold", "NaN"},      // NaN threshold
+		{"-out", "x", "stray-arg"}, // positional args
+		{"-baseline", "/nonexistent/BENCH_baseline.json"},
+	} {
+		var sb strings.Builder
+		if err := run(args, strings.NewReader(sample), &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

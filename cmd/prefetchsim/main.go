@@ -32,6 +32,18 @@
 //	prefetchsim -mode multiclient -clients 16 -discipline wfq -weights 8:1
 //	prefetchsim -mode multiclient -clients 16 -discipline all -admit-util 0.85
 //
+// Adaptive speculation control (internal/adaptive) closes the loop on the
+// §6 cost-aware λ: -controller selects how each client re-prices its
+// speculation from per-round congestion feedback — static (fixed λ =
+// -lambda0), aimd (multiplicative back-off, additive recovery),
+// target-util (integral control toward -target-util) or delay-gradient
+// (backs off when own demand delay rises). A comma list (or "all")
+// sweeps controllers over the identical workload:
+//
+//	prefetchsim -mode multiclient -clients 16 -controller aimd
+//	prefetchsim -mode multiclient -clients 16 -controller all
+//	prefetchsim -mode multiclient -clients 16 -controller target-util -target-util 0.6
+//
 // Traces: -record FILE writes the generated workload as JSON lines;
 // -replay FILE replays a previously recorded workload (prefetch-only mode).
 package main
@@ -89,11 +101,25 @@ func run(args []string, out io.Writer) error {
 		admitUtil   = fs.Float64("admit-util", 0, "drop speculative requests above this utilisation, 0 = off (multiclient)")
 		admitWindow = fs.Float64("admit-window", 50, "sliding window for the utilisation estimate (multiclient)")
 		admitDefer  = fs.Bool("admit-defer", false, "defer gated speculative requests instead of dropping them (multiclient)")
+
+		controller = fs.String("controller", "static", "adaptive λ controller: static | aimd | target-util | delay-gradient, comma list or \"all\" to sweep (multiclient)")
+		lambda0    = fs.Float64("lambda0", 0, "base network-usage price λ and controller floor (multiclient)")
+		targetUtil = fs.Float64("target-util", 0.7, "utilisation setpoint for the target-util controller (multiclient)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
+		return err
+	}
+
+	// Flag values consumed only by the multiclient mode are still
+	// validated in every mode: a typo'd -discipline or -controller must
+	// exit non-zero instead of being silently ignored.
+	if _, err := parseDisciplines(*discipline); err != nil {
+		return err
+	}
+	if _, err := parseControllers(*controller); err != nil {
 		return err
 	}
 
@@ -120,6 +146,9 @@ func run(args []string, out io.Writer) error {
 			admitUtil:   *admitUtil,
 			admitWindow: *admitWindow,
 			admitDefer:  *admitDefer,
+			controller:  *controller,
+			lambda0:     *lambda0,
+			targetUtil:  *targetUtil,
 		})
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -314,6 +343,9 @@ type mcOptions struct {
 	admitUtil   float64
 	admitWindow float64
 	admitDefer  bool
+	controller  string
+	lambda0     float64
+	targetUtil  float64
 }
 
 // parseWeights parses "demand:spec" wfq class weights.
@@ -332,35 +364,45 @@ func parseWeights(s string) (demand, spec float64, err error) {
 	return demand, spec, nil
 }
 
-// parseDisciplines parses a single discipline, a comma list, or "all",
-// against the canonical prefetch.SchedKinds() list.
-func parseDisciplines(s string) ([]prefetch.SchedKind, error) {
+// parseKinds parses a single kind, a comma list, or "all" against a
+// canonical kind list; what names the flag in errors.
+func parseKinds[K ~string](s, what string, all []K) ([]K, error) {
 	if strings.TrimSpace(s) == "all" {
-		return prefetch.SchedKinds(), nil
+		return all, nil
 	}
-	var kinds []prefetch.SchedKind
+	var kinds []K
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
-		kind := prefetch.SchedKind(part)
+		kind := K(part)
 		known := false
-		for _, k := range prefetch.SchedKinds() {
+		for _, k := range all {
 			if kind == k {
 				known = true
 				break
 			}
 		}
 		if !known {
-			return nil, fmt.Errorf("unknown discipline %q", part)
+			return nil, fmt.Errorf("unknown %s %q", what, part)
 		}
 		kinds = append(kinds, kind)
 	}
 	if len(kinds) == 0 {
-		return nil, fmt.Errorf("no disciplines given")
+		return nil, fmt.Errorf("no %ss given", what)
 	}
 	return kinds, nil
+}
+
+// parseDisciplines parses the -discipline flag against SchedKinds().
+func parseDisciplines(s string) ([]prefetch.SchedKind, error) {
+	return parseKinds(s, "discipline", prefetch.SchedKinds())
+}
+
+// parseControllers parses the -controller flag against ControllerKinds().
+func parseControllers(s string) ([]prefetch.ControllerKind, error) {
+	return parseKinds(s, "controller", prefetch.ControllerKinds())
 }
 
 // parseClients parses a single client count or a comma-separated sweep axis.
@@ -407,6 +449,16 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 	if opt.admitDefer && !(opt.admitUtil > 0) {
 		return fmt.Errorf("-admit-defer requires -admit-util > 0")
 	}
+	ctls, err := parseControllers(opt.controller)
+	if err != nil {
+		return err
+	}
+	// ControllerConfig treats a zero setpoint as "use the default", so an
+	// explicit -target-util 0 would silently become 0.7; refuse it (and
+	// NaN) here instead.
+	if !(opt.targetUtil > 0 && opt.targetUtil < 1) {
+		return fmt.Errorf("-target-util must be in (0, 1) (got %v)", opt.targetUtil)
+	}
 	cfg := prefetch.DefaultMultiClientConfig()
 	cfg.Seed = opt.seed
 	cfg.ServerConcurrency = opt.serverConc
@@ -423,13 +475,34 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		AdmitWindow:  opt.admitWindow,
 		AdmitDefer:   opt.admitDefer,
 	}
+	cfg.Adaptive = prefetch.ControllerConfig{
+		Kind:       ctls[0],
+		Lambda0:    opt.lambda0,
+		TargetUtil: opt.targetUtil,
+	}
+	if err := cfg.Adaptive.Validate(); err != nil {
+		return err
+	}
 	reps := opt.reps
 	// Non-default scheduling extends the seed's tables with the
 	// discipline-specific columns; the default output stays byte-identical.
 	extended := cfg.Sched.Kind != prefetch.SchedFIFO || opt.preempt || opt.admitUtil > 0
+	// Non-default speculation control adds the controller summary line; in
+	// sweep tables (which carry no λ column) it becomes a header note.
+	ctlExtended := ctls[0] != prefetch.ControllerStatic || opt.lambda0 > 0
+	ctlNote := ""
+	if ctlExtended {
+		ctlNote = fmt.Sprintf(", controller %s (λ0 %g)", cfg.Adaptive.Kind, cfg.Adaptive.Lambda0)
+	}
 
+	if len(kinds) > 1 && len(ctls) > 1 {
+		return fmt.Errorf("sweep one axis at a time: -discipline and -controller are both lists")
+	}
+	if len(ctls) > 1 {
+		return runControllerSweep(out, cfg, ns, ctls, reps)
+	}
 	if len(kinds) > 1 {
-		return runDisciplineSweep(out, cfg, ns, kinds, reps)
+		return runDisciplineSweep(out, cfg, ns, kinds, reps, ctlNote)
 	}
 
 	if len(ns) == 1 {
@@ -470,6 +543,10 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 				fmt.Fprintf(out, "admission: %d dropped, %d deferred\n", res.PrefetchDropped, res.PrefetchDeferred)
 			}
 		}
+		if ctlExtended {
+			fmt.Fprintf(out, "\ncontroller %s: mean λ %.3f, max λ %.3f, demand access %.4f\n",
+				res.Controller, res.Lambda.Mean(), res.Lambda.Max(), res.DemandAccess.Mean())
+		}
 		return nil
 	}
 
@@ -478,8 +555,8 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		return err
 	}
 	if extended {
-		fmt.Fprintf(out, "sweep over clients, discipline %s, server concurrency %d, %d reps, %d rounds each\n\n",
-			cfg.Sched.Kind, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "sweep over clients, discipline %s%s, server concurrency %d, %d reps, %d rounds each\n\n",
+			cfg.Sched.Kind, ctlNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 		fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s %10s\n",
 			"clients", "demand T", "mean T", "queue wait", "spec/s", "util%", "improve%")
 		for _, p := range points {
@@ -489,8 +566,8 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		}
 		return nil
 	}
-	fmt.Fprintf(out, "sweep over clients, server concurrency %d, %d reps, %d rounds each\n\n",
-		cfg.ServerConcurrency, reps, cfg.Rounds)
+	fmt.Fprintf(out, "sweep over clients%s, server concurrency %d, %d reps, %d rounds each\n\n",
+		ctlNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 	fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s\n",
 		"clients", "mean T", "±95%", "queue wait", "util%", "improve%")
 	for _, p := range points {
@@ -503,7 +580,9 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 
 // runDisciplineSweep tabulates every requested discipline over the
 // identical seed-replicated workload, one table per client count.
-func runDisciplineSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, kinds []prefetch.SchedKind, reps int) error {
+// ctlNote is the caller's non-default-controller header note ("" when
+// the static λ = 0 default is active).
+func runDisciplineSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, kinds []prefetch.SchedKind, reps int, ctlNote string) error {
 	for i, n := range ns {
 		if i > 0 {
 			fmt.Fprintln(out)
@@ -513,14 +592,44 @@ func runDisciplineSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int,
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "discipline sweep, %d clients, server concurrency %d, %d reps, %d rounds each\n\n",
-			n, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "discipline sweep, %d clients%s, server concurrency %d, %d reps, %d rounds each\n\n",
+			n, ctlNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 		fmt.Fprintf(out, "%-10s %10s %10s %12s %10s %8s %8s %10s\n",
 			"discipline", "demand T", "mean T", "queue wait", "spec/s", "drops", "preempt", "improve%")
 		for _, p := range points {
 			fmt.Fprintf(out, "%-10s %10.4f %10.4f %12.4f %10.4f %8d %8d %9.1f%%\n",
 				p.Kind, p.DemandAccess.Mean(), p.Access.Mean(), p.QueueWait.Mean(),
 				p.SpecThroughput.Mean(), p.PrefetchDropped, p.Preemptions,
+				100*p.Improvement.Mean())
+		}
+	}
+	return nil
+}
+
+// runControllerSweep tabulates every requested λ controller over the
+// identical seed-replicated workload, one table per client count.
+func runControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, ctls []prefetch.ControllerKind, reps int) error {
+	for i, n := range ns {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		cfg.Clients = n
+		points, err := prefetch.SweepMultiClientControllers(cfg, ctls, reps, 0)
+		if err != nil {
+			return err
+		}
+		disc := cfg.Sched.Kind
+		if disc == "" {
+			disc = prefetch.SchedFIFO
+		}
+		fmt.Fprintf(out, "controller sweep, %d clients, discipline %s, server concurrency %d, %d reps, %d rounds each\n\n",
+			n, disc, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "%-15s %10s %10s %12s %8s %10s %8s %10s\n",
+			"controller", "demand T", "mean T", "queue wait", "mean λ", "spec/s", "drops", "improve%")
+		for _, p := range points {
+			fmt.Fprintf(out, "%-15s %10.4f %10.4f %12.4f %8.3f %10.4f %8d %9.1f%%\n",
+				p.Kind, p.DemandAccess.Mean(), p.Access.Mean(), p.QueueWait.Mean(),
+				p.Lambda.Mean(), p.SpecThroughput.Mean(), p.PrefetchDropped,
 				100*p.Improvement.Mean())
 		}
 	}

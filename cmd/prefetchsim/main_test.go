@@ -1,10 +1,24 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestMain lets the test binary impersonate the real prefetchsim process
+// when re-exec'd with PREFETCHSIM_BE_MAIN=1, so tests can assert on the
+// actual process exit status rather than only on run()'s error value.
+func TestMain(m *testing.M) {
+	if os.Getenv("PREFETCHSIM_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // runOut drives run() and returns its stdout.
 func runOut(t *testing.T, args ...string) string {
@@ -204,5 +218,161 @@ func TestRunMultiClientAdmitDeferRequiresUtil(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-mode", "multiclient", "-admit-defer"}, &sb); err == nil {
 		t.Error("-admit-defer without -admit-util was accepted as a silent no-op")
+	}
+}
+
+// exitStatus re-execs the test binary as prefetchsim with args and
+// returns the process exit code.
+func exitStatus(t *testing.T, args ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PREFETCHSIM_BE_MAIN=1")
+	err := cmd.Run()
+	if err == nil {
+		return 0
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("re-exec %v: %v", args, err)
+	}
+	return exitErr.ExitCode()
+}
+
+// TestExitStatusUnknownDiscipline: an unknown -discipline or -controller
+// value must exit non-zero in EVERY mode — including the modes that do
+// not consume the flag, where it used to be silently ignored (exit 0).
+func TestExitStatusUnknownDiscipline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec test")
+	}
+	bad := [][]string{
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "5", "-discipline", "lifo"},
+		{"-mode", "prefetch-only", "-discipline", "lifo"},
+		{"-mode", "cache", "-discipline", "lifo"},
+		{"-mode", "prefetch-only", "-controller", "pid"},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "5", "-controller", "pid"},
+		{"-mode", "nope"},
+	}
+	for _, args := range bad {
+		if code := exitStatus(t, args...); code == 0 {
+			t.Errorf("prefetchsim %v exited 0, want non-zero", args)
+		}
+	}
+	ok := [][]string{
+		{"-mode", "prefetch-only", "-n", "4", "-iters", "50", "-policies", "skp"},
+		{"-h"},
+	}
+	for _, args := range ok {
+		if code := exitStatus(t, args...); code != 0 {
+			t.Errorf("prefetchsim %v exited %d, want 0", args, code)
+		}
+	}
+}
+
+// TestRunRejectsIgnoredBadFlagValues: the same validation at the run()
+// level, so the fast in-process tests cover every mode too.
+func TestRunRejectsIgnoredBadFlagValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "prefetch-only", "-discipline", "lifo"},
+		{"-mode", "cache", "-discipline", ""},
+		{"-mode", "session", "-controller", "pid"},
+		{"-mode", "prefetch-only", "-controller", ""},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted a bad flag value for an unused flag", args)
+		}
+	}
+}
+
+func TestRunMultiClientController(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "4", "-rounds", "30", "-controller", "aimd")
+	for _, want := range []string{"controller aimd", "mean λ", "demand access"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A static controller with a non-zero λ0 also gets the summary line.
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-lambda0", "0.5")
+	if !strings.Contains(out, "controller static") {
+		t.Errorf("output missing static controller line:\n%s", out)
+	}
+}
+
+func TestRunMultiClientControllerSweep(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-reps", "2", "-controller", "all")
+	for _, want := range []string{"controller sweep", "mean λ", "static", "aimd", "target-util", "delay-gradient"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientControllerDeterminism(t *testing.T) {
+	for _, ctl := range []string{"aimd", "target-util", "delay-gradient"} {
+		args := []string{"-mode", "multiclient", "-clients", "3", "-rounds", "25", "-controller", ctl, "-seed", "9"}
+		if a, b := runOut(t, args...), runOut(t, args...); a != b {
+			t.Errorf("%s: two identical invocations differ:\n%s\n---\n%s", ctl, a, b)
+		}
+	}
+}
+
+func TestRunMultiClientBadController(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "multiclient", "-controller", "pid"},
+		{"-mode", "multiclient", "-controller", ""},
+		{"-mode", "multiclient", "-lambda0", "-1"},
+		{"-mode", "multiclient", "-lambda0", "NaN"},
+		{"-mode", "multiclient", "-target-util", "0"},
+		{"-mode", "multiclient", "-target-util", "1.2"},
+		{"-mode", "multiclient", "-target-util", "NaN"},
+		{"-mode", "multiclient", "-discipline", "all", "-controller", "all"}, // one axis at a time
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad controller input", args)
+		}
+	}
+}
+
+func TestRunMultiClientControllerWithDiscipline(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20",
+		"-discipline", "priority", "-controller", "aimd")
+	for _, want := range []string{"discipline priority", "controller aimd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Discipline sweep under a fixed adaptive controller.
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "15", "-reps", "2",
+		"-discipline", "all", "-controller", "aimd")
+	if !strings.Contains(out, "discipline sweep") {
+		t.Errorf("discipline sweep missing under adaptive controller:\n%s", out)
+	}
+}
+
+// TestRunMultiClientControllerClientSweep: a non-default controller must
+// be visible in the multi-N sweep output (both table variants) and in
+// the discipline sweep header.
+func TestRunMultiClientControllerClientSweep(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "2,3", "-rounds", "15", "-reps", "2", "-controller", "aimd")
+	if !strings.Contains(out, "controller aimd") {
+		t.Errorf("plain client sweep hides the active controller:\n%s", out)
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "2,3", "-rounds", "15", "-reps", "2",
+		"-discipline", "priority", "-controller", "aimd")
+	if !strings.Contains(out, "controller aimd") {
+		t.Errorf("extended client sweep hides the active controller:\n%s", out)
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "15", "-reps", "2",
+		"-discipline", "all", "-controller", "aimd")
+	if !strings.Contains(out, "controller aimd") {
+		t.Errorf("discipline sweep hides the active controller:\n%s", out)
+	}
+	// The default static λ=0 run must stay byte-identical: no note.
+	out = runOut(t, "-mode", "multiclient", "-clients", "1,2", "-rounds", "20", "-reps", "2")
+	if strings.Contains(out, "controller") {
+		t.Errorf("default sweep grew a controller note:\n%s", out)
 	}
 }

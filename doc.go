@@ -72,4 +72,29 @@
 // queued promotes that transfer into the demand class. Compare
 // disciplines over identical workloads with SweepMultiClientDisciplines
 // or examples/scheduling.
+//
+// # Adaptive speculation: closed-loop λ control
+//
+// The paper's §6 extension prices wasted network time into the
+// objective, g°(F) − λ·Waste(F), but leaves λ a static knob tuned
+// against a private link. Under contention the true price of
+// speculation is the congestion it inflicts on everyone, so each
+// multiclient client can instead run a feedback controller
+// (MultiClientConfig.Adaptive, a ControllerConfig): every browsing
+// round it observes the server's congestion feedback (SchedFeedback —
+// sliding-window utilisation, queue depths, admission drop/defer
+// totals) together with its own demand queueing delay, and the
+// controller sets the λ the round's plan is solved with. Built-in
+// controllers: ControllerStatic (λ fixed at Lambda0; the default, and
+// with Lambda0 = 0 bit-for-bit the plain planner), ControllerAIMD
+// (multiplicative back-off on congestion, additive recovery),
+// ControllerTargetUtil (integral control toward a utilisation
+// setpoint) and ControllerDelayGradient (backs off when the client's
+// own demand delay rises round-over-round). Controllers are pure
+// functions of the feedback stream — identical seeds replay
+// bit-for-bit, and with zero congestion every controller converges to
+// the static-λ plan. Compare controllers over identical workloads with
+// SweepMultiClientControllers or examples/adaptive, which shows
+// closed-loop λ on a plain FIFO server recovering nearly all of the
+// priority discipline's demand-latency win at N=16.
 package prefetch

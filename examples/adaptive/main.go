@@ -1,0 +1,101 @@
+// Adaptive: PR 2's scheduling demo fixed contention collapse on the
+// server side — priority scheduling cut N=16 demand latency ~10x versus
+// FIFO, but only by changing the server. This demo fixes it from the
+// client side instead: each client runs a closed-loop λ controller
+// (internal/adaptive) that watches the congestion feedback the shared
+// server exposes (sliding-window utilisation, its own demand queueing
+// delay, admission drop/defer counts) and re-prices its speculation by
+// solving the paper's §6 cost-aware objective g°(F) − λ·Waste(F) at a λ
+// that tracks observed load:
+//
+//   - static          — λ fixed at 0: the paper's planner, which prices
+//     speculation against a private link and floods a shared server.
+//   - aimd            — multiplicative λ back-off on congested rounds,
+//     additive recovery on calm ones.
+//   - target-util     — integral control of λ toward a utilisation
+//     setpoint.
+//   - delay-gradient  — backs off when the client's own demand delay
+//     rises round-over-round; needs no server-side signal at all.
+//
+// The headline: under the plain FIFO discipline — the server doing
+// nothing clever at all — adaptive λ recovers nearly all of priority
+// scheduling's demand-latency win (and ≥ 2x over static λ is the
+// acceptance bar; the sweep below lands around 10x at N=16).
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefetch"
+)
+
+func main() {
+	cfg := prefetch.DefaultMultiClientConfig()
+	cfg.Rounds = 120
+	cfg.Seed = 2026
+
+	ctls := prefetch.ControllerKinds()
+	ns := []int{4, 8, 16}
+	const reps = 3
+
+	fmt.Printf("site of %d pages, server concurrency %d, %d rounds/client, %d reps, FIFO discipline\n",
+		cfg.Site.Pages, cfg.ServerConcurrency, cfg.Rounds, reps)
+	fmt.Println("\n-- closed-loop λ control on a plain FIFO server --")
+	header()
+	var static16, aimd16 float64
+	for _, n := range ns {
+		cfg.Clients = n
+		points, err := prefetch.SweepMultiClientControllers(cfg, ctls, reps, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range points {
+			row(n, string(p.Kind), p.DemandAccess.Mean(), p.Access.Mean(), p.Lambda.Mean(), p.SpecThroughput.Mean())
+			if n == 16 {
+				switch p.Kind {
+				case prefetch.ControllerStatic:
+					static16 = p.DemandAccess.Mean()
+				case prefetch.ControllerAIMD:
+					aimd16 = p.DemandAccess.Mean()
+				}
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("-- reference: static λ under priority scheduling (the server-side fix) --")
+	header()
+	for _, n := range ns {
+		cfg.Clients = n
+		cfg.Sched = prefetch.SchedConfig{Kind: prefetch.SchedPriority}
+		cfg.Adaptive = prefetch.ControllerConfig{}
+		points, err := prefetch.SweepMultiClientControllers(cfg, []prefetch.ControllerKind{prefetch.ControllerStatic}, reps, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := points[0]
+		row(n, "priority+static", p.DemandAccess.Mean(), p.Access.Mean(), p.Lambda.Mean(), p.SpecThroughput.Mean())
+	}
+
+	fmt.Printf("\nN=16 FIFO demand access: static λ %.2f vs aimd %.2f — %.1fx better.\n",
+		static16, aimd16, static16/aimd16)
+	fmt.Println("\nThe static planner optimises the paper's private-link objective and")
+	fmt.Println("drowns the shared server in speculation everyone else's demands queue")
+	fmt.Println("behind. Closing the loop prices speculation at its observed congestion")
+	fmt.Println("cost: λ rises until only near-certain prefetches survive, demand")
+	fmt.Println("latency collapses back toward the priority-discipline reference, and")
+	fmt.Println("when load clears λ drains back to its floor and full speculation")
+	fmt.Println("resumes — no server-side scheduling changes required.")
+}
+
+func header() {
+	fmt.Printf("%-8s %-16s %10s %10s %8s %10s\n",
+		"clients", "controller", "demand T", "mean T", "mean λ", "spec/s")
+}
+
+func row(n int, label string, demandT, meanT, lambda, spec float64) {
+	fmt.Printf("%-8d %-16s %10.3f %10.3f %8.3f %10.3f\n", n, label, demandT, meanT, lambda, spec)
+}

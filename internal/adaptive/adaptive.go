@@ -1,0 +1,302 @@
+// Package adaptive closes the speculation-control loop that the paper's
+// §6 cost-aware objective leaves open. SolveSKPCostAware already solves
+// g°(F) − λ·Waste(F) exactly for a *given* λ, but λ prices wasted network
+// time against a private link; at the shared server of the multiclient
+// simulation the true price of speculation is the congestion it inflicts
+// on everyone, and that price moves round by round. This package turns
+// the static λ knob into a feedback policy: each browsing round the
+// client observes a congestion signal fed back from the server (the
+// scheduler's sliding-window utilisation, its own demand queueing delay,
+// and the admission controller's drop/defer counts) and a Controller maps
+// that Feedback stream to the λ the next plan is solved with.
+//
+// Controllers are pure deterministic functions of their feedback stream:
+// no randomness, no wall clock, no hidden state beyond what the stream
+// itself determines. Identical seeds therefore replay bit-for-bit, and
+// the static controller — which ignores feedback entirely — reproduces
+// the fixed-λ planner exactly.
+//
+// Built-in controllers:
+//
+//   - KindStatic — λ ≡ Lambda0 every round; with Lambda0 = 0 this is the
+//     plain SKP planner, bit-for-bit.
+//   - KindAIMD — additive-decrease, multiplicative-increase, mirrored
+//     from congestion control: λ is a brake, so congestion multiplies it
+//     up sharply (plus an additive kick so λ can leave zero) and each
+//     calm round walks it back down by a small constant.
+//   - KindTargetUtil — an integral controller tracking a utilisation
+//     setpoint: λ accumulates Gain·(util − TargetUtil) each round, so
+//     speculation is throttled exactly hard enough to hold the server at
+//     the target.
+//   - KindDelayGradient — backs off when the client's own demand
+//     queueing delay rises round-over-round, and relaxes otherwise; it
+//     needs no server-side signal at all.
+//
+// Every controller clamps λ to [Lambda0, MaxLambda]: Lambda0 is the
+// configured base price (the floor a calm system converges back to, which
+// makes "no congestion ⇒ the static-λ plan" a provable property), and
+// MaxLambda bounds how hard speculation can be squeezed — at λ the
+// cost-aware profit r·((1+λ)P − λ) admits only items with
+// P > λ/(1+λ), so MaxLambda = 8 already restricts plans to candidates
+// at ≥ 8/9 certainty.
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadConfig reports an invalid controller configuration.
+var ErrBadConfig = errors.New("adaptive: bad config")
+
+// Kind names a built-in λ controller.
+type Kind string
+
+// The built-in controllers.
+const (
+	KindStatic        Kind = "static"
+	KindAIMD          Kind = "aimd"
+	KindTargetUtil    Kind = "target-util"
+	KindDelayGradient Kind = "delay-gradient"
+)
+
+// Kinds lists the built-in controllers in canonical order.
+func Kinds() []Kind {
+	return []Kind{KindStatic, KindAIMD, KindTargetUtil, KindDelayGradient}
+}
+
+// Feedback is the congestion signal one client observes at the start of a
+// browsing round, before planning its prefetches. Utilisation and the
+// deferral count come back from the shared server (schedsrv.Feedback);
+// the demand delay and drop count are the client's own observations of
+// the round that just ended.
+type Feedback struct {
+	Round        int     // 1-based round about to be planned
+	Utilization  float64 // server sliding-window utilisation estimate
+	QueuedDemand int     // demand requests queued at the server
+	DemandDelay  float64 // own demand queueing delay last round (0 = served from cache)
+	Dropped      int64   // own speculative submissions admission dropped since last round
+	Deferred     int64   // server-wide speculative deferrals since last round
+}
+
+// congested reports whether the feedback signals an overloaded server for
+// threshold-style controllers: the utilisation estimate at or above the
+// threshold, or the admission controller actively refusing speculation.
+func (fb Feedback) congested(threshold float64) bool {
+	return fb.Utilization >= threshold || fb.Dropped > 0 || fb.Deferred > 0
+}
+
+// Controller maps the per-round feedback stream to the network-usage
+// price λ the round's plan is solved with (core.Options.NetworkLambda).
+// Lambda is called exactly once per round, in round order; it may carry
+// state between calls but must be a pure function of the feedback stream.
+type Controller interface {
+	Name() string
+	Lambda(fb Feedback) float64
+}
+
+// Config parameterises a controller. The zero value is the static λ = 0
+// controller — the plain SKP planner.
+type Config struct {
+	Kind    Kind    // controller; "" means KindStatic
+	Lambda0 float64 // base λ and clamp floor (>= 0)
+
+	// MaxLambda caps how hard speculation can be squeezed (0 = default 8).
+	MaxLambda float64
+
+	// AIMD tunables.
+	CongestUtil float64 // utilisation at/above which a round counts congested (0 = default 0.75)
+	Increase    float64 // multiplicative λ factor on congestion (0 = default 2; >= 1)
+	Kick        float64 // additive λ bump on congestion, bootstraps λ off zero (0 = default 0.25)
+	Decrease    float64 // additive λ decay per calm round (0 = default 0.05)
+
+	// Target-utilisation tunables.
+	TargetUtil float64 // utilisation setpoint (0 = default 0.7; in (0, 1))
+	Gain       float64 // integral gain on the utilisation error (0 = default 2)
+
+	// Delay-gradient tunables.
+	DelayStep  float64 // additive λ increase when own demand delay rises (0 = default 0.5)
+	DelayDecay float64 // additive λ decay otherwise (0 = default 0.1)
+}
+
+// withDefaults fills zero-valued tunables.
+func (cfg Config) withDefaults() Config {
+	if cfg.Kind == "" {
+		cfg.Kind = KindStatic
+	}
+	if cfg.MaxLambda == 0 {
+		cfg.MaxLambda = 8
+	}
+	if cfg.CongestUtil == 0 {
+		cfg.CongestUtil = 0.75
+	}
+	if cfg.Increase == 0 {
+		cfg.Increase = 2
+	}
+	if cfg.Kick == 0 {
+		cfg.Kick = 0.25
+	}
+	if cfg.Decrease == 0 {
+		cfg.Decrease = 0.05
+	}
+	if cfg.TargetUtil == 0 {
+		cfg.TargetUtil = 0.7
+	}
+	if cfg.Gain == 0 {
+		cfg.Gain = 2
+	}
+	if cfg.DelayStep == 0 {
+		cfg.DelayStep = 0.5
+	}
+	if cfg.DelayDecay == 0 {
+		cfg.DelayDecay = 0.1
+	}
+	return cfg
+}
+
+// Validate checks the configuration (after defaulting). Checks are in
+// positive form so NaN inputs are rejected rather than slipping past
+// every comparison.
+func (cfg Config) Validate() error {
+	c := cfg.withDefaults()
+	known := false
+	for _, k := range Kinds() {
+		if c.Kind == k {
+			known = true
+			break
+		}
+	}
+	switch {
+	case !known:
+		return fmt.Errorf("%w: unknown controller %q", ErrBadConfig, c.Kind)
+	case !(c.Lambda0 >= 0) || math.IsInf(c.Lambda0, 0):
+		return fmt.Errorf("%w: lambda0 %v (need finite >= 0)", ErrBadConfig, cfg.Lambda0)
+	case !(c.MaxLambda >= c.Lambda0) || math.IsInf(c.MaxLambda, 0):
+		// Report the defaulted value actually compared against, so
+		// "lambda0 9 above the (default) max lambda 8" is diagnosable.
+		return fmt.Errorf("%w: max lambda %v below lambda0 %v", ErrBadConfig, c.MaxLambda, c.Lambda0)
+	case !(c.CongestUtil > 0 && c.CongestUtil <= 1):
+		return fmt.Errorf("%w: congestion threshold %v outside (0, 1]", ErrBadConfig, cfg.CongestUtil)
+	case !(c.Increase >= 1):
+		// Increase < 1 would break the AIMD monotonicity guarantee: a
+		// congested round could yield a lower λ than a calm one.
+		return fmt.Errorf("%w: aimd increase factor %v (need >= 1)", ErrBadConfig, cfg.Increase)
+	case !(c.Kick > 0):
+		return fmt.Errorf("%w: aimd kick %v (need > 0)", ErrBadConfig, cfg.Kick)
+	case !(c.Decrease > 0):
+		return fmt.Errorf("%w: aimd decrease %v (need > 0)", ErrBadConfig, cfg.Decrease)
+	case !(c.TargetUtil > 0 && c.TargetUtil < 1):
+		return fmt.Errorf("%w: target utilisation %v outside (0, 1)", ErrBadConfig, cfg.TargetUtil)
+	case !(c.Gain > 0):
+		return fmt.Errorf("%w: integral gain %v (need > 0)", ErrBadConfig, cfg.Gain)
+	case !(c.DelayStep > 0):
+		return fmt.Errorf("%w: delay step %v (need > 0)", ErrBadConfig, cfg.DelayStep)
+	case !(c.DelayDecay > 0):
+		return fmt.Errorf("%w: delay decay %v (need > 0)", ErrBadConfig, cfg.DelayDecay)
+	}
+	return nil
+}
+
+// New builds the configured controller. Each client owns its own
+// instance; controllers are not safe for shared use.
+func New(cfg Config) (Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	switch cfg.Kind {
+	case KindStatic:
+		return &static{cfg: cfg}, nil
+	case KindAIMD:
+		return &aimd{cfg: cfg, lambda: cfg.Lambda0}, nil
+	case KindTargetUtil:
+		return &targetUtil{cfg: cfg, lambda: cfg.Lambda0}, nil
+	case KindDelayGradient:
+		return &delayGradient{cfg: cfg, lambda: cfg.Lambda0}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown controller %q", ErrBadConfig, cfg.Kind)
+}
+
+// clamp bounds λ to the configured [Lambda0, MaxLambda] band.
+func (cfg Config) clamp(lambda float64) float64 {
+	if lambda < cfg.Lambda0 {
+		return cfg.Lambda0
+	}
+	if lambda > cfg.MaxLambda {
+		return cfg.MaxLambda
+	}
+	return lambda
+}
+
+// static ignores feedback: λ ≡ Lambda0, the PR 2 fixed-λ planner.
+type static struct{ cfg Config }
+
+func (s *static) Name() string { return string(KindStatic) }
+
+func (s *static) Lambda(Feedback) float64 { return s.cfg.Lambda0 }
+
+// aimd treats λ like a congestion-control brake: multiplicative increase
+// (plus a bootstrap kick) on congested rounds, additive decrease on calm
+// ones. For any fixed internal state the next λ is monotone
+// non-decreasing in the observed utilisation — the step from λ−Decrease
+// to λ·Increase+Kick at CongestUtil only ever goes up (Increase >= 1).
+type aimd struct {
+	cfg    Config
+	lambda float64
+}
+
+func (a *aimd) Name() string { return string(KindAIMD) }
+
+func (a *aimd) Lambda(fb Feedback) float64 {
+	if fb.congested(a.cfg.CongestUtil) {
+		a.lambda = a.lambda*a.cfg.Increase + a.cfg.Kick
+	} else {
+		a.lambda -= a.cfg.Decrease
+	}
+	a.lambda = a.cfg.clamp(a.lambda)
+	return a.lambda
+}
+
+// targetUtil is an integral controller on the utilisation error: λ
+// accumulates Gain·(util − TargetUtil) per round, throttling speculation
+// exactly hard enough to hold the server at the setpoint. Below the
+// setpoint the error is negative, so an idle system drains λ back to
+// Lambda0.
+type targetUtil struct {
+	cfg    Config
+	lambda float64
+}
+
+func (t *targetUtil) Name() string { return string(KindTargetUtil) }
+
+func (t *targetUtil) Lambda(fb Feedback) float64 {
+	t.lambda = t.cfg.clamp(t.lambda + t.cfg.Gain*(fb.Utilization-t.cfg.TargetUtil))
+	return t.lambda
+}
+
+// delayGradient watches only the client's own demand queueing delay: a
+// round-over-round rise means this client's fetches are queueing behind
+// the backlog, so it backs its speculation off; otherwise λ decays. It is
+// the one controller that needs no server-side signal.
+type delayGradient struct {
+	cfg       Config
+	lambda    float64
+	prevDelay float64
+	seen      bool
+}
+
+func (d *delayGradient) Name() string { return string(KindDelayGradient) }
+
+func (d *delayGradient) Lambda(fb Feedback) float64 {
+	rising := d.seen && fb.DemandDelay > d.prevDelay
+	d.prevDelay = fb.DemandDelay
+	d.seen = true
+	if rising {
+		d.lambda += d.cfg.DelayStep
+	} else {
+		d.lambda -= d.cfg.DelayDecay
+	}
+	d.lambda = d.cfg.clamp(d.lambda)
+	return d.lambda
+}

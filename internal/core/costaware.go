@@ -30,3 +30,15 @@ func CostAwareGain(p Problem, plan Plan, lambda float64) (float64, error) {
 func ProbThreshold(lambda float64) float64 {
 	return lambda / (1 + lambda)
 }
+
+// WithNetworkLambda returns a copy of o pricing network usage at lambda.
+// It exists for planners that re-solve the SKP every round under a λ that
+// moves round-to-round (the adaptive controllers of the multiclient
+// simulation): the rest of the solver configuration stays fixed while the
+// speculation price tracks observed congestion. λ = 0 restores the plain
+// objective, so a controller resting at its floor reproduces SolveSKP
+// (or the non-zero static plan) exactly.
+func (o Options) WithNetworkLambda(lambda float64) Options {
+	o.NetworkLambda = lambda
+	return o
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWithNetworkLambdaMatchesCostAware: the per-round Options plumbing
+// must be exactly the static cost-aware solve at the same λ, and λ = 0
+// must reduce to the plain solver.
+func TestWithNetworkLambdaMatchesCostAware(t *testing.T) {
+	p := Problem{
+		Items: []Item{
+			{ID: 1, Prob: 0.5, Retrieval: 4},
+			{ID: 2, Prob: 0.25, Retrieval: 5},
+			{ID: 3, Prob: 0.15, Retrieval: 3},
+			{ID: 4, Prob: 0.1, Retrieval: 2},
+		},
+		Viewing: 9,
+	}
+	for _, lambda := range []float64{0, 0.2, 1, 5} {
+		opts := Options{}.WithNetworkLambda(lambda)
+		if opts.NetworkLambda != lambda {
+			t.Fatalf("WithNetworkLambda(%v) set %v", lambda, opts.NetworkLambda)
+		}
+		got, _, err := SolveSKPOpts(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := SolveSKPCostAware(p, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.IDs(), want.IDs()) {
+			t.Errorf("λ=%v: plan %v != cost-aware plan %v", lambda, got.IDs(), want.IDs())
+		}
+	}
+	plain, _, err := SolveSKP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, _, err := SolveSKPOpts(p, Options{}.WithNetworkLambda(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.IDs(), zero.IDs()) {
+		t.Errorf("λ=0 plan %v != plain SKP plan %v", zero.IDs(), plain.IDs())
+	}
+
+	// WithNetworkLambda must preserve every other option.
+	base := Options{Mode: DeltaPaperTail, StretchCost: 0.5, DisableBound: true}
+	mod := base.WithNetworkLambda(2)
+	base.NetworkLambda = 2
+	if mod != base {
+		t.Errorf("WithNetworkLambda perturbed other options: %+v vs %+v", mod, base)
+	}
+}

@@ -3,6 +3,7 @@ package multiclient
 import (
 	"sort"
 
+	"prefetch/internal/adaptive"
 	"prefetch/internal/cache"
 	"prefetch/internal/core"
 	"prefetch/internal/netsim"
@@ -34,9 +35,20 @@ type client struct {
 	demandRound bool // this round needed a network fetch (shared or own)
 	requestedAt float64
 
+	// Closed-loop speculation control (internal/adaptive): the controller
+	// maps each round's congestion feedback to the λ the plan is priced
+	// at. The bookkeeping below carries the client's own observations
+	// between rounds.
+	ctrl           adaptive.Controller
+	curLambda      float64
+	lastDemandWait float64 // own demand queueing delay observed last round
+	prevDropped    int64   // own admission drops at the last feedback
+	prevDeferred   int64   // server-wide deferral total at the last feedback
+
 	access          stats.Accumulator
 	demandAccess    stats.Accumulator // access times of rounds that fetched
 	queueWait       stats.Accumulator
+	lambdaTrace     stats.Accumulator // λ used each planned round
 	prefetchIssued  int64
 	prefetchDropped int64 // speculative submissions admission refused
 	demandFetches   int64
@@ -57,6 +69,11 @@ func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webg
 		waitingFor: -1,
 	}
 	c.surfer = webgraph.NewSurfer(c.rand, site, cfg.FollowProb)
+	ctrl, err := adaptive.New(cfg.Adaptive)
+	if err != nil {
+		return nil, err
+	}
+	c.ctrl = ctrl
 	if cfg.ClientCacheSlots > 0 {
 		cc, err := cache.New(cfg.ClientCacheSlots)
 		if err != nil {
@@ -108,6 +125,7 @@ func (c *client) startRound(now float64) {
 	}
 
 	if !c.cfg.DisablePrefetch {
+		c.observe(now)
 		plan := c.plan(v)
 		for _, it := range plan.Items {
 			c.prefetchIssued++
@@ -131,9 +149,30 @@ func (c *client) startRound(now float64) {
 	c.clock.Schedule(now+v, func() { c.request(next) })
 }
 
-// plan solves the SKP over the surfer's true next-page distribution,
-// excluding pages already held or in flight. Candidates are capped at the
-// MaxCandidates highest-probability pages to bound the solver's search.
+// observe closes the feedback loop: it reads the server's congestion
+// snapshot and the client's own last-round observations, and lets the
+// controller set this round's λ. Feedback collection is read-only, so
+// the static controller's timeline is bit-for-bit the fixed-λ planner's.
+func (c *client) observe(now float64) {
+	snap := c.server.snapshot(now)
+	fb := adaptive.Feedback{
+		Round:        c.round,
+		Utilization:  snap.Utilization,
+		QueuedDemand: snap.QueuedDemand,
+		DemandDelay:  c.lastDemandWait,
+		Dropped:      c.prefetchDropped - c.prevDropped,
+		Deferred:     snap.DeferredTotal - c.prevDeferred,
+	}
+	c.prevDropped = c.prefetchDropped
+	c.prevDeferred = snap.DeferredTotal
+	c.curLambda = c.ctrl.Lambda(fb)
+	c.lambdaTrace.Add(c.curLambda)
+}
+
+// plan solves the cost-aware SKP at the controller's current λ over the
+// surfer's true next-page distribution, excluding pages already held or
+// in flight. Candidates are capped at the MaxCandidates
+// highest-probability pages to bound the solver's search.
 func (c *client) plan(viewing float64) core.Plan {
 	dist := c.surfer.NextDistribution()
 	items := make([]core.Item, 0, len(dist))
@@ -153,7 +192,7 @@ func (c *client) plan(viewing float64) core.Plan {
 		items = items[:c.cfg.MaxCandidates]
 	}
 	problem := core.Problem{Items: items, Viewing: viewing, TotalProb: 1}
-	plan, _, err := core.SolveSKP(problem)
+	plan, _, err := core.SolveSKPOpts(problem, core.Options{}.WithNetworkLambda(c.curLambda))
 	if err != nil {
 		// The problem is constructed valid by design; a failure here is a
 		// simulator bug, not a configuration error.
@@ -169,6 +208,7 @@ func (c *client) request(page int) {
 		if c.cache != nil {
 			c.cache.RecordAccess(page)
 		}
+		c.lastDemandWait = 0
 		c.respond(0)
 		return
 	}
@@ -200,6 +240,7 @@ func (c *client) onTransferDone(req request, waited float64) {
 	c.store(req)
 	if c.waitingFor == req.page {
 		c.waitingFor = -1
+		c.lastDemandWait = waited
 		c.respond(c.clock.Now() - c.requestedAt)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"prefetch/internal/adaptive"
 	"prefetch/internal/netsim"
 	"prefetch/internal/rng"
 	"prefetch/internal/schedsrv"
@@ -53,6 +54,13 @@ type Config struct {
 	// seed's FIFO server; Sched.Concurrency is overridden by
 	// ServerConcurrency.
 	Sched schedsrv.Config
+
+	// Adaptive selects each client's closed-loop λ controller (see
+	// internal/adaptive): per round, the client observes server
+	// congestion feedback and re-prices its speculation by solving the
+	// cost-aware SKP at the controller's λ. The zero value is the static
+	// λ = 0 planner — bit-for-bit the fixed-plan behaviour.
+	Adaptive adaptive.Config
 
 	Site webgraph.SiteConfig // the shared site every client browses
 	Seed uint64              // master seed; all streams derive from it
@@ -104,6 +112,9 @@ func (cfg Config) Validate() error {
 	if err := scfg.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	if err := cfg.Adaptive.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	return nil
 }
 
@@ -113,6 +124,7 @@ type ClientResult struct {
 	Access          stats.Accumulator // per-round observed access times
 	DemandAccess    stats.Accumulator // rounds that needed a network fetch
 	QueueWait       stats.Accumulator // per-transfer wait for a server slot
+	Lambda          stats.Accumulator // per-round controller λ (empty without prefetching)
 	PrefetchIssued  int64
 	PrefetchDropped int64 // speculative submissions refused by admission
 	DemandFetches   int64
@@ -124,11 +136,13 @@ type Result struct {
 	Clients     int
 	Concurrency int
 	Discipline  string // scheduling discipline the server ran
+	Controller  string // λ controller the clients ran
 	PerClient   []ClientResult
 
 	Access       stats.Accumulator // all clients' rounds merged
 	DemandAccess stats.Accumulator // all clients' fetching rounds merged
 	QueueWait    stats.Accumulator // all server transfers merged
+	Lambda       stats.Accumulator // all clients' per-round λ merged
 
 	Elapsed         float64 // simulated time until the last event
 	ServerBusy      float64 // slot-seconds of service performed
@@ -203,6 +217,7 @@ func Run(cfg Config) (Result, error) {
 		Clients:          cfg.Clients,
 		Concurrency:      cfg.ServerConcurrency,
 		Discipline:       srv.sched.Discipline(),
+		Controller:       clients[0].ctrl.Name(),
 		PerClient:        make([]ClientResult, cfg.Clients),
 		Elapsed:          clock.Now(),
 		ServerBusy:       srv.sched.BusyTime(),
@@ -222,6 +237,7 @@ func Run(cfg Config) (Result, error) {
 			Access:          c.access,
 			DemandAccess:    c.demandAccess,
 			QueueWait:       c.queueWait,
+			Lambda:          c.lambdaTrace,
 			PrefetchIssued:  c.prefetchIssued,
 			PrefetchDropped: c.prefetchDropped,
 			DemandFetches:   c.demandFetches,
@@ -230,6 +246,7 @@ func Run(cfg Config) (Result, error) {
 		res.Access.Merge(&c.access)
 		res.DemandAccess.Merge(&c.demandAccess)
 		res.QueueWait.Merge(&c.queueWait)
+		res.Lambda.Merge(&c.lambdaTrace)
 	}
 	return res, nil
 }

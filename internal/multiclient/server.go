@@ -77,6 +77,12 @@ func (s *server) promote(clientID, page int) bool {
 	return s.sched.Promote(clientID, page)
 }
 
+// snapshot feeds the scheduler's congestion state back to adaptive
+// clients. Reading it never mutates the scheduler.
+func (s *server) snapshot(now float64) schedsrv.Feedback {
+	return s.sched.Snapshot(now)
+}
+
 // serviceTime is the scheduler's service-start hook: a server-cache hit
 // means the page is already at the server, so only the hitFactor fraction
 // of the origin time is spent. Preemption restarts re-resolve the cache

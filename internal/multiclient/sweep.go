@@ -3,6 +3,7 @@ package multiclient
 import (
 	"fmt"
 
+	"prefetch/internal/adaptive"
 	"prefetch/internal/schedsrv"
 	"prefetch/internal/stats"
 	"prefetch/internal/sweep"
@@ -160,4 +161,89 @@ func schedFor(base schedsrv.Config, kind schedsrv.Kind) schedsrv.Config {
 		c.Preempt = false
 	}
 	return c
+}
+
+// ControllerPoint aggregates the seed replications of one adaptive λ
+// controller at a fixed client count and scheduling discipline.
+type ControllerPoint struct {
+	Kind    adaptive.Kind
+	Clients int
+	Reps    int
+
+	Access         stats.Accumulator // every round of every rep merged
+	DemandAccess   stats.Accumulator // every fetching round merged
+	QueueWait      stats.Accumulator // every server transfer merged
+	Lambda         stats.Accumulator // every planned round's λ merged
+	Utilization    stats.Accumulator // one observation per rep
+	Improvement    stats.Accumulator // one aggregate improvement per rep
+	SpecThroughput stats.Accumulator // one speculative-throughput obs per rep
+
+	Preemptions      int64 // summed over reps
+	PrefetchIssued   int64
+	PrefetchDropped  int64
+	PrefetchDeferred int64
+}
+
+// SweepControllers runs the identical workload (cfg.Clients sessions,
+// seed-replicated like SweepClients) under each λ controller in kinds,
+// preserving every non-Kind field of cfg.Adaptive (λ0, setpoints, gains)
+// and the whole scheduling config. Client workloads derive purely from
+// (seed, id) and controllers consume no randomness, so every controller
+// faces the same browsing sessions: the sweep isolates how the
+// speculation-control policy alone moves demand latency, speculative
+// traffic and the λ trajectory.
+func SweepControllers(cfg Config, kinds []adaptive.Kind, reps, workers int) ([]ControllerPoint, error) {
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("%w: empty controller axis", ErrBadConfig)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
+	}
+	type task struct {
+		kind adaptive.Kind
+		rep  int
+	}
+	var tasks []task
+	for _, k := range kinds {
+		c := cfg
+		c.Adaptive.Kind = k
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		for r := 0; r < reps; r++ {
+			tasks = append(tasks, task{kind: k, rep: r})
+		}
+	}
+	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
+		c := cfg
+		c.Adaptive.Kind = t.kind
+		c.Seed = cfg.Seed + uint64(t.rep)
+		return Compare(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ControllerPoint, len(kinds))
+	for i, k := range kinds {
+		points[i].Kind = k
+		points[i].Clients = cfg.Clients
+		points[i].Reps = reps
+		for r := 0; r < reps; r++ {
+			res := comparisons[i*reps+r].Prefetch
+			points[i].Access.Merge(&res.Access)
+			points[i].DemandAccess.Merge(&res.DemandAccess)
+			points[i].QueueWait.Merge(&res.QueueWait)
+			points[i].Lambda.Merge(&res.Lambda)
+			points[i].Utilization.Add(res.Utilization())
+			points[i].Improvement.Add(comparisons[i*reps+r].Improvement())
+			points[i].SpecThroughput.Add(res.SpecThroughput())
+			points[i].Preemptions += res.Preemptions
+			points[i].PrefetchDropped += res.PrefetchDropped
+			points[i].PrefetchDeferred += res.PrefetchDeferred
+			for _, pc := range res.PerClient {
+				points[i].PrefetchIssued += pc.PrefetchIssued
+			}
+		}
+	}
+	return points, nil
 }

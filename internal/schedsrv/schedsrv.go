@@ -551,6 +551,40 @@ func (s *Scheduler) scheduleDeferRetry(now float64) {
 	})
 }
 
+// Feedback is a point-in-time congestion snapshot of the scheduler — the
+// signal the server feeds back to adaptive clients so they can re-price
+// their speculation against the load everyone is experiencing, not just
+// their own private link. Reading a snapshot never mutates the scheduler,
+// so feedback consumers cannot perturb the timeline.
+type Feedback struct {
+	Time        float64 // clock time the snapshot was taken
+	Utilization float64 // sliding-window utilisation estimate at Time
+
+	Queued       int // requests held by the discipline
+	QueuedDemand int // of those, demand class
+	InFlight     int // occupied transfer slots
+	DeferredNow  int // speculative requests currently parked by admission
+
+	DroppedTotal     int64 // cumulative speculative drops
+	DeferredTotal    int64 // cumulative speculative deferrals
+	PreemptionsTotal int64 // cumulative aborted speculative transfers
+}
+
+// Snapshot returns the congestion feedback at now.
+func (s *Scheduler) Snapshot(now float64) Feedback {
+	return Feedback{
+		Time:             now,
+		Utilization:      s.util.estimate(now),
+		Queued:           s.disc.Len(),
+		QueuedDemand:     s.queuedDemand,
+		InFlight:         len(s.inFlight),
+		DeferredNow:      len(s.deferred),
+		DroppedTotal:     s.dropped,
+		DeferredTotal:    s.deferredTotal,
+		PreemptionsTotal: s.preemptions,
+	}
+}
+
 // Queued returns the number of requests held by the discipline.
 func (s *Scheduler) Queued() int { return s.disc.Len() }
 

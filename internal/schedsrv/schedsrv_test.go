@@ -734,3 +734,121 @@ func TestWFQPromoteRescindsSpecCharge(t *testing.T) {
 		t.Errorf("demand finish tag = %v, want 2.5", demand)
 	}
 }
+
+// TestSnapshot: the feedback snapshot reports the scheduler's congestion
+// state faithfully and never perturbs the timeline (a run probed by
+// snapshots replays bit-for-bit against an unprobed one).
+func TestSnapshot(t *testing.T) {
+	var clock netsim.Clock
+	s, err := New(&clock, Config{Concurrency: 1, AdmitUtil: 0.5, AdmitWindow: 10, AdmitDefer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := s.Snapshot(0); fb != (Feedback{}) {
+		t.Errorf("idle snapshot = %+v, want zero", fb)
+	}
+	clock.Schedule(0, func() {
+		s.Submit(Request{Client: 0, Page: 1, Service: 20, Demand: true})
+		s.Submit(Request{Client: 0, Page: 2, Service: 1, Demand: true})
+	})
+	clock.Schedule(15, func() {
+		s.Submit(Request{Client: 1, Page: 3, Service: 1}) // deferred: util 1 >= 0.5
+		fb := s.Snapshot(clock.Now())
+		if fb.Time != 15 || fb.Utilization != 1 {
+			t.Errorf("snapshot time/util = %v/%v, want 15/1", fb.Time, fb.Utilization)
+		}
+		if fb.InFlight != 1 || fb.Queued != 1 || fb.QueuedDemand != 1 {
+			t.Errorf("snapshot occupancy = %+v, want 1 in flight, 1 queued demand", fb)
+		}
+		if fb.DeferredNow != 1 || fb.DeferredTotal != 1 {
+			t.Errorf("snapshot deferrals = %+v, want 1 parked", fb)
+		}
+	})
+	clock.Run()
+	// Snapshot must be read-only: a probed run equals an unprobed one.
+	load := genArrivals(21, 4, 40)
+	cfg := Config{Concurrency: 2, Kind: KindPriority, AdmitUtil: 0.6, AdmitWindow: 15}
+	plain := fingerprint(t, cfg, load)
+	var probed string
+	{
+		var c2 netsim.Clock
+		s2, err := New(&c2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		s2.Done = func(r *Request, service, waited float64) {
+			s2.Snapshot(c2.Now()) // probe on every completion
+			out += fmt.Sprintf("%d/%d@%.9f+%.9f;", r.Client, r.Page, c2.Now(), waited)
+		}
+		for _, a := range load {
+			a := a
+			c2.Schedule(a.at, func() {
+				s2.Snapshot(c2.Now()) // and before every submission
+				s2.Submit(Request{Client: a.client, Page: a.page, Service: a.service, Demand: a.demand})
+			})
+		}
+		c2.Run()
+		probed = fmt.Sprintf("%s|busy=%.9f|n=%d|pre=%d|drop=%d", out, s2.BusyTime(), s2.Completed(), s2.Preemptions(), s2.Dropped())
+	}
+	if plain != probed {
+		t.Error("snapshot probing perturbed the completion trace")
+	}
+}
+
+// BenchmarkSchedulerDequeue drives each discipline through a contended
+// synthetic load (6 clients x 200 requests on 2 slots) per op — the
+// submit/dispatch/complete hot path the multiclient simulation leans on.
+// Tracked by the benchmark-regression gate (cmd/benchjson).
+func BenchmarkSchedulerDequeue(b *testing.B) {
+	load := genArrivals(13, 6, 200)
+	for _, kind := range Kinds() {
+		cfg := Config{Concurrency: 2, Kind: kind}
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var clock netsim.Clock
+				s, err := New(&clock, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, a := range load {
+					a := a
+					clock.Schedule(a.at, func() {
+						s.Submit(Request{Client: a.client, Page: a.page, Service: a.service, Demand: a.demand})
+					})
+				}
+				clock.Run()
+				if s.Completed() != int64(len(load)) {
+					b.Fatalf("completed %d of %d", s.Completed(), len(load))
+				}
+			}
+		})
+	}
+}
+
+// TestShapedDrainsSustainedLoad is the regression test for a liveness
+// bug: under a long contended load, a speculative head could end up one
+// float ulp short of its token need at an instant where the computed
+// refill wake-up rounded to "now" — ReadyAt claimed eligible-now, Pop
+// disagreed, no wake-up was planted, and the backlog stalled forever.
+// This exact load left 132 of 1200 requests queued before the tokenEps
+// fix.
+func TestShapedDrainsSustainedLoad(t *testing.T) {
+	load := genArrivals(13, 6, 200)
+	var clock netsim.Clock
+	s, err := New(&clock, Config{Concurrency: 2, Kind: KindShaped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range load {
+		a := a
+		clock.Schedule(a.at, func() {
+			s.Submit(Request{Client: a.client, Page: a.page, Service: a.service, Demand: a.demand})
+		})
+	}
+	clock.Run()
+	if s.Completed() != int64(len(load)) {
+		t.Fatalf("shaped stalled: completed %d of %d, %d still queued",
+			s.Completed(), len(load), s.Queued())
+	}
+}

@@ -1,5 +1,16 @@
 package schedsrv
 
+import "math"
+
+// tokenEps absorbs float rounding between ReadyAt's wake-time arithmetic
+// and Pop's eligibility check. Without it the two can disagree by one
+// ulp: ReadyAt computes a refill instant that rounds to "now", plants no
+// wake-up, and Pop still refuses the head because its bucket is 1e-14
+// short — a permanent stall with work queued (seen in practice once
+// simulated time grows large enough that now + deficit/rate == now).
+// Both sides compare against need − tokenEps, so they always agree.
+const tokenEps = 1e-9
+
 // shaped is per-client token-bucket bandwidth shaping: client c accrues
 // rate service-seconds of transfer credit per second, capped at burst. A
 // speculative transfer starts only once its client holds credit for its
@@ -92,7 +103,7 @@ func (s *shaped) Pop(now float64) (*Request, bool) {
 		}
 		if len(f.spec) > 0 {
 			s.refill(f, now)
-			if r := f.spec[0]; f.tokens >= s.need(r) && (best == nil || r.seq < best.seq) {
+			if r := f.spec[0]; f.tokens >= s.need(r)-tokenEps && (best == nil || r.seq < best.seq) {
 				bestClient, best, bestDemand = client, r, false
 			}
 		}
@@ -132,10 +143,17 @@ func (s *shaped) ReadyAt(now float64) (float64, bool) {
 		}
 		s.refill(f, now)
 		deficit := s.need(f.spec[0]) - f.tokens
-		if deficit <= 0 {
+		if deficit <= tokenEps {
+			// Pop agrees (same tolerance): this head is eligible now.
 			return now, true
 		}
 		at := now + deficit/s.rate
+		if at <= now {
+			// deficit/rate vanished below now's ulp: claiming "ready now"
+			// would contradict Pop, so wake at the next representable
+			// instant instead (refill strictly grows the bucket there).
+			at = math.Nextafter(now, math.MaxFloat64)
+		}
 		if earliest < 0 || at < earliest {
 			earliest = at
 		}

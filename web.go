@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"prefetch/internal/adaptive"
 	"prefetch/internal/multiclient"
 	"prefetch/internal/netsim"
 	"prefetch/internal/schedsrv"
@@ -110,6 +111,60 @@ const (
 
 // SchedKinds lists the built-in disciplines in canonical order.
 func SchedKinds() []SchedKind { return schedsrv.Kinds() }
+
+// Adaptive speculation control: each multiclient client can run a
+// closed-loop λ controller (MultiClientConfig.Adaptive) that observes
+// per-round congestion feedback from the shared server and re-prices its
+// speculation by solving the §6 cost-aware objective g° − λ·Waste at a λ
+// that tracks observed load.
+type (
+	// ControllerConfig selects and tunes the per-client λ controller.
+	ControllerConfig = adaptive.Config
+	// ControllerKind names a built-in λ controller.
+	ControllerKind = adaptive.Kind
+	// Controller maps per-round congestion feedback to the next λ.
+	Controller = adaptive.Controller
+	// ControllerFeedback is the per-round congestion signal a controller
+	// consumes.
+	ControllerFeedback = adaptive.Feedback
+	// SchedFeedback is the scheduler's point-in-time congestion snapshot
+	// the server feeds back to adaptive clients.
+	SchedFeedback = schedsrv.Feedback
+	// MultiClientControllerPoint aggregates seed replications of one λ
+	// controller at a fixed client count and discipline.
+	MultiClientControllerPoint = multiclient.ControllerPoint
+)
+
+// The built-in λ controllers.
+const (
+	// ControllerStatic holds λ at Lambda0 — with Lambda0 = 0, the plain
+	// SKP planner, bit-for-bit.
+	ControllerStatic = adaptive.KindStatic
+	// ControllerAIMD backs speculation off multiplicatively on congested
+	// rounds and relaxes additively on calm ones.
+	ControllerAIMD = adaptive.KindAIMD
+	// ControllerTargetUtil integrates the utilisation error against a
+	// setpoint.
+	ControllerTargetUtil = adaptive.KindTargetUtil
+	// ControllerDelayGradient backs off when the client's own demand
+	// delay rises round-over-round.
+	ControllerDelayGradient = adaptive.KindDelayGradient
+)
+
+// ControllerKinds lists the built-in λ controllers in canonical order.
+func ControllerKinds() []ControllerKind { return adaptive.Kinds() }
+
+// NewController builds a standalone λ controller (each simulated client
+// owns its own instance).
+func NewController(cfg ControllerConfig) (Controller, error) { return adaptive.New(cfg) }
+
+// SweepMultiClientControllers runs the identical seed-replicated workload
+// under each λ controller, isolating the speculation-control policy:
+// demand latency, speculative traffic and the λ trajectory per
+// controller.
+func SweepMultiClientControllers(cfg MultiClientConfig, kinds []ControllerKind, reps, workers int) ([]MultiClientControllerPoint, error) {
+	return multiclient.SweepControllers(cfg, kinds, reps, workers)
+}
 
 // SweepMultiClientDisciplines runs the identical seed-replicated workload
 // under each scheduling discipline, isolating the server's arbitration
