@@ -15,13 +15,14 @@ GO ?= go
 SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
 
 # The tracked hot paths: the shared event-queue heap, the scheduling
-# subsystem's submit/dispatch/complete cycle, and the end-to-end
-# multiclient simulation round.
-BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound)$$
-BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient
+# subsystem's submit/dispatch/complete cycle, the end-to-end multiclient
+# simulation round (oracle and learned-predictor variants), and the
+# learned predictors' observe/predict cycle.
+BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkPredictorObserve)$$
+BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient ./internal/predict
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -count 3
 
-.PHONY: test bench bench-raw bench-baseline clean-bench
+.PHONY: test bench bench-raw bench-baseline clean-bench sweep-learned
 
 test:
 	$(GO) build ./...
@@ -45,3 +46,8 @@ bench-baseline: bench-raw
 clean-bench:
 	rm -f bench-raw.txt BENCH_*.json
 	git checkout -- BENCH_baseline.json 2>/dev/null || true
+
+# Oracle-vs-learned gap report (examples/learned): predictor×controller
+# tables with Pareto marks at N=16 under fifo and priority scheduling.
+sweep-learned:
+	$(GO) run ./examples/learned

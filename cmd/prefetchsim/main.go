@@ -44,6 +44,23 @@
 //	prefetchsim -mode multiclient -clients 16 -controller all
 //	prefetchsim -mode multiclient -clients 16 -controller target-util -target-util 0.6
 //
+// Prediction sources (internal/predict) select the access model each
+// client plans over: -predictor oracle (the surfer's true next-page
+// distribution — the default, and bit-for-bit the pre-subsystem planner),
+// depgraph (order-1 dependency graph learned online from the client's own
+// access stream), ppm (order -ppm-order PPM, same stream; -cold-start
+// none|uniform picks the fallback while the model is cold) or shared (one
+// server-side model trained on the aggregate stream of every client;
+// add -warm-cache with -servercache to let the server pre-admit the
+// model's top pages). A comma list (or "all") sweeps predictors over the
+// identical workload, and combining predictor and controller lists prints
+// the controller×predictor grid with per-controller Pareto frontiers:
+//
+//	prefetchsim -mode multiclient -clients 16 -predictor depgraph
+//	prefetchsim -mode multiclient -clients 16 -predictor all
+//	prefetchsim -mode multiclient -clients 16 -predictor shared -servercache 40 -warm-cache
+//	prefetchsim -mode multiclient -clients 16 -predictor all -controller all
+//
 // Traces: -record FILE writes the generated workload as JSON lines;
 // -replay FILE replays a previously recorded workload (prefetch-only mode).
 package main
@@ -105,6 +122,11 @@ func run(args []string, out io.Writer) error {
 		controller = fs.String("controller", "static", "adaptive λ controller: static | aimd | target-util | delay-gradient, comma list or \"all\" to sweep (multiclient)")
 		lambda0    = fs.Float64("lambda0", 0, "base network-usage price λ and controller floor (multiclient)")
 		targetUtil = fs.Float64("target-util", 0.7, "utilisation setpoint for the target-util controller (multiclient)")
+
+		predictor = fs.String("predictor", "oracle", "prediction source: oracle | depgraph | ppm | shared, comma list or \"all\" to sweep (multiclient)")
+		ppmOrder  = fs.Int("ppm-order", 2, "PPM context order for -predictor ppm (multiclient)")
+		coldStart = fs.String("cold-start", "none", "learned-predictor cold-start fallback: none | uniform (multiclient)")
+		warmCache = fs.Bool("warm-cache", false, "server pre-admits the shared model's top pages (needs -predictor shared and -servercache) (multiclient)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -120,6 +142,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if _, err := parseControllers(*controller); err != nil {
+		return err
+	}
+	if _, err := parsePredictors(*predictor); err != nil {
 		return err
 	}
 
@@ -149,6 +174,10 @@ func run(args []string, out io.Writer) error {
 			controller:  *controller,
 			lambda0:     *lambda0,
 			targetUtil:  *targetUtil,
+			predictor:   *predictor,
+			ppmOrder:    *ppmOrder,
+			coldStart:   *coldStart,
+			warmCache:   *warmCache,
 		})
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -346,6 +375,10 @@ type mcOptions struct {
 	controller  string
 	lambda0     float64
 	targetUtil  float64
+	predictor   string
+	ppmOrder    int
+	coldStart   string
+	warmCache   bool
 }
 
 // parseWeights parses "demand:spec" wfq class weights.
@@ -405,6 +438,11 @@ func parseControllers(s string) ([]prefetch.ControllerKind, error) {
 	return parseKinds(s, "controller", prefetch.ControllerKinds())
 }
 
+// parsePredictors parses the -predictor flag against PredictorKinds().
+func parsePredictors(s string) ([]prefetch.PredictorKind, error) {
+	return parseKinds(s, "predictor", prefetch.PredictorKinds())
+}
+
 // parseClients parses a single client count or a comma-separated sweep axis.
 func parseClients(list string) ([]int, error) {
 	var ns []int
@@ -459,6 +497,15 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 	if !(opt.targetUtil > 0 && opt.targetUtil < 1) {
 		return fmt.Errorf("-target-util must be in (0, 1) (got %v)", opt.targetUtil)
 	}
+	preds, err := parsePredictors(opt.predictor)
+	if err != nil {
+		return err
+	}
+	// PredictConfig treats a zero order as "use the default", so an
+	// explicit -ppm-order 0 would silently become 2; refuse it here.
+	if opt.ppmOrder < 1 {
+		return fmt.Errorf("-ppm-order must be >= 1 (got %d)", opt.ppmOrder)
+	}
 	cfg := prefetch.DefaultMultiClientConfig()
 	cfg.Seed = opt.seed
 	cfg.ServerConcurrency = opt.serverConc
@@ -483,6 +530,25 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 	if err := cfg.Adaptive.Validate(); err != nil {
 		return err
 	}
+	cfg.Predict = prefetch.PredictConfig{
+		Kind:      preds[0],
+		Order:     opt.ppmOrder,
+		ColdStart: prefetch.PredictorFallback(opt.coldStart),
+	}
+	if err := cfg.Predict.Validate(); err != nil {
+		return err
+	}
+	cfg.WarmServerCache = opt.warmCache
+	if opt.warmCache {
+		// Fail the flag combination up front with a CLI-level message
+		// (Validate would reject it too, but less readably).
+		if opt.serverCache <= 0 {
+			return fmt.Errorf("-warm-cache needs -servercache > 0")
+		}
+		if len(preds) != 1 || preds[0] != prefetch.PredictorShared {
+			return fmt.Errorf("-warm-cache needs -predictor shared")
+		}
+	}
 	reps := opt.reps
 	// Non-default scheduling extends the seed's tables with the
 	// discipline-specific columns; the default output stays byte-identical.
@@ -494,15 +560,27 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 	if ctlExtended {
 		ctlNote = fmt.Sprintf(", controller %s (λ0 %g)", cfg.Adaptive.Kind, cfg.Adaptive.Lambda0)
 	}
+	// A non-oracle predictor likewise adds a summary line / header note.
+	predExtended := preds[0] != prefetch.PredictorOracle || opt.warmCache
+	predNote := ""
+	if predExtended {
+		predNote = fmt.Sprintf(", predictor %s", cfg.Predict.Kind)
+	}
 
-	if len(kinds) > 1 && len(ctls) > 1 {
-		return fmt.Errorf("sweep one axis at a time: -discipline and -controller are both lists")
+	if len(kinds) > 1 && (len(ctls) > 1 || len(preds) > 1) {
+		return fmt.Errorf("sweep one axis at a time: -discipline combines with neither a -controller nor a -predictor list")
+	}
+	if len(preds) > 1 && len(ctls) > 1 {
+		return runPredictorControllerSweep(out, cfg, ns, preds, ctls, reps)
+	}
+	if len(preds) > 1 {
+		return runPredictorSweep(out, cfg, ns, preds, reps, ctlNote)
 	}
 	if len(ctls) > 1 {
-		return runControllerSweep(out, cfg, ns, ctls, reps)
+		return runControllerSweep(out, cfg, ns, ctls, reps, predNote)
 	}
 	if len(kinds) > 1 {
-		return runDisciplineSweep(out, cfg, ns, kinds, reps, ctlNote)
+		return runDisciplineSweep(out, cfg, ns, kinds, reps, ctlNote+predNote)
 	}
 
 	if len(ns) == 1 {
@@ -547,6 +625,15 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 			fmt.Fprintf(out, "\ncontroller %s: mean λ %.3f, max λ %.3f, demand access %.4f\n",
 				res.Controller, res.Lambda.Mean(), res.Lambda.Max(), res.DemandAccess.Mean())
 		}
+		if predExtended {
+			fmt.Fprintf(out, "\npredictor %s: L1 error %.3f, wasted-prefetch %.1f%%, hit ratio %.1f%% (demand access %.4f)\n",
+				res.Predictor, res.L1Error.Mean(), 100*res.WastedPrefetchFraction(),
+				100*res.HitRatio(), res.DemandAccess.Mean())
+			if opt.warmCache {
+				fmt.Fprintf(out, "cache warming: %d pre-admitted, %d warm hits\n",
+					res.WarmInserted, res.WarmHits)
+			}
+		}
 		return nil
 	}
 
@@ -555,8 +642,8 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		return err
 	}
 	if extended {
-		fmt.Fprintf(out, "sweep over clients, discipline %s%s, server concurrency %d, %d reps, %d rounds each\n\n",
-			cfg.Sched.Kind, ctlNote, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "sweep over clients, discipline %s%s%s, server concurrency %d, %d reps, %d rounds each\n\n",
+			cfg.Sched.Kind, ctlNote, predNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 		fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s %10s\n",
 			"clients", "demand T", "mean T", "queue wait", "spec/s", "util%", "improve%")
 		for _, p := range points {
@@ -566,8 +653,8 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		}
 		return nil
 	}
-	fmt.Fprintf(out, "sweep over clients%s, server concurrency %d, %d reps, %d rounds each\n\n",
-		ctlNote, cfg.ServerConcurrency, reps, cfg.Rounds)
+	fmt.Fprintf(out, "sweep over clients%s%s, server concurrency %d, %d reps, %d rounds each\n\n",
+		ctlNote, predNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 	fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s\n",
 		"clients", "mean T", "±95%", "queue wait", "util%", "improve%")
 	for _, p := range points {
@@ -608,7 +695,9 @@ func runDisciplineSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int,
 
 // runControllerSweep tabulates every requested λ controller over the
 // identical seed-replicated workload, one table per client count.
-func runControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, ctls []prefetch.ControllerKind, reps int) error {
+// predNote is the caller's non-default-predictor header note ("" when the
+// oracle default is active).
+func runControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, ctls []prefetch.ControllerKind, reps int, predNote string) error {
 	for i, n := range ns {
 		if i > 0 {
 			fmt.Fprintln(out)
@@ -622,8 +711,8 @@ func runControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int,
 		if disc == "" {
 			disc = prefetch.SchedFIFO
 		}
-		fmt.Fprintf(out, "controller sweep, %d clients, discipline %s, server concurrency %d, %d reps, %d rounds each\n\n",
-			n, disc, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "controller sweep, %d clients, discipline %s%s, server concurrency %d, %d reps, %d rounds each\n\n",
+			n, disc, predNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 		fmt.Fprintf(out, "%-15s %10s %10s %12s %8s %10s %8s %10s\n",
 			"controller", "demand T", "mean T", "queue wait", "mean λ", "spec/s", "drops", "improve%")
 		for _, p := range points {
@@ -631,6 +720,80 @@ func runControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int,
 				p.Kind, p.DemandAccess.Mean(), p.Access.Mean(), p.QueueWait.Mean(),
 				p.Lambda.Mean(), p.SpecThroughput.Mean(), p.PrefetchDropped,
 				100*p.Improvement.Mean())
+		}
+	}
+	return nil
+}
+
+// runPredictorSweep tabulates every requested prediction source over the
+// identical seed-replicated workload, one table per client count —
+// the oracle-vs-learned gap under contention. ctlNote is the caller's
+// non-default-controller header note.
+func runPredictorSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, preds []prefetch.PredictorKind, reps int, ctlNote string) error {
+	for i, n := range ns {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		cfg.Clients = n
+		points, err := prefetch.SweepMultiClientPredictors(cfg, preds, reps, 0)
+		if err != nil {
+			return err
+		}
+		disc := cfg.Sched.Kind
+		if disc == "" {
+			disc = prefetch.SchedFIFO
+		}
+		fmt.Fprintf(out, "predictor sweep, %d clients, discipline %s%s, server concurrency %d, %d reps, %d rounds each\n\n",
+			n, disc, ctlNote, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "%-10s %10s %10s %8s %8s %8s %10s %10s\n",
+			"predictor", "demand T", "mean T", "L1 err", "waste%", "hit%", "spec/s", "improve%")
+		for _, p := range points {
+			fmt.Fprintf(out, "%-10s %10.4f %10.4f %8.3f %7.1f%% %7.1f%% %10.4f %9.1f%%\n",
+				p.Kind, p.DemandAccess.Mean(), p.Access.Mean(), p.L1Error.Mean(),
+				100*p.WastedFraction.Mean(), 100*p.HitRatio.Mean(),
+				p.SpecThroughput.Mean(), 100*p.Improvement.Mean())
+		}
+	}
+	return nil
+}
+
+// runPredictorControllerSweep prints the controller×predictor grid, one
+// Pareto table per controller per client count: within a controller the
+// rows are predictors and the frontier marker (*) flags the cells
+// non-dominated on (demand latency ↓, speculative throughput ↑) — the
+// view that exposes a weak predictor even when an adaptive λ controller
+// hides it in raw latency.
+func runPredictorControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, preds []prefetch.PredictorKind, ctls []prefetch.ControllerKind, reps int) error {
+	for i, n := range ns {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		cfg.Clients = n
+		points, err := prefetch.SweepMultiClientPredictorControllers(cfg, preds, ctls, reps, 0)
+		if err != nil {
+			return err
+		}
+		disc := cfg.Sched.Kind
+		if disc == "" {
+			disc = prefetch.SchedFIFO
+		}
+		fmt.Fprintf(out, "controller × predictor sweep, %d clients, discipline %s, server concurrency %d, %d reps, %d rounds each\n",
+			n, disc, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "(* = on the controller's (demand T, spec/s) Pareto frontier)\n")
+		for ci, ctl := range ctls {
+			fmt.Fprintf(out, "\ncontroller %s\n", ctl)
+			fmt.Fprintf(out, "%-12s %10s %10s %8s %8s %8s %10s %7s\n",
+				"predictor", "demand T", "mean T", "mean λ", "L1 err", "waste%", "spec/s", "pareto")
+			for pi := range preds {
+				p := points[ci*len(preds)+pi]
+				mark := ""
+				if p.Pareto {
+					mark = "*"
+				}
+				fmt.Fprintf(out, "%-12s %10.4f %10.4f %8.3f %8.3f %7.1f%% %10.4f %7s\n",
+					p.Predictor, p.DemandAccess.Mean(), p.Access.Mean(), p.Lambda.Mean(),
+					p.L1Error.Mean(), 100*p.WastedFraction.Mean(), p.SpecThroughput.Mean(), mark)
+			}
 		}
 	}
 	return nil

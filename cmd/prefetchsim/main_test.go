@@ -376,3 +376,117 @@ func TestRunMultiClientControllerClientSweep(t *testing.T) {
 		t.Errorf("default sweep grew a controller note:\n%s", out)
 	}
 }
+
+// TestRunMultiClientPredictorOracleMatchesDefault: `-predictor oracle`
+// must produce byte-identical output to the default invocation — the
+// prediction subsystem replays the pre-subsystem timelines bit for bit.
+func TestRunMultiClientPredictorOracleMatchesDefault(t *testing.T) {
+	base := []string{"-mode", "multiclient", "-clients", "4", "-rounds", "30", "-seed", "9"}
+	for _, extra := range [][]string{
+		nil,
+		{"-discipline", "priority"},
+		{"-controller", "aimd"},
+		{"-discipline", "wfq", "-controller", "target-util"},
+	} {
+		def := runOut(t, append(append([]string{}, base...), extra...)...)
+		orc := runOut(t, append(append([]string{}, base...), append(extra, "-predictor", "oracle")...)...)
+		if def != orc {
+			t.Errorf("-predictor oracle diverged from default (%v):\n%s\n---\n%s", extra, def, orc)
+		}
+	}
+}
+
+func TestRunMultiClientPredictor(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "4", "-rounds", "30", "-predictor", "depgraph")
+	for _, want := range []string{"predictor depgraph", "L1 error", "wasted-prefetch", "hit ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The ppm predictor takes its order from -ppm-order.
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-predictor", "ppm", "-ppm-order", "3")
+	if !strings.Contains(out, "predictor ppm") {
+		t.Errorf("output missing ppm predictor line:\n%s", out)
+	}
+}
+
+func TestRunMultiClientPredictorSweep(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-reps", "2", "-predictor", "all")
+	for _, want := range []string{"predictor sweep", "L1 err", "waste%", "hit%", "oracle", "depgraph", "ppm", "shared"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientPredictorControllerGrid(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-reps", "2",
+		"-predictor", "oracle,depgraph", "-controller", "static,aimd")
+	for _, want := range []string{"controller × predictor sweep", "Pareto frontier", "controller static", "controller aimd", "pareto", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientWarmCache(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "4", "-rounds", "30",
+		"-predictor", "shared", "-servercache", "20", "-warm-cache")
+	for _, want := range []string{"predictor shared", "cache warming", "pre-admitted", "warm hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiClientPredictorDeterminism(t *testing.T) {
+	for _, pred := range []string{"depgraph", "ppm", "shared"} {
+		args := []string{"-mode", "multiclient", "-clients", "3", "-rounds", "25", "-predictor", pred, "-seed", "9"}
+		if a, b := runOut(t, args...), runOut(t, args...); a != b {
+			t.Errorf("%s: two identical invocations differ:\n%s\n---\n%s", pred, a, b)
+		}
+	}
+}
+
+func TestRunMultiClientBadPredictor(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "multiclient", "-predictor", "lstm"},
+		{"-mode", "multiclient", "-predictor", ""},
+		{"-mode", "multiclient", "-predictor", "ppm", "-ppm-order", "0"},
+		{"-mode", "multiclient", "-predictor", "depgraph", "-cold-start", "oracle"},
+		{"-mode", "multiclient", "-warm-cache"},                             // needs shared + cache
+		{"-mode", "multiclient", "-predictor", "shared", "-warm-cache"},     // needs cache
+		{"-mode", "multiclient", "-servercache", "20", "-warm-cache"},       // needs shared
+		{"-mode", "multiclient", "-discipline", "all", "-predictor", "all"}, // axis conflict
+		// Unused-flag validation in other modes.
+		{"-mode", "prefetch-only", "-predictor", "lstm"},
+		{"-mode", "cache", "-predictor", ""},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad predictor input", args)
+		}
+	}
+}
+
+// TestRunMultiClientPredictorWithDiscipline: a fixed learned predictor
+// must be visible in discipline sweeps and client sweeps.
+func TestRunMultiClientPredictorWithDiscipline(t *testing.T) {
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "15", "-reps", "2",
+		"-discipline", "all", "-predictor", "depgraph")
+	for _, want := range []string{"discipline sweep", "predictor depgraph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("discipline sweep output missing %q:\n%s", want, out)
+		}
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "2,3", "-rounds", "15", "-reps", "2", "-predictor", "depgraph")
+	if !strings.Contains(out, "predictor depgraph") {
+		t.Errorf("client sweep hides the active predictor:\n%s", out)
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "15", "-reps", "2",
+		"-controller", "all", "-predictor", "depgraph")
+	if !strings.Contains(out, "predictor depgraph") {
+		t.Errorf("controller sweep hides the active predictor:\n%s", out)
+	}
+}

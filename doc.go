@@ -37,14 +37,15 @@
 // The root package is the public API. Implementation lives under
 // internal/: core (model + solvers), knapsack (the classic-KP baseline),
 // access (probability generators, Markov sources, learned predictors),
-// cache (replacement policies), sim (the paper's Monte-Carlo harnesses),
-// netsim (an event-driven validation simulator), eventq (the binary-heap
-// priority queue under every discrete-event scheduler), multiclient (N
-// concurrent sessions contending for a shared server — see
-// RunMultiClient), schedsrv (the server's pluggable scheduling
-// subsystem), stats, plot, rng and sweep. The cmd/ tools regenerate every
-// figure of the paper; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured results.
+// predict (the pluggable prediction subsystem — oracle vs learned
+// sources, see MultiClientConfig.Predict), cache (replacement policies),
+// sim (the paper's Monte-Carlo harnesses), netsim (an event-driven
+// validation simulator), eventq (the binary-heap priority queue under
+// every discrete-event scheduler), multiclient (N concurrent sessions
+// contending for a shared server — see RunMultiClient), schedsrv (the
+// server's pluggable scheduling subsystem), stats, plot, rng and sweep.
+// The cmd/ tools regenerate every figure of the paper; see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for measured results.
 //
 // # Beyond the paper: shared-server contention
 //
@@ -97,4 +98,30 @@
 // SweepMultiClientControllers or examples/adaptive, which shows
 // closed-loop λ on a plain FIFO server recovering nearly all of the
 // priority discipline's demand-latency win at N=16.
+//
+// # Prediction: oracle vs learned access models
+//
+// Everything above still hands the planner the surfer's true next-page
+// distribution — the access knowledge the paper presupposes (§1) but no
+// deployed prefetcher has. The prediction subsystem
+// (MultiClientConfig.Predict, a PredictConfig) makes that knowledge a
+// pluggable Predictor (the single predictor interface of this API):
+// PredictorOracle plans over the true distribution (the default,
+// bit-for-bit the previous behaviour), PredictorDepGraph and
+// PredictorPPM train an order-1 dependency graph or an order-k PPM model
+// online on the client's own access stream (PredictConfig.ColdStart
+// picks the cold-start fallback), and PredictorShared plans over one
+// server-side aggregate model pooled across every client's stream —
+// which, with MultiClientConfig.WarmServerCache, also drives server-side
+// prefetching: the server pre-admits the model's top-probability pages
+// into its shared cache between rounds (Result.WarmInserted/WarmHits).
+// Each run reports the per-round prediction L1 error against the truth,
+// the wasted-prefetch fraction and the zero-fetch hit ratio, so the
+// oracle-vs-learned gap is measurable per discipline and per controller:
+// SweepMultiClientPredictors isolates the predictor axis and
+// SweepMultiClientPredictorControllers crosses it with λ controllers,
+// marking each controller's (demand latency, speculative throughput)
+// Pareto frontier — the view that keeps a weak predictor visible when
+// adaptive λ masks it in raw latency. See examples/learned for the gap
+// table at N=16 under FIFO and priority scheduling.
 package prefetch

@@ -31,7 +31,7 @@ const (
 type proxy struct {
 	name        string
 	site        *prefetch.Site
-	learned     *prefetch.DependencyGraph // nil for oracle/none
+	learned     prefetch.Predictor // nil for oracle/none
 	oracle      bool
 	prefetching bool
 
@@ -59,7 +59,7 @@ func (p *proxy) probabilities(s *prefetch.Surfer) map[int]float64 {
 	case p.oracle:
 		return s.NextDistribution()
 	case p.learned != nil:
-		return p.learned.Predict()
+		return p.learned.Next(s.Current())
 	default:
 		return nil
 	}

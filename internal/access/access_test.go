@@ -378,3 +378,46 @@ func BenchmarkSkewyGenerate10(b *testing.B) {
 		g.Generate(r, out)
 	}
 }
+
+// TestPredictorNextExplicitState: Next(state) must predict from the given
+// state — matching Predict() when state is the last observation, and
+// answering for arbitrary states independently of the tracked context
+// (PPM escapes to the order-1 context of the queried state).
+func TestPredictorNextExplicitState(t *testing.T) {
+	d := NewDependencyGraph()
+	for _, it := range []int{1, 2, 1, 3, 1, 2} {
+		d.Observe(it)
+	}
+	// last == 2: Predict and Next(2) agree.
+	p1, p2 := d.Predict(), d.Next(2)
+	if len(p1) != len(p2) || p1[1] != p2[1] {
+		t.Errorf("Predict %v disagrees with Next(last) %v", p1, p2)
+	}
+	// Out of 1 we saw 2,3,2: Next(1) must not depend on last being 2.
+	n1 := d.Next(1)
+	if len(n1) != 2 || n1[2] != 2.0/3 || n1[3] != 1.0/3 {
+		t.Errorf("Next(1) = %v, want {2:2/3, 3:1/3}", n1)
+	}
+	if len(d.Next(99)) != 0 {
+		t.Error("Next of an unseen state should be empty")
+	}
+
+	p, err := NewPPM(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []int{1, 2, 3, 1, 2, 4, 1, 2} {
+		p.Observe(it)
+	}
+	// History ends 1,2: the order-2 context predicts {3,4} evenly.
+	got := p.Next(2)
+	if len(got) != 2 || got[3] != 0.5 || got[4] != 0.5 {
+		t.Errorf("Next(2) with full context = %v, want {3:0.5, 4:0.5}", got)
+	}
+	// Querying state 1 (not the last observation) must escape to the
+	// order-1 context of 1 alone: always followed by 2.
+	got = p.Next(1)
+	if len(got) != 1 || got[2] != 1 {
+		t.Errorf("Next(1) off-context = %v, want {2:1}", got)
+	}
+}

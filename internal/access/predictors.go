@@ -2,25 +2,20 @@ package access
 
 import "fmt"
 
-// Predictor learns an access model online and predicts the distribution of
-// the next access — the "access model" the paper presupposes (§1, §6). Two
-// implementations follow the related-work lineage: DependencyGraph
-// (Padmanabhan & Mogul's server-side dependency graph, order 1) and PPM
-// (Vitter & Krishnan's compression-based prediction, order k with escape).
-type Predictor interface {
-	// Name identifies the predictor.
-	Name() string
-	// Observe feeds the next item of the access sequence.
-	Observe(item int)
-	// Predict returns the predicted probability of each candidate next
-	// item. The map may be empty when the model has no evidence yet.
-	// Probabilities sum to at most 1.
-	Predict() map[int]float64
-}
+// DependencyGraph and PPM learn an access model online and predict the
+// distribution of the next access — the "access model" the paper
+// presupposes (§1, §6). The two implementations follow the related-work
+// lineage: DependencyGraph (Padmanabhan & Mogul's server-side dependency
+// graph, order 1) and PPM (Vitter & Krishnan's compression-based
+// prediction, order k with escape). Both satisfy the prediction
+// subsystem's Source interface (internal/predict — the one public
+// predictor interface): Observe feeds the access stream, Next(state)
+// predicts from an explicit state, and Predict() remains as the
+// convenience form that predicts from the internally tracked context.
 
 // DependencyGraph is an order-1 transition-count predictor: each observed
 // pair (previous, next) increments an edge counter, and prediction
-// normalises the outgoing counts of the last observed item.
+// normalises the outgoing counts of the queried item.
 type DependencyGraph struct {
 	edges map[int]map[int]int64
 	outN  map[int]int64
@@ -33,10 +28,10 @@ func NewDependencyGraph() *DependencyGraph {
 	return &DependencyGraph{edges: map[int]map[int]int64{}, outN: map[int]int64{}}
 }
 
-// Name implements Predictor.
+// Name identifies the predictor.
 func (d *DependencyGraph) Name() string { return "depgraph" }
 
-// Observe implements Predictor.
+// Observe feeds the next item of the access sequence.
 func (d *DependencyGraph) Observe(item int) {
 	if d.any {
 		m := d.edges[d.last]
@@ -51,17 +46,25 @@ func (d *DependencyGraph) Observe(item int) {
 	d.any = true
 }
 
-// Predict implements Predictor.
+// Predict returns the prediction from the last observed item, or an
+// empty map before any observation.
 func (d *DependencyGraph) Predict() map[int]float64 {
-	out := map[int]float64{}
 	if !d.any {
-		return out
+		return map[int]float64{}
 	}
-	total := d.outN[d.last]
+	return d.Next(d.last)
+}
+
+// Next returns the predicted distribution of the item following state:
+// the normalised outgoing edge counts of state. Empty when state has no
+// observed successors.
+func (d *DependencyGraph) Next(state int) map[int]float64 {
+	out := map[int]float64{}
+	total := d.outN[state]
 	if total == 0 {
 		return out
 	}
-	for item, c := range d.edges[d.last] {
+	for item, c := range d.edges[state] {
 		out[item] = float64(c) / float64(total)
 	}
 	return out
@@ -90,8 +93,11 @@ func NewPPM(order int) (*PPM, error) {
 	return &PPM{order: order, contexts: map[string]*ctxCounts{}}, nil
 }
 
-// Name implements Predictor.
+// Name identifies the predictor.
 func (p *PPM) Name() string { return fmt.Sprintf("ppm-%d", p.order) }
+
+// Order returns the configured context order.
+func (p *PPM) Order() int { return p.order }
 
 // ctxKey encodes a context window compactly and unambiguously.
 func ctxKey(items []int) string {
@@ -102,7 +108,7 @@ func ctxKey(items []int) string {
 	return string(key)
 }
 
-// Observe implements Predictor.
+// Observe feeds the next item of the access sequence.
 func (p *PPM) Observe(item int) {
 	h := p.history
 	for k := 1; k <= p.order && k <= len(h); k++ {
@@ -121,10 +127,27 @@ func (p *PPM) Observe(item int) {
 	}
 }
 
-// Predict implements Predictor.
+// Predict returns the prediction from the internally tracked context
+// (the most recent observations), escaping to shorter contexts as needed.
 func (p *PPM) Predict() map[int]float64 {
-	out := map[int]float64{}
+	return p.predictFrom(p.history)
+}
+
+// Next returns the predicted distribution of the item following state.
+// When the tracked history already ends at state (the normal online case)
+// the full context is used; otherwise prediction falls back to the
+// order-1 context of state alone.
+func (p *PPM) Next(state int) map[int]float64 {
 	h := p.history
+	if n := len(h); n == 0 || h[n-1] != state {
+		h = []int{state}
+	}
+	return p.predictFrom(h)
+}
+
+// predictFrom predicts from the longest previously seen suffix of h.
+func (p *PPM) predictFrom(h []int) map[int]float64 {
+	out := map[int]float64{}
 	for k := min(p.order, len(h)); k >= 1; k-- {
 		c := p.contexts[ctxKey(h[len(h)-k:])]
 		if c == nil || c.total == 0 {

@@ -7,15 +7,18 @@ import (
 	"prefetch/internal/cache"
 	"prefetch/internal/core"
 	"prefetch/internal/netsim"
+	"prefetch/internal/predict"
 	"prefetch/internal/rng"
 	"prefetch/internal/stats"
 	"prefetch/internal/webgraph"
 )
 
 // client is one browsing session: a random surfer with its own derived RNG
-// stream, an SKP planner over the surfer's true next-page distribution, and
-// a private client-side cache. It runs as a callback state machine on the
-// shared clock so any number of clients interleave on the same timeline.
+// stream, an SKP planner over a pluggable prediction source (the oracle's
+// true next-page distribution, or a model learned online from the access
+// stream), and a private client-side cache. It runs as a callback state
+// machine on the shared clock so any number of clients interleave on the
+// same timeline.
 type client struct {
 	id     int
 	cfg    *Config
@@ -25,9 +28,16 @@ type client struct {
 	surfer *webgraph.Surfer
 	rand   *rng.Source
 
-	cache   *cache.Cache // nil ⇒ per-round prefetch-only semantics
-	ready   map[int]bool // prefetches completed this round (cache == nil)
-	pending map[int]bool // pages requested from the server, not yet completed
+	// pred is the prediction source the planner consumes. oracle marks
+	// the true-distribution source, whose per-round L1 error is zero by
+	// construction and therefore not recomputed.
+	pred   predict.Source
+	oracle bool
+
+	cache     *cache.Cache // nil ⇒ per-round prefetch-only semantics
+	ready     map[int]bool // prefetches completed this round (cache == nil)
+	pending   map[int]bool // pages requested from the server, not yet completed
+	specReady map[int]bool // cached pages whose latest store was speculative and unused
 
 	round       int
 	roundsLeft  int
@@ -45,17 +55,20 @@ type client struct {
 	prevDropped    int64   // own admission drops at the last feedback
 	prevDeferred   int64   // server-wide deferral total at the last feedback
 
-	access          stats.Accumulator
-	demandAccess    stats.Accumulator // access times of rounds that fetched
-	queueWait       stats.Accumulator
-	lambdaTrace     stats.Accumulator // λ used each planned round
-	prefetchIssued  int64
-	prefetchDropped int64 // speculative submissions admission refused
-	demandFetches   int64
-	zeroWaitRounds  int64
+	access            stats.Accumulator
+	demandAccess      stats.Accumulator // access times of rounds that fetched
+	queueWait         stats.Accumulator
+	lambdaTrace       stats.Accumulator // λ used each planned round
+	l1Trace           stats.Accumulator // prediction L1 error each planned round
+	prefetchIssued    int64
+	prefetchDropped   int64 // speculative submissions admission refused
+	prefetchCompleted int64 // speculative transfers that finished
+	prefetchUseful    int64 // completed speculative transfers that served a demand
+	demandFetches     int64
+	zeroWaitRounds    int64
 }
 
-func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site) (*client, error) {
+func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site, agg *predict.Aggregate) (*client, error) {
 	c := &client{
 		id:         id,
 		cfg:        cfg,
@@ -65,10 +78,22 @@ func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webg
 		rand:       rng.Derive(cfg.Seed, clientLabel(id)),
 		ready:      map[int]bool{},
 		pending:    map[int]bool{},
+		specReady:  map[int]bool{},
 		roundsLeft: cfg.Rounds,
 		waitingFor: -1,
 	}
 	c.surfer = webgraph.NewSurfer(c.rand, site, cfg.FollowProb)
+	pred, err := predict.New(cfg.Predict, id, c.surfer.NextDistributionFrom, agg)
+	if err != nil {
+		return nil, err
+	}
+	c.pred = pred
+	c.oracle = cfg.Predict.Kind == "" || cfg.Predict.Kind == predict.KindOracle
+	if !cfg.DisablePrefetch {
+		// Seed the access stream with the start page so learned models
+		// have the first transition's context (a no-op for the oracle).
+		c.pred.Observe(c.surfer.Current())
+	}
 	ctrl, err := adaptive.New(cfg.Adaptive)
 	if err != nil {
 		return nil, err
@@ -95,6 +120,10 @@ func (c *client) holds(page int) bool {
 // store keeps a completed retrieval. Without a client cache the item is
 // usable only within the round that planned it (netsim.Session's
 // prefetch-only semantics: a stale leftover completing later is pure waste).
+// specReady tracks which resident pages owe their residency to an unused
+// speculative transfer: residency only changes through store and LRU
+// eviction, and attribution only happens while the page is held, so the
+// latest store always determines the flag correctly.
 func (c *client) store(req request) {
 	if c.cache == nil {
 		if req.round == c.round {
@@ -103,6 +132,11 @@ func (c *client) store(req request) {
 		return
 	}
 	insertLRU(c.cache, req.page, c.site.Pages[req.page].Retrieval)
+	if req.demand {
+		delete(c.specReady, req.page)
+	} else {
+		c.specReady[req.page] = true
+	}
 }
 
 // startRound plans and issues this round's prefetches, draws the viewing
@@ -113,6 +147,9 @@ func (c *client) startRound(now float64) {
 	if c.roundsLeft == 0 {
 		return
 	}
+	// Server-side prefetching piggybacks on round starts: the warmer is
+	// internally rate-limited and a no-op unless cache warming is enabled.
+	c.server.maybeWarm(now)
 	c.roundsLeft--
 	c.round++
 	if c.cache == nil {
@@ -170,11 +207,20 @@ func (c *client) observe(now float64) {
 }
 
 // plan solves the cost-aware SKP at the controller's current λ over the
-// surfer's true next-page distribution, excluding pages already held or
-// in flight. Candidates are capped at the MaxCandidates
-// highest-probability pages to bound the solver's search.
+// prediction source's candidate distribution for the current page,
+// excluding pages already held or in flight. Candidates are capped at the
+// MaxCandidates highest-probability pages to bound the solver's search.
+// Each planned round also records the prediction's L1 error against the
+// surfer's true distribution (zero by construction for the oracle, whose
+// hot path skips the comparison).
 func (c *client) plan(viewing float64) core.Plan {
-	dist := c.surfer.NextDistribution()
+	state := c.surfer.Current()
+	dist := c.pred.Next(state)
+	if c.oracle {
+		c.l1Trace.Add(0)
+	} else {
+		c.l1Trace.Add(predict.L1(dist, c.surfer.NextDistributionFrom(state)))
+	}
 	items := make([]core.Item, 0, len(dist))
 	for page, prob := range dist {
 		if prob <= 0 || c.holds(page) || c.pending[page] {
@@ -201,12 +247,25 @@ func (c *client) plan(viewing float64) core.Plan {
 	return plan
 }
 
-// request is the demand access at the end of the viewing period.
+// request is the demand access at the end of the viewing period. The
+// accessed page is also the next item of the prediction source's training
+// stream (a no-op for the oracle).
 func (c *client) request(page int) {
 	c.requestedAt = c.clock.Now()
+	if !c.cfg.DisablePrefetch {
+		c.pred.Observe(page)
+	}
 	if c.holds(page) {
 		if c.cache != nil {
 			c.cache.RecordAccess(page)
+			if c.specReady[page] {
+				c.prefetchUseful++
+				delete(c.specReady, page)
+			}
+		} else {
+			// Without a client cache every held page was prefetched this
+			// round: the hit is speculation paying off by definition.
+			c.prefetchUseful++
 		}
 		c.lastDemandWait = 0
 		c.respond(0)
@@ -237,8 +296,17 @@ func (c *client) request(page int) {
 func (c *client) onTransferDone(req request, waited float64) {
 	delete(c.pending, req.page)
 	c.queueWait.Add(waited)
+	if !req.demand {
+		c.prefetchCompleted++
+	}
 	c.store(req)
 	if c.waitingFor == req.page {
+		if !req.demand {
+			// A promoted prefetch finishing the demand it was promoted
+			// for: the speculative transfer served a real access.
+			c.prefetchUseful++
+			delete(c.specReady, req.page)
+		}
 		c.waitingFor = -1
 		c.lastDemandWait = waited
 		c.respond(c.clock.Now() - c.requestedAt)

@@ -22,6 +22,7 @@ import (
 
 	"prefetch/internal/adaptive"
 	"prefetch/internal/netsim"
+	"prefetch/internal/predict"
 	"prefetch/internal/rng"
 	"prefetch/internal/schedsrv"
 	"prefetch/internal/stats"
@@ -61,6 +62,21 @@ type Config struct {
 	// cost-aware SKP at the controller's λ. The zero value is the static
 	// λ = 0 planner — bit-for-bit the fixed-plan behaviour.
 	Adaptive adaptive.Config
+
+	// Predict selects each client's prediction source (see
+	// internal/predict): the access model the SKP plans over. The zero
+	// value is the oracle — the surfer's true next-page distribution,
+	// bit-for-bit the pre-subsystem behaviour. Learned kinds (depgraph,
+	// ppm, shared) train online on the access stream instead.
+	Predict predict.Config
+
+	// WarmServerCache lets the server pre-admit the shared prediction
+	// model's top-probability pages into its own cache on a per-viewing-
+	// time cadence (server-side prefetching from the aggregate access
+	// stream). Requires ServerCacheSlots > 0 and Predict.Kind ==
+	// predict.KindShared — the warm set is the pooled model's popularity
+	// estimate.
+	WarmServerCache bool
 
 	Site webgraph.SiteConfig // the shared site every client browses
 	Seed uint64              // master seed; all streams derive from it
@@ -115,20 +131,44 @@ func (cfg Config) Validate() error {
 	if err := cfg.Adaptive.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	if err := cfg.Predict.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.WarmServerCache {
+		if cfg.ServerCacheSlots <= 0 {
+			return fmt.Errorf("%w: cache warming needs server cache slots", ErrBadConfig)
+		}
+		if cfg.Predict.Kind != predict.KindShared {
+			return fmt.Errorf("%w: cache warming needs the shared predictor (got %q)", ErrBadConfig, cfg.Predict.Kind)
+		}
+	}
 	return nil
 }
 
 // ClientResult is one session's view of the run.
 type ClientResult struct {
-	Client          int
-	Access          stats.Accumulator // per-round observed access times
-	DemandAccess    stats.Accumulator // rounds that needed a network fetch
-	QueueWait       stats.Accumulator // per-transfer wait for a server slot
-	Lambda          stats.Accumulator // per-round controller λ (empty without prefetching)
-	PrefetchIssued  int64
-	PrefetchDropped int64 // speculative submissions refused by admission
-	DemandFetches   int64
-	ZeroWaitRounds  int64 // rounds answered with no waiting at all
+	Client            int
+	Access            stats.Accumulator // per-round observed access times
+	DemandAccess      stats.Accumulator // rounds that needed a network fetch
+	QueueWait         stats.Accumulator // per-transfer wait for a server slot
+	Lambda            stats.Accumulator // per-round controller λ (empty without prefetching)
+	L1Error           stats.Accumulator // per-round prediction L1 error vs the true distribution
+	PrefetchIssued    int64
+	PrefetchDropped   int64 // speculative submissions refused by admission
+	PrefetchCompleted int64 // speculative transfers that finished
+	PrefetchUseful    int64 // completed speculative transfers that served a demand
+	DemandFetches     int64
+	ZeroWaitRounds    int64 // rounds answered with no waiting at all
+}
+
+// WastedPrefetchFraction returns the fraction of this client's completed
+// speculative transfers whose page never served a demand access — the
+// bandwidth speculation burned for nothing. 0 when nothing completed.
+func (c ClientResult) WastedPrefetchFraction() float64 {
+	if c.PrefetchCompleted == 0 {
+		return 0
+	}
+	return 1 - float64(c.PrefetchUseful)/float64(c.PrefetchCompleted)
 }
 
 // Result aggregates one multi-client run.
@@ -137,12 +177,14 @@ type Result struct {
 	Concurrency int
 	Discipline  string // scheduling discipline the server ran
 	Controller  string // λ controller the clients ran
+	Predictor   string // prediction source the clients planned over
 	PerClient   []ClientResult
 
 	Access       stats.Accumulator // all clients' rounds merged
 	DemandAccess stats.Accumulator // all clients' fetching rounds merged
 	QueueWait    stats.Accumulator // all server transfers merged
 	Lambda       stats.Accumulator // all clients' per-round λ merged
+	L1Error      stats.Accumulator // all clients' per-round prediction L1 errors merged
 
 	Elapsed         float64 // simulated time until the last event
 	ServerBusy      float64 // slot-seconds of service performed
@@ -153,6 +195,12 @@ type Result struct {
 	Preemptions      int64 // in-flight speculative transfers aborted
 	PrefetchDropped  int64 // speculative requests dropped by admission
 	PrefetchDeferred int64 // speculative requests deferred by admission
+
+	PrefetchCompleted int64 // speculative transfers that finished, all clients
+	PrefetchUseful    int64 // completed speculative transfers that served a demand
+
+	WarmInserted int64 // pages the server pre-admitted from the shared model
+	WarmHits     int64 // server-cache hits on warm-inserted pages
 }
 
 // Utilization returns the fraction of server slot-time spent serving.
@@ -180,6 +228,26 @@ func (r Result) SpecThroughput() float64 {
 	return float64(r.SpecCompleted) / r.Elapsed
 }
 
+// WastedPrefetchFraction returns the fraction of completed speculative
+// transfers across all clients whose page never served a demand access.
+func (r Result) WastedPrefetchFraction() float64 {
+	if r.PrefetchCompleted == 0 {
+		return 0
+	}
+	return 1 - float64(r.PrefetchUseful)/float64(r.PrefetchCompleted)
+}
+
+// HitRatio returns the fraction of browsing rounds answered without any
+// network fetch — the client-side benefit speculation (and caching)
+// actually delivered. Compared against the oracle's ratio it is the
+// hit-ratio gap a learned predictor pays.
+func (r Result) HitRatio() float64 {
+	if r.Access.N() == 0 {
+		return 0
+	}
+	return 1 - float64(r.DemandAccess.N())/float64(r.Access.N())
+}
+
 // clientLabel names client i's derived RNG stream.
 func clientLabel(i int) string { return fmt.Sprintf("client/%d", i) }
 
@@ -199,9 +267,17 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// The shared prediction source is one aggregate model per run: every
+	// client trains it, every client plans from it, and (when enabled) the
+	// server warms its cache from it.
+	var agg *predict.Aggregate
+	if cfg.Predict.Kind == predict.KindShared {
+		agg = predict.NewAggregate()
+		srv.enableWarming(cfg, agg, site)
+	}
 	clients := make([]*client, cfg.Clients)
 	for i := range clients {
-		c, err := newClient(i, &cfg, &clock, srv, site)
+		c, err := newClient(i, &cfg, &clock, srv, site, agg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -218,6 +294,7 @@ func Run(cfg Config) (Result, error) {
 		Concurrency:      cfg.ServerConcurrency,
 		Discipline:       srv.sched.Discipline(),
 		Controller:       clients[0].ctrl.Name(),
+		Predictor:        clients[0].pred.Name(),
 		PerClient:        make([]ClientResult, cfg.Clients),
 		Elapsed:          clock.Now(),
 		ServerBusy:       srv.sched.BusyTime(),
@@ -227,26 +304,34 @@ func Run(cfg Config) (Result, error) {
 		Preemptions:      srv.sched.Preemptions(),
 		PrefetchDropped:  srv.sched.Dropped(),
 		PrefetchDeferred: srv.sched.Deferred(),
+		WarmInserted:     srv.warmInserted,
+		WarmHits:         srv.warmHits,
 	}
 	for i, c := range clients {
 		if c.access.N() != int64(cfg.Rounds) {
 			return Result{}, fmt.Errorf("multiclient: client %d finished %d/%d rounds", i, c.access.N(), cfg.Rounds)
 		}
 		res.PerClient[i] = ClientResult{
-			Client:          i,
-			Access:          c.access,
-			DemandAccess:    c.demandAccess,
-			QueueWait:       c.queueWait,
-			Lambda:          c.lambdaTrace,
-			PrefetchIssued:  c.prefetchIssued,
-			PrefetchDropped: c.prefetchDropped,
-			DemandFetches:   c.demandFetches,
-			ZeroWaitRounds:  c.zeroWaitRounds,
+			Client:            i,
+			Access:            c.access,
+			DemandAccess:      c.demandAccess,
+			QueueWait:         c.queueWait,
+			Lambda:            c.lambdaTrace,
+			L1Error:           c.l1Trace,
+			PrefetchIssued:    c.prefetchIssued,
+			PrefetchDropped:   c.prefetchDropped,
+			PrefetchCompleted: c.prefetchCompleted,
+			PrefetchUseful:    c.prefetchUseful,
+			DemandFetches:     c.demandFetches,
+			ZeroWaitRounds:    c.zeroWaitRounds,
 		}
 		res.Access.Merge(&c.access)
 		res.DemandAccess.Merge(&c.demandAccess)
 		res.QueueWait.Merge(&c.queueWait)
 		res.Lambda.Merge(&c.lambdaTrace)
+		res.L1Error.Merge(&c.l1Trace)
+		res.PrefetchCompleted += c.prefetchCompleted
+		res.PrefetchUseful += c.prefetchUseful
 	}
 	return res, nil
 }

@@ -1,9 +1,13 @@
 package multiclient
 
 import (
+	"math"
+
 	"prefetch/internal/cache"
 	"prefetch/internal/netsim"
+	"prefetch/internal/predict"
 	"prefetch/internal/schedsrv"
+	"prefetch/internal/webgraph"
 )
 
 // request is one retrieval submitted to the shared server, demand or
@@ -32,6 +36,18 @@ type server struct {
 
 	served    int64
 	cacheHits int64
+
+	// Server-side prefetching (Config.WarmServerCache): the warmer
+	// pre-admits the shared aggregate model's top-probability pages into
+	// the cache on a per-viewing-time cadence, so population-hot pages
+	// are fast before any client's traffic demands them.
+	agg          *predict.Aggregate
+	site         *webgraph.Site
+	warmEvery    float64      // minimum simulated time between warm passes
+	warmedAt     float64      // time of the last warm pass
+	warmPages    map[int]bool // resident pages placed by the warmer, not yet evicted
+	warmInserted int64
+	warmHits     int64
 }
 
 func newServer(clock *netsim.Clock, cfg Config) (*server, error) {
@@ -99,6 +115,9 @@ func (s *server) serviceTime(r *schedsrv.Request) float64 {
 		service *= s.hitFactor
 		if first {
 			s.cacheHits++
+			if s.warmPages[r.Page] {
+				s.warmHits++
+			}
 		}
 	}
 	return service
@@ -108,26 +127,87 @@ func (s *server) serviceTime(r *schedsrv.Request) float64 {
 func (s *server) done(r *schedsrv.Request, service, waited float64) {
 	req := r.Tag.(request)
 	if s.cache != nil {
-		insertLRU(s.cache, req.page, req.duration)
+		s.insertCache(req.page, req.duration)
 	}
 	req.client.onTransferDone(req, waited)
 }
 
-// insertLRU caches an item, evicting the least recently used entry when the
-// cache is full. A no-op if the item is already cached. Eviction and insert
-// cannot fail on a well-formed cache, so errors are simulator bugs.
-func insertLRU(c *cache.Cache, id int, retrieval float64) {
-	if c.Contains(id) {
+// enableWarming arms the server-side prefetcher: agg is the run's shared
+// aggregate model and the warm cadence is one mean viewing time. A no-op
+// configuration-wise unless Config.WarmServerCache is set (Validate
+// guarantees the cache and the shared predictor exist when it is).
+func (s *server) enableWarming(cfg Config, agg *predict.Aggregate, site *webgraph.Site) {
+	if !cfg.WarmServerCache {
 		return
 	}
-	if c.Free() == 0 {
-		if victim, ok := c.Victim(cache.LRU{}); ok {
-			if err := c.Evict(victim); err != nil {
+	s.agg = agg
+	s.site = site
+	s.warmEvery = cfg.MeanViewing
+	s.warmedAt = math.Inf(-1)
+	s.warmPages = map[int]bool{}
+}
+
+// maybeWarm runs one warm pass if warming is armed and the cadence has
+// elapsed: the aggregate model's current top pages (up to the cache
+// capacity) are pre-admitted, evicting an LRU victim only when the victim
+// is strictly colder in the pooled popularity estimate — so warming
+// converges on the hot set instead of thrashing against demand-warmed
+// entries.
+func (s *server) maybeWarm(now float64) {
+	if s.agg == nil || now < s.warmedAt+s.warmEvery {
+		return
+	}
+	s.warmedAt = now
+	for _, page := range s.agg.TopPages(s.cache.Capacity()) {
+		if s.cache.Contains(page) {
+			continue
+		}
+		if s.cache.Free() == 0 {
+			victim, ok := s.cache.Victim(cache.LRU{})
+			if !ok || s.agg.Freq(victim) >= s.agg.Freq(page) {
+				continue
+			}
+			if err := s.cache.Evict(victim); err != nil {
 				panic(err)
 			}
+			delete(s.warmPages, victim)
+		}
+		if err := s.cache.Insert(page, s.site.Pages[page].Retrieval); err != nil {
+			panic(err)
+		}
+		s.warmPages[page] = true
+		s.warmInserted++
+	}
+}
+
+// insertCache caches a demand- or speculation-carried page at the server,
+// keeping the warm-attribution set consistent across LRU evictions
+// (deleting from a nil warmPages map is a safe no-op when warming is off).
+func (s *server) insertCache(page int, retrieval float64) {
+	if victim, evicted := insertLRU(s.cache, page, retrieval); evicted {
+		delete(s.warmPages, victim)
+	}
+}
+
+// insertLRU caches an item, evicting the least recently used entry when
+// the cache is full and reporting the victim so callers can keep
+// attribution state consistent. A no-op if the item is already cached.
+// Eviction and insert cannot fail on a well-formed cache, so errors are
+// simulator bugs.
+func insertLRU(c *cache.Cache, id int, retrieval float64) (victim int, evicted bool) {
+	if c.Contains(id) {
+		return 0, false
+	}
+	if c.Free() == 0 {
+		if v, ok := c.Victim(cache.LRU{}); ok {
+			if err := c.Evict(v); err != nil {
+				panic(err)
+			}
+			victim, evicted = v, true
 		}
 	}
 	if err := c.Insert(id, retrieval); err != nil {
 		panic(err)
 	}
+	return victim, evicted
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prefetch/internal/adaptive"
+	"prefetch/internal/predict"
 	"prefetch/internal/schedsrv"
 	"prefetch/internal/stats"
 	"prefetch/internal/sweep"
@@ -246,4 +247,215 @@ func SweepControllers(cfg Config, kinds []adaptive.Kind, reps, workers int) ([]C
 		}
 	}
 	return points, nil
+}
+
+// PredictorPoint aggregates the seed replications of one prediction
+// source at a fixed client count, discipline and controller.
+type PredictorPoint struct {
+	Kind    predict.Kind
+	Clients int
+	Reps    int
+
+	Access         stats.Accumulator // every round of every rep merged
+	DemandAccess   stats.Accumulator // every fetching round merged
+	QueueWait      stats.Accumulator // every server transfer merged
+	L1Error        stats.Accumulator // every planned round's prediction L1 error merged
+	Utilization    stats.Accumulator // one observation per rep
+	Improvement    stats.Accumulator // one aggregate improvement per rep
+	SpecThroughput stats.Accumulator // one speculative-throughput obs per rep
+	HitRatio       stats.Accumulator // one no-fetch round fraction per rep
+	WastedFraction stats.Accumulator // one wasted-prefetch fraction per rep
+
+	PrefetchIssued    int64 // summed over reps
+	PrefetchDropped   int64
+	PrefetchCompleted int64
+	PrefetchUseful    int64
+	WarmInserted      int64
+	WarmHits          int64
+}
+
+// SweepPredictors runs the identical workload (cfg.Clients sessions,
+// seed-replicated like SweepClients) under each prediction source in
+// kinds, preserving every non-Kind field of cfg.Predict (PPM order,
+// cold-start fallback) and the whole scheduling and controller configs.
+// Client workloads derive purely from (seed, id) and sources consume no
+// randomness, so every predictor faces the same browsing sessions: the
+// sweep isolates the oracle-vs-learned gap — demand latency, prediction
+// L1 error, wasted-prefetch fraction and hit ratio per source.
+func SweepPredictors(cfg Config, kinds []predict.Kind, reps, workers int) ([]PredictorPoint, error) {
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("%w: empty predictor axis", ErrBadConfig)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
+	}
+	type task struct {
+		kind predict.Kind
+		rep  int
+	}
+	var tasks []task
+	for _, k := range kinds {
+		c := cfg
+		c.Predict.Kind = k
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		for r := 0; r < reps; r++ {
+			tasks = append(tasks, task{kind: k, rep: r})
+		}
+	}
+	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
+		c := cfg
+		c.Predict.Kind = t.kind
+		c.Seed = cfg.Seed + uint64(t.rep)
+		return Compare(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]PredictorPoint, len(kinds))
+	for i, k := range kinds {
+		points[i].Kind = k
+		points[i].Clients = cfg.Clients
+		points[i].Reps = reps
+		for r := 0; r < reps; r++ {
+			res := comparisons[i*reps+r].Prefetch
+			points[i].Access.Merge(&res.Access)
+			points[i].DemandAccess.Merge(&res.DemandAccess)
+			points[i].QueueWait.Merge(&res.QueueWait)
+			points[i].L1Error.Merge(&res.L1Error)
+			points[i].Utilization.Add(res.Utilization())
+			points[i].Improvement.Add(comparisons[i*reps+r].Improvement())
+			points[i].SpecThroughput.Add(res.SpecThroughput())
+			points[i].HitRatio.Add(res.HitRatio())
+			points[i].WastedFraction.Add(res.WastedPrefetchFraction())
+			points[i].PrefetchDropped += res.PrefetchDropped
+			points[i].PrefetchCompleted += res.PrefetchCompleted
+			points[i].PrefetchUseful += res.PrefetchUseful
+			points[i].WarmInserted += res.WarmInserted
+			points[i].WarmHits += res.WarmHits
+			for _, pc := range res.PerClient {
+				points[i].PrefetchIssued += pc.PrefetchIssued
+			}
+		}
+	}
+	return points, nil
+}
+
+// PredictorControllerPoint is one cell of the controller×predictor grid:
+// a prediction source's seed-replicated metrics under one λ controller.
+// Pareto marks the cells that are non-dominated on (mean demand latency
+// ↓, speculative throughput ↑) within their controller's row set — the
+// reporting slice that makes a weak predictor visible even when an
+// adaptive controller masks it in raw latency.
+type PredictorControllerPoint struct {
+	Predictor  predict.Kind
+	Controller adaptive.Kind
+	Clients    int
+	Reps       int
+
+	Access         stats.Accumulator // every round of every rep merged
+	DemandAccess   stats.Accumulator // every fetching round merged
+	Lambda         stats.Accumulator // every planned round's λ merged
+	L1Error        stats.Accumulator // every planned round's prediction L1 error merged
+	SpecThroughput stats.Accumulator // one speculative-throughput obs per rep
+	HitRatio       stats.Accumulator // one no-fetch round fraction per rep
+	WastedFraction stats.Accumulator // one wasted-prefetch fraction per rep
+
+	Pareto bool
+}
+
+// SweepPredictorControllers runs the identical seed-replicated workload
+// under every (controller, predictor) pair, grouped controller-major in
+// the result (all predictors of ctls[0] first). Within each controller
+// group the Pareto flags mark the (demand latency, speculative
+// throughput) frontier across predictors.
+func SweepPredictorControllers(cfg Config, preds []predict.Kind, ctls []adaptive.Kind, reps, workers int) ([]PredictorControllerPoint, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("%w: empty predictor axis", ErrBadConfig)
+	}
+	if len(ctls) == 0 {
+		return nil, fmt.Errorf("%w: empty controller axis", ErrBadConfig)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
+	}
+	type task struct {
+		ctl  adaptive.Kind
+		pred predict.Kind
+		rep  int
+	}
+	var tasks []task
+	for _, ck := range ctls {
+		for _, pk := range preds {
+			c := cfg
+			c.Adaptive.Kind = ck
+			c.Predict.Kind = pk
+			if err := c.Validate(); err != nil {
+				return nil, err
+			}
+			for r := 0; r < reps; r++ {
+				tasks = append(tasks, task{ctl: ck, pred: pk, rep: r})
+			}
+		}
+	}
+	results, err := sweep.Run(tasks, workers, func(t task) (Result, error) {
+		c := cfg
+		c.Adaptive.Kind = t.ctl
+		c.Predict.Kind = t.pred
+		c.Seed = cfg.Seed + uint64(t.rep)
+		return Run(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]PredictorControllerPoint, 0, len(ctls)*len(preds))
+	for ci, ck := range ctls {
+		for pi, pk := range preds {
+			p := PredictorControllerPoint{
+				Predictor:  pk,
+				Controller: ck,
+				Clients:    cfg.Clients,
+				Reps:       reps,
+			}
+			base := (ci*len(preds) + pi) * reps
+			for r := 0; r < reps; r++ {
+				res := results[base+r]
+				p.Access.Merge(&res.Access)
+				p.DemandAccess.Merge(&res.DemandAccess)
+				p.Lambda.Merge(&res.Lambda)
+				p.L1Error.Merge(&res.L1Error)
+				p.SpecThroughput.Add(res.SpecThroughput())
+				p.HitRatio.Add(res.HitRatio())
+				p.WastedFraction.Add(res.WastedPrefetchFraction())
+			}
+			points = append(points, p)
+		}
+	}
+	for ci := range ctls {
+		markPareto(points[ci*len(preds) : (ci+1)*len(preds)])
+	}
+	return points, nil
+}
+
+// markPareto sets the Pareto flag on the non-dominated points of one
+// controller group: a point is dominated when another point is at least
+// as good on both objectives (demand latency minimised, speculative
+// throughput maximised) and strictly better on one.
+func markPareto(group []PredictorControllerPoint) {
+	for i := range group {
+		dominated := false
+		di, si := group[i].DemandAccess.Mean(), group[i].SpecThroughput.Mean()
+		for j := range group {
+			if i == j {
+				continue
+			}
+			dj, sj := group[j].DemandAccess.Mean(), group[j].SpecThroughput.Mean()
+			if dj <= di && sj >= si && (dj < di || sj > si) {
+				dominated = true
+				break
+			}
+		}
+		group[i].Pareto = !dominated
+	}
 }

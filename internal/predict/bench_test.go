@@ -1,0 +1,45 @@
+package predict
+
+import (
+	"testing"
+
+	"prefetch/internal/rng"
+	"prefetch/internal/webgraph"
+)
+
+// BenchmarkPredictorObserve measures the learned predictors' hot loop —
+// one Observe plus one Next per browsing round — over a pre-drawn surfer
+// walk. Tracked by the benchmark-regression gate (cmd/benchjson).
+func BenchmarkPredictorObserve(b *testing.B) {
+	r := rng.New(7)
+	cfg := webgraph.SiteConfig{
+		Pages: 120, MinLinks: 4, MaxLinks: 12, ZipfS: 1.1,
+		MinSizeKB: 2, MaxSizeKB: 120, BandwidthKBps: 16, LatencyS: 0.3,
+	}
+	site, err := webgraph.Generate(r, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	surfer := webgraph.NewSurfer(r, site, 0.85)
+	const steps = 4096
+	walk := make([]int, steps)
+	for i := range walk {
+		walk[i] = surfer.Step()
+	}
+	for _, kind := range []Kind{KindDepGraph, KindPPM} {
+		b.Run(string(kind), func(b *testing.B) {
+			src, err := New(Config{Kind: kind}, 0, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page := walk[i%steps]
+				src.Observe(page)
+				if d := src.Next(page); d == nil {
+					b.Fatal("nil distribution")
+				}
+			}
+		})
+	}
+}

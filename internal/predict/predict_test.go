@@ -1,0 +1,262 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"prefetch/internal/rng"
+	"prefetch/internal/webgraph"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{Kind: KindOracle},
+		{Kind: KindDepGraph},
+		{Kind: KindPPM, Order: 3},
+		{Kind: KindShared, ColdStart: FallbackUniform},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %d: Validate() = %v, want nil", i, err)
+		}
+	}
+	bad := []Config{
+		{Kind: "lstm"},
+		{Kind: KindPPM, Order: -1},
+		{ColdStart: "oracle"},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("bad config %d: Validate() = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestKindsMatchNew(t *testing.T) {
+	oracle := func(int) map[int]float64 { return map[int]float64{1: 1} }
+	for _, k := range Kinds() {
+		src, err := New(Config{Kind: k}, 0, oracle, NewAggregate())
+		if err != nil {
+			t.Fatalf("New(%s): %v", k, err)
+		}
+		if src == nil {
+			t.Fatalf("New(%s) returned nil source", k)
+		}
+	}
+}
+
+func TestNewRequiresHooks(t *testing.T) {
+	if _, err := New(Config{Kind: KindOracle}, 0, nil, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("oracle without hook: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(Config{Kind: KindShared}, 0, nil, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("shared without aggregate: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestOraclePassesThrough(t *testing.T) {
+	want := map[int]float64{3: 0.5, 4: 0.5}
+	var got int
+	o := NewOracle(func(state int) map[int]float64 {
+		got = state
+		return want
+	})
+	o.Observe(99) // must be a no-op
+	d := o.Next(7)
+	if got != 7 {
+		t.Errorf("oracle queried state %d, want 7", got)
+	}
+	if len(d) != len(want) || d[3] != 0.5 || d[4] != 0.5 {
+		t.Errorf("oracle distribution = %v, want %v", d, want)
+	}
+	if o.Name() != "oracle" {
+		t.Errorf("Name() = %q", o.Name())
+	}
+}
+
+// TestColdStartFallback: with FallbackNone a cold model predicts nothing;
+// with FallbackUniform it spreads mass evenly over the pages seen so far,
+// and the fallback disappears once the model has real evidence.
+func TestColdStartFallback(t *testing.T) {
+	none, err := New(Config{Kind: KindDepGraph}, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none.Observe(1)
+	if d := none.Next(5); len(d) != 0 {
+		t.Errorf("FallbackNone cold prediction = %v, want empty", d)
+	}
+
+	uni, err := New(Config{Kind: KindDepGraph, ColdStart: FallbackUniform}, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := uni.Next(5); len(d) != 0 {
+		t.Errorf("uniform fallback with nothing seen = %v, want empty", d)
+	}
+	uni.Observe(1)
+	uni.Observe(2)
+	d := uni.Next(5) // state 5 has no evidence
+	if len(d) != 2 || math.Abs(d[1]-0.5) > 1e-12 || math.Abs(d[2]-0.5) > 1e-12 {
+		t.Errorf("uniform fallback = %v, want {1:0.5, 2:0.5}", d)
+	}
+	// State 1 has evidence (1→2): the real model answers, not the fallback.
+	d = uni.Next(1)
+	if len(d) != 1 || d[2] != 1 {
+		t.Errorf("warm prediction = %v, want {2:1}", d)
+	}
+}
+
+// TestAggregatePerClientChains: the pooled model must form transitions
+// within each client's stream only — interleaved observation order must
+// never fabricate cross-client edges.
+func TestAggregatePerClientChains(t *testing.T) {
+	a := NewAggregate()
+	// Client 0 walks 1→2→1→2..., client 1 walks 3→4→3→4..., interleaved.
+	for i := 0; i < 10; i++ {
+		a.ObserveClient(0, 1+i%2)
+		a.ObserveClient(1, 3+i%2)
+	}
+	d := a.Next(1)
+	if len(d) != 1 || d[2] != 1 {
+		t.Errorf("Next(1) = %v, want {2:1}", d)
+	}
+	if d := a.Next(2); len(d) != 1 || d[1] != 1 {
+		t.Errorf("Next(2) = %v, want {1:1}", d)
+	}
+	// No cross-client edge 1→3 or 2→3 may exist.
+	if d := a.Next(1); d[3] != 0 || d[4] != 0 {
+		t.Errorf("cross-client edges fabricated: %v", d)
+	}
+	if a.Observations() != 20 {
+		t.Errorf("Observations() = %d, want 20", a.Observations())
+	}
+}
+
+func TestAggregateTopPages(t *testing.T) {
+	a := NewAggregate()
+	stream := []int{5, 5, 5, 2, 2, 9, 7, 7, 7, 7}
+	for _, p := range stream {
+		a.ObserveClient(0, p)
+	}
+	got := a.TopPages(3)
+	want := []int{7, 5, 2}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("TopPages(3) = %v, want %v", got, want)
+	}
+	if full := a.TopPages(100); len(full) != 4 {
+		t.Errorf("TopPages(100) returned %d pages, want 4", len(full))
+	}
+	if a.TopPages(0) != nil {
+		t.Error("TopPages(0) should be nil")
+	}
+	// Ties break by lowest ID: 2 and 9 both... 2 has 2 accesses, 9 has 1 —
+	// give 9 one more and the tie at count 2 must order 2 before 9.
+	a.ObserveClient(0, 9)
+	got = a.TopPages(4)
+	if got[2] != 2 || got[3] != 9 {
+		t.Errorf("tie-break order = %v, want [... 2 9]", got)
+	}
+}
+
+func TestSharedViewsPoolStreams(t *testing.T) {
+	a := NewAggregate()
+	v0, v1 := a.ForClient(0), a.ForClient(1)
+	if v0.Name() != "shared" {
+		t.Errorf("Name() = %q", v0.Name())
+	}
+	// Both clients walk 1→2; each alone gives the edge one count, pooled
+	// gives two — the views must read the pooled model.
+	v0.Observe(1)
+	v1.Observe(1)
+	v0.Observe(2)
+	v1.Observe(2)
+	if d := v0.Next(1); len(d) != 1 || d[2] != 1 {
+		t.Errorf("pooled Next(1) = %v, want {2:1}", d)
+	}
+	if a.Freq(1) != 2 || a.Freq(2) != 2 {
+		t.Errorf("pooled freq = %d/%d, want 2/2", a.Freq(1), a.Freq(2))
+	}
+}
+
+func TestL1(t *testing.T) {
+	cases := []struct {
+		p, q map[int]float64
+		want float64
+	}{
+		{map[int]float64{}, map[int]float64{}, 0},
+		{map[int]float64{1: 1}, map[int]float64{1: 1}, 0},
+		{map[int]float64{1: 1}, map[int]float64{2: 1}, 2},
+		{map[int]float64{1: 0.5, 2: 0.5}, map[int]float64{1: 1}, 1},
+		{map[int]float64{}, map[int]float64{1: 0.25, 2: 0.25}, 0.5},
+	}
+	for i, c := range cases {
+		if got := L1(c.p, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: L1 = %v, want %v", i, got, c.want)
+		}
+		if got := L1(c.q, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: L1 not symmetric: %v vs %v", i, got, c.want)
+		}
+	}
+}
+
+// trainOnSurfer walks a stationary random surfer for steps, feeding each
+// access to the source, and returns the mean L1 error of the source's
+// prediction at the visited states over the final evalWindow steps.
+func trainOnSurfer(t *testing.T, src Source, seed uint64, steps, evalWindow int) float64 {
+	t.Helper()
+	r := rng.New(seed)
+	cfg := webgraph.SiteConfig{
+		Pages: 40, MinLinks: 3, MaxLinks: 6, ZipfS: 1.1,
+		MinSizeKB: 2, MaxSizeKB: 40, BandwidthKBps: 16, LatencyS: 0.3,
+	}
+	site, err := webgraph.Generate(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surfer := webgraph.NewSurfer(r, site, 0.85)
+	src.Observe(surfer.Current())
+	var sum float64
+	var n int
+	for i := 0; i < steps; i++ {
+		state := surfer.Current()
+		if i >= steps-evalWindow {
+			sum += L1(src.Next(state), surfer.NextDistributionFrom(state))
+			n++
+		}
+		src.Observe(surfer.Step())
+	}
+	return sum / float64(n)
+}
+
+// TestLearnedConvergeToTrueDistribution is the convergence property test:
+// trained on a stationary surfer, both depgraph and ppm must drive their
+// prediction L1 error well below the cold model's (2 = disjoint support,
+// ~1 after the first few observations) and keep shrinking with more
+// training — the learned distribution approaches the true
+// NextDistribution.
+func TestLearnedConvergeToTrueDistribution(t *testing.T) {
+	build := func(kind Kind) Source {
+		src, err := New(Config{Kind: kind}, 0, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	for _, kind := range []Kind{KindDepGraph, KindPPM} {
+		for _, seed := range []uint64{1, 7, 42} {
+			early := trainOnSurfer(t, build(kind), seed, 500, 250)
+			late := trainOnSurfer(t, build(kind), seed, 30000, 2000)
+			t.Logf("%s seed %d: early L1 %.3f, late L1 %.3f", kind, seed, early, late)
+			if late >= early {
+				t.Errorf("%s seed %d: L1 did not shrink with training (early %.3f, late %.3f)",
+					kind, seed, early, late)
+			}
+			if late > 0.75 {
+				t.Errorf("%s seed %d: late L1 %.3f too far from the true distribution", kind, seed, late)
+			}
+		}
+	}
+}

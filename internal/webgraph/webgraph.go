@@ -152,8 +152,16 @@ func (s *Surfer) SetCurrent(page int) {
 // NextDistribution returns the true distribution of the next page: the
 // speculative knowledge available to the prefetcher.
 func (s *Surfer) NextDistribution() map[int]float64 {
+	return s.NextDistributionFrom(s.current)
+}
+
+// NextDistributionFrom returns the true next-page distribution from an
+// arbitrary page — the distribution is a pure function of (site, page,
+// followProb), so this is NextDistribution reconditioned without moving
+// the surfer. It is the oracle hook of the prediction subsystem.
+func (s *Surfer) NextDistributionFrom(page int) map[int]float64 {
 	dist := map[int]float64{}
-	links := s.site.Pages[s.current].Links
+	links := s.site.Pages[page].Links
 	if len(links) > 0 {
 		per := s.followProb / float64(len(links))
 		for _, t := range links {

@@ -172,3 +172,33 @@ func TestPopularPagesGetMoreInlinks(t *testing.T) {
 			topIn/float64(topN), botIn/float64(botN))
 	}
 }
+
+// TestNextDistributionFrom: the distribution is a pure function of the
+// page — NextDistributionFrom must match NextDistribution at the current
+// page and recondition without moving the surfer.
+func TestNextDistributionFrom(t *testing.T) {
+	r := rng.New(3)
+	site, err := Generate(r, DefaultSiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSurfer(r, site, 0.85)
+	for i := 0; i < 5; i++ {
+		cur := s.Current()
+		a, b := s.NextDistribution(), s.NextDistributionFrom(cur)
+		if len(a) != len(b) {
+			t.Fatalf("step %d: sizes differ: %d vs %d", i, len(a), len(b))
+		}
+		for k, v := range a {
+			if b[k] != v {
+				t.Fatalf("step %d: dist[%d] = %v vs %v", i, k, v, b[k])
+			}
+		}
+		other := (cur + 1) % len(site.Pages)
+		s.NextDistributionFrom(other)
+		if s.Current() != cur {
+			t.Fatal("NextDistributionFrom moved the surfer")
+		}
+		s.Step()
+	}
+}

@@ -196,22 +196,36 @@ func TestFacadeSimulation(t *testing.T) {
 }
 
 func TestFacadePredictors(t *testing.T) {
+	// DependencyGraph, PPM, the oracle and the shared aggregate's client
+	// views all satisfy the single public Predictor interface.
+	var preds []prefetch.Predictor
 	d := prefetch.NewDependencyGraph()
-	d.Observe(1)
-	d.Observe(2)
-	d.Observe(1)
-	if len(d.Predict()) == 0 {
-		t.Fatal("dependency graph predicts nothing")
-	}
+	preds = append(preds, d)
 	p, err := prefetch.NewPPM(2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Observe(1)
-	p.Observe(2)
-	p.Observe(1)
-	if len(p.Predict()) == 0 {
-		t.Fatal("PPM predicts nothing")
+	preds = append(preds, p)
+	preds = append(preds, prefetch.NewOraclePredictor(func(int) map[int]float64 {
+		return map[int]float64{2: 1}
+	}))
+	preds = append(preds, prefetch.NewPredictorAggregate().ForClient(0))
+	for _, pr := range preds {
+		pr.Observe(1)
+		pr.Observe(2)
+		pr.Observe(1)
+		if len(pr.Next(1)) == 0 {
+			t.Errorf("%s predicts nothing after observing 1,2,1", pr.Name())
+		}
+	}
+	if len(d.Predict()) == 0 || len(p.Predict()) == 0 {
+		t.Fatal("internal-context Predict() broke")
+	}
+	if got := prefetch.PredictionL1(d.Next(1), map[int]float64{2: 1}); got != 0 {
+		t.Errorf("depgraph after 1→2 observations: L1 vs {2:1} = %v, want 0", got)
+	}
+	if kinds := prefetch.PredictorKinds(); len(kinds) != 4 || kinds[0] != prefetch.PredictorOracle {
+		t.Errorf("PredictorKinds() = %v", kinds)
 	}
 }
 

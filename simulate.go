@@ -2,6 +2,7 @@ package prefetch
 
 import (
 	"prefetch/internal/access"
+	"prefetch/internal/predict"
 	"prefetch/internal/rng"
 	"prefetch/internal/sim"
 	"prefetch/internal/workload"
@@ -47,8 +48,13 @@ type (
 	ZipfGen = access.ZipfGen
 	// GeometricGen produces geometric-profile probabilities.
 	GeometricGen = access.GeometricGen
-	// Predictor learns an access model online (§1.1 lineage).
-	Predictor = access.Predictor
+	// Predictor is THE predictor interface of the public API — the
+	// prediction subsystem's Source (internal/predict): Observe feeds an
+	// access stream, Next(state) returns the predicted distribution of
+	// the following access. DependencyGraph, PPM, the oracle and the
+	// shared aggregate model all implement it, and the multiclient
+	// simulation plans over it (MultiClientConfig.Predict).
+	Predictor = predict.Source
 	// DependencyGraph is an order-1 transition-count predictor.
 	DependencyGraph = access.DependencyGraph
 	// PPM is an order-k prediction-by-partial-matching predictor.

@@ -4,6 +4,7 @@ import (
 	"prefetch/internal/adaptive"
 	"prefetch/internal/multiclient"
 	"prefetch/internal/netsim"
+	"prefetch/internal/predict"
 	"prefetch/internal/schedsrv"
 	"prefetch/internal/webgraph"
 )
@@ -171,6 +172,86 @@ func SweepMultiClientControllers(cfg MultiClientConfig, kinds []ControllerKind, 
 // policy: demand latency vs speculative throughput per discipline.
 func SweepMultiClientDisciplines(cfg MultiClientConfig, kinds []SchedKind, reps, workers int) ([]MultiClientDisciplinePoint, error) {
 	return multiclient.SweepDisciplines(cfg, kinds, reps, workers)
+}
+
+// Prediction subsystem: the access model each multiclient client plans
+// over (MultiClientConfig.Predict) — the paper's presupposed knowledge
+// made pluggable, so the oracle-vs-learned gap is a sweepable axis.
+type (
+	// PredictConfig selects and tunes the prediction source.
+	PredictConfig = predict.Config
+	// PredictorKind names a built-in prediction source.
+	PredictorKind = predict.Kind
+	// PredictorFallback selects a learned source's cold-start behaviour.
+	PredictorFallback = predict.Fallback
+	// PredictorOracleSource answers from a true-distribution hook.
+	PredictorOracleSource = predict.Oracle
+	// PredictorAggregate is the server-side shared model pooled over all
+	// clients' access streams (also the cache-warming popularity model).
+	PredictorAggregate = predict.Aggregate
+	// MultiClientPredictorPoint aggregates seed replications of one
+	// prediction source at a fixed client count.
+	MultiClientPredictorPoint = multiclient.PredictorPoint
+	// MultiClientPredictorControllerPoint is one cell of the
+	// controller×predictor grid, with its Pareto flag.
+	MultiClientPredictorControllerPoint = multiclient.PredictorControllerPoint
+)
+
+// The built-in prediction sources.
+const (
+	// PredictorOracle plans over the surfer's true next-page
+	// distribution — the default, bit-for-bit the pre-subsystem planner.
+	PredictorOracle = predict.KindOracle
+	// PredictorDepGraph learns an order-1 dependency graph online from
+	// the client's own access stream.
+	PredictorDepGraph = predict.KindDepGraph
+	// PredictorPPM learns an order-k PPM model online from the client's
+	// own access stream (PredictConfig.Order).
+	PredictorPPM = predict.KindPPM
+	// PredictorShared plans over one server-side model trained on the
+	// aggregate access stream of every client.
+	PredictorShared = predict.KindShared
+)
+
+// The learned sources' cold-start fallbacks.
+const (
+	// PredictorFallbackNone predicts nothing on a cold state.
+	PredictorFallbackNone = predict.FallbackNone
+	// PredictorFallbackUniform predicts uniformly over the pages
+	// observed so far.
+	PredictorFallbackUniform = predict.FallbackUniform
+)
+
+// PredictorKinds lists the built-in prediction sources in canonical order.
+func PredictorKinds() []PredictorKind { return predict.Kinds() }
+
+// NewOraclePredictor wraps a true-distribution hook as a Predictor.
+func NewOraclePredictor(fn func(state int) map[int]float64) *PredictorOracleSource {
+	return predict.NewOracle(fn)
+}
+
+// NewPredictorAggregate returns an empty shared aggregate model; obtain
+// per-client Predictor views with ForClient.
+func NewPredictorAggregate() *PredictorAggregate { return predict.NewAggregate() }
+
+// PredictionL1 returns the L1 distance between two distributions — the
+// prediction-error metric the multiclient simulation records per round.
+func PredictionL1(p, q map[int]float64) float64 { return predict.L1(p, q) }
+
+// SweepMultiClientPredictors runs the identical seed-replicated workload
+// under each prediction source, isolating the oracle-vs-learned gap:
+// demand latency, prediction L1 error, wasted-prefetch fraction and hit
+// ratio per source.
+func SweepMultiClientPredictors(cfg MultiClientConfig, kinds []PredictorKind, reps, workers int) ([]MultiClientPredictorPoint, error) {
+	return multiclient.SweepPredictors(cfg, kinds, reps, workers)
+}
+
+// SweepMultiClientPredictorControllers runs every (controller, predictor)
+// pair over the identical seed-replicated workload, controller-major,
+// marking each controller's (demand latency, speculative throughput)
+// Pareto frontier across predictors.
+func SweepMultiClientPredictorControllers(cfg MultiClientConfig, preds []PredictorKind, ctls []ControllerKind, reps, workers int) ([]MultiClientPredictorControllerPoint, error) {
+	return multiclient.SweepPredictorControllers(cfg, preds, ctls, reps, workers)
 }
 
 // DefaultMultiClientConfig returns a contended but healthy starting point.
