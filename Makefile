@@ -18,11 +18,11 @@ SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
 # subsystem's submit/dispatch/complete cycle, the end-to-end multiclient
 # simulation round (oracle and learned-predictor variants), and the
 # learned predictors' observe/predict cycle.
-BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkPredictorObserve)$$
+BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkMultiClientRoundDrift|BenchmarkPredictorObserve|BenchmarkPredictorObserveDecay)$$
 BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient ./internal/predict
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -count 3
 
-.PHONY: test bench bench-raw bench-baseline clean-bench sweep-learned
+.PHONY: test bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift
 
 test:
 	$(GO) build ./...
@@ -51,3 +51,9 @@ clean-bench:
 # tables with Pareto marks at N=16 under fifo and priority scheduling.
 sweep-learned:
 	$(GO) run ./examples/learned
+
+# Non-stationary workload report (examples/drift): the same predictor
+# sweep on a stationary and a drifting hot set, with the stationary
+# predictor ranking inverting under drift.
+sweep-drift:
+	$(GO) run ./examples/drift

@@ -61,6 +61,17 @@
 //	prefetchsim -mode multiclient -clients 16 -predictor shared -servercache 40 -warm-cache
 //	prefetchsim -mode multiclient -clients 16 -predictor all -controller all
 //
+// Non-stationary workloads: -drift-every N re-draws each surfer's hot
+// set every N rounds from a per-client derived drift stream
+// (deterministic and replay-safe; the oracle stays exact across
+// phases). The drift-tracking predictors ride the same axis: decay
+// (exponentially decayed counts, -decay-half-life observations),
+// mixture (popularity×transition blend at -mix-weight) and ppm-escape
+// (escape-blended PPM, -ppm-order):
+//
+//	prefetchsim -mode multiclient -clients 16 -drift-every 40 -predictor all
+//	prefetchsim -mode multiclient -clients 16 -drift-every 40 -predictor decay -decay-half-life 120
+//
 // Traces: -record FILE writes the generated workload as JSON lines;
 // -replay FILE replays a previously recorded workload (prefetch-only mode).
 package main
@@ -70,6 +81,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -123,10 +135,14 @@ func run(args []string, out io.Writer) error {
 		lambda0    = fs.Float64("lambda0", 0, "base network-usage price λ and controller floor (multiclient)")
 		targetUtil = fs.Float64("target-util", 0.7, "utilisation setpoint for the target-util controller (multiclient)")
 
-		predictor = fs.String("predictor", "oracle", "prediction source: oracle | depgraph | ppm | shared, comma list or \"all\" to sweep (multiclient)")
-		ppmOrder  = fs.Int("ppm-order", 2, "PPM context order for -predictor ppm (multiclient)")
+		predictor = fs.String("predictor", "oracle", "prediction source: oracle | depgraph | ppm | shared | decay | mixture | ppm-escape, comma list or \"all\" to sweep (multiclient)")
+		ppmOrder  = fs.Int("ppm-order", 2, "PPM context order for -predictor ppm and ppm-escape (multiclient)")
 		coldStart = fs.String("cold-start", "none", "learned-predictor cold-start fallback: none | uniform (multiclient)")
 		warmCache = fs.Bool("warm-cache", false, "server pre-admits the shared model's top pages (needs -predictor shared and -servercache) (multiclient)")
+
+		driftEvery    = fs.Int("drift-every", 0, "re-draw each surfer's hot set every N rounds, 0 = stationary (multiclient)")
+		decayHalfLife = fs.Float64("decay-half-life", 500, "observation half-life for -predictor decay (multiclient)")
+		mixWeight     = fs.Float64("mix-weight", 0.25, "popularity share for -predictor mixture, in (0, 1) (multiclient)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -147,6 +163,19 @@ func run(args []string, out io.Writer) error {
 	if _, err := parsePredictors(*predictor); err != nil {
 		return err
 	}
+	// The drift and predictor tunables are likewise validated in every
+	// mode; PredictConfig treats zeros as "use the default", so explicit
+	// bad values (and NaN) must be refused here rather than silently
+	// defaulted.
+	if *driftEvery < 0 {
+		return fmt.Errorf("-drift-every must be >= 0 (got %d)", *driftEvery)
+	}
+	if !(*decayHalfLife > 0) || math.IsInf(*decayHalfLife, 0) {
+		return fmt.Errorf("-decay-half-life must be finite and positive (got %v)", *decayHalfLife)
+	}
+	if !(*mixWeight > 0 && *mixWeight < 1) {
+		return fmt.Errorf("-mix-weight must be in (0, 1) (got %v)", *mixWeight)
+	}
 
 	switch *mode {
 	case "prefetch-only":
@@ -157,27 +186,30 @@ func run(args []string, out io.Writer) error {
 		return runSession(out, *seed, *states, *requests, *skew)
 	case "multiclient":
 		return runMultiClient(out, mcOptions{
-			seed:        *seed,
-			clients:     *clients,
-			serverConc:  *serverConc,
-			serverCache: *serverCache,
-			rounds:      *rounds,
-			reps:        *reps,
-			discipline:  *discipline,
-			preempt:     *preempt,
-			weights:     *weights,
-			rate:        *shapeRate,
-			burst:       *shapeBurst,
-			admitUtil:   *admitUtil,
-			admitWindow: *admitWindow,
-			admitDefer:  *admitDefer,
-			controller:  *controller,
-			lambda0:     *lambda0,
-			targetUtil:  *targetUtil,
-			predictor:   *predictor,
-			ppmOrder:    *ppmOrder,
-			coldStart:   *coldStart,
-			warmCache:   *warmCache,
+			seed:          *seed,
+			clients:       *clients,
+			serverConc:    *serverConc,
+			serverCache:   *serverCache,
+			rounds:        *rounds,
+			reps:          *reps,
+			discipline:    *discipline,
+			preempt:       *preempt,
+			weights:       *weights,
+			rate:          *shapeRate,
+			burst:         *shapeBurst,
+			admitUtil:     *admitUtil,
+			admitWindow:   *admitWindow,
+			admitDefer:    *admitDefer,
+			controller:    *controller,
+			lambda0:       *lambda0,
+			targetUtil:    *targetUtil,
+			predictor:     *predictor,
+			ppmOrder:      *ppmOrder,
+			coldStart:     *coldStart,
+			warmCache:     *warmCache,
+			driftEvery:    *driftEvery,
+			decayHalfLife: *decayHalfLife,
+			mixWeight:     *mixWeight,
 		})
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -358,27 +390,30 @@ func runSession(out io.Writer, seed uint64, states, requests int, skew float64) 
 
 // mcOptions bundles the multiclient-mode flags.
 type mcOptions struct {
-	seed        uint64
-	clients     string
-	serverConc  int
-	serverCache int
-	rounds      int
-	reps        int
-	discipline  string
-	preempt     bool
-	weights     string
-	rate        float64
-	burst       float64
-	admitUtil   float64
-	admitWindow float64
-	admitDefer  bool
-	controller  string
-	lambda0     float64
-	targetUtil  float64
-	predictor   string
-	ppmOrder    int
-	coldStart   string
-	warmCache   bool
+	seed          uint64
+	clients       string
+	serverConc    int
+	serverCache   int
+	rounds        int
+	reps          int
+	discipline    string
+	preempt       bool
+	weights       string
+	rate          float64
+	burst         float64
+	admitUtil     float64
+	admitWindow   float64
+	admitDefer    bool
+	controller    string
+	lambda0       float64
+	targetUtil    float64
+	predictor     string
+	ppmOrder      int
+	coldStart     string
+	warmCache     bool
+	driftEvery    int
+	decayHalfLife float64
+	mixWeight     float64
 }
 
 // parseWeights parses "demand:spec" wfq class weights.
@@ -534,10 +569,13 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		Kind:      preds[0],
 		Order:     opt.ppmOrder,
 		ColdStart: prefetch.PredictorFallback(opt.coldStart),
+		HalfLife:  opt.decayHalfLife,
+		MixWeight: opt.mixWeight,
 	}
 	if err := cfg.Predict.Validate(); err != nil {
 		return err
 	}
+	cfg.DriftEvery = opt.driftEvery
 	cfg.WarmServerCache = opt.warmCache
 	if opt.warmCache {
 		// Fail the flag combination up front with a CLI-level message
@@ -566,21 +604,27 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 	if predExtended {
 		predNote = fmt.Sprintf(", predictor %s", cfg.Predict.Kind)
 	}
+	// A non-stationary workload is flagged in every header; the default
+	// (stationary) output stays byte-identical.
+	driftNote := ""
+	if opt.driftEvery > 0 {
+		driftNote = fmt.Sprintf(", drift every %d rounds", opt.driftEvery)
+	}
 
 	if len(kinds) > 1 && (len(ctls) > 1 || len(preds) > 1) {
 		return fmt.Errorf("sweep one axis at a time: -discipline combines with neither a -controller nor a -predictor list")
 	}
 	if len(preds) > 1 && len(ctls) > 1 {
-		return runPredictorControllerSweep(out, cfg, ns, preds, ctls, reps)
+		return runPredictorControllerSweep(out, cfg, ns, preds, ctls, reps, driftNote)
 	}
 	if len(preds) > 1 {
-		return runPredictorSweep(out, cfg, ns, preds, reps, ctlNote)
+		return runPredictorSweep(out, cfg, ns, preds, reps, ctlNote+driftNote)
 	}
 	if len(ctls) > 1 {
-		return runControllerSweep(out, cfg, ns, ctls, reps, predNote)
+		return runControllerSweep(out, cfg, ns, ctls, reps, predNote+driftNote)
 	}
 	if len(kinds) > 1 {
-		return runDisciplineSweep(out, cfg, ns, kinds, reps, ctlNote+predNote)
+		return runDisciplineSweep(out, cfg, ns, kinds, reps, ctlNote+predNote+driftNote)
 	}
 
 	if len(ns) == 1 {
@@ -590,8 +634,8 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 			return err
 		}
 		res := cmp.Prefetch
-		fmt.Fprintf(out, "%d clients, server concurrency %d, server cache %d slots, %d rounds each\n\n",
-			cfg.Clients, cfg.ServerConcurrency, cfg.ServerCacheSlots, cfg.Rounds)
+		fmt.Fprintf(out, "%d clients, server concurrency %d, server cache %d slots, %d rounds each%s\n\n",
+			cfg.Clients, cfg.ServerConcurrency, cfg.ServerCacheSlots, cfg.Rounds, driftNote)
 		fmt.Fprintf(out, "%-8s %10s %12s %12s %10s %10s\n",
 			"client", "mean T", "queue wait", "prefetches", "0-wait%", "improve%")
 		for i, pc := range res.PerClient {
@@ -642,8 +686,8 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		return err
 	}
 	if extended {
-		fmt.Fprintf(out, "sweep over clients, discipline %s%s%s, server concurrency %d, %d reps, %d rounds each\n\n",
-			cfg.Sched.Kind, ctlNote, predNote, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "sweep over clients, discipline %s%s%s%s, server concurrency %d, %d reps, %d rounds each\n\n",
+			cfg.Sched.Kind, ctlNote, predNote, driftNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 		fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s %10s\n",
 			"clients", "demand T", "mean T", "queue wait", "spec/s", "util%", "improve%")
 		for _, p := range points {
@@ -653,8 +697,8 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 		}
 		return nil
 	}
-	fmt.Fprintf(out, "sweep over clients%s%s, server concurrency %d, %d reps, %d rounds each\n\n",
-		ctlNote, predNote, cfg.ServerConcurrency, reps, cfg.Rounds)
+	fmt.Fprintf(out, "sweep over clients%s%s%s, server concurrency %d, %d reps, %d rounds each\n\n",
+		ctlNote, predNote, driftNote, cfg.ServerConcurrency, reps, cfg.Rounds)
 	fmt.Fprintf(out, "%-8s %10s %10s %12s %10s %10s\n",
 		"clients", "mean T", "±95%", "queue wait", "util%", "improve%")
 	for _, p := range points {
@@ -763,7 +807,7 @@ func runPredictorSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, 
 // non-dominated on (demand latency ↓, speculative throughput ↑) — the
 // view that exposes a weak predictor even when an adaptive λ controller
 // hides it in raw latency.
-func runPredictorControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, preds []prefetch.PredictorKind, ctls []prefetch.ControllerKind, reps int) error {
+func runPredictorControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, ns []int, preds []prefetch.PredictorKind, ctls []prefetch.ControllerKind, reps int, note string) error {
 	for i, n := range ns {
 		if i > 0 {
 			fmt.Fprintln(out)
@@ -777,8 +821,8 @@ func runPredictorControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, 
 		if disc == "" {
 			disc = prefetch.SchedFIFO
 		}
-		fmt.Fprintf(out, "controller × predictor sweep, %d clients, discipline %s, server concurrency %d, %d reps, %d rounds each\n",
-			n, disc, cfg.ServerConcurrency, reps, cfg.Rounds)
+		fmt.Fprintf(out, "controller × predictor sweep, %d clients, discipline %s%s, server concurrency %d, %d reps, %d rounds each\n",
+			n, disc, note, cfg.ServerConcurrency, reps, cfg.Rounds)
 		fmt.Fprintf(out, "(* = on the controller's (demand T, spec/s) Pareto frontier)\n")
 		for ci, ctl := range ctls {
 			fmt.Fprintf(out, "\ncontroller %s\n", ctl)

@@ -490,3 +490,104 @@ func TestRunMultiClientPredictorWithDiscipline(t *testing.T) {
 		t.Errorf("controller sweep hides the active predictor:\n%s", out)
 	}
 }
+
+// TestRunMultiClientDrift: a non-stationary run is flagged in every
+// header, replays bit for bit, and the default (stationary) output grows
+// no drift note.
+func TestRunMultiClientDrift(t *testing.T) {
+	args := []string{"-mode", "multiclient", "-clients", "3", "-rounds", "25", "-drift-every", "5", "-seed", "9"}
+	out := runOut(t, args...)
+	if !strings.Contains(out, "drift every 5 rounds") {
+		t.Errorf("drift run missing the drift note:\n%s", out)
+	}
+	if again := runOut(t, args...); out != again {
+		t.Errorf("drifting run did not replay:\n%s\n---\n%s", out, again)
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "25", "-seed", "9")
+	if strings.Contains(out, "drift") {
+		t.Errorf("default run grew a drift note:\n%s", out)
+	}
+	// The note shows up in sweep headers too.
+	out = runOut(t, "-mode", "multiclient", "-clients", "2,3", "-rounds", "15", "-reps", "2", "-drift-every", "5")
+	if !strings.Contains(out, "drift every 5 rounds") {
+		t.Errorf("client sweep hides the drift note:\n%s", out)
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "15", "-reps", "2",
+		"-drift-every", "5", "-predictor", "oracle,decay", "-controller", "static,aimd")
+	if !strings.Contains(out, "drift every 5 rounds") {
+		t.Errorf("grid sweep hides the drift note:\n%s", out)
+	}
+}
+
+// TestRunMultiClientDriftPredictors: the drift-tracking predictors run
+// end to end, alone and in sweeps.
+func TestRunMultiClientDriftPredictors(t *testing.T) {
+	for _, pred := range []string{"decay", "mixture", "ppm-escape"} {
+		out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "25",
+			"-drift-every", "8", "-predictor", pred)
+		if !strings.Contains(out, "predictor "+pred) {
+			t.Errorf("output missing %q predictor line:\n%s", pred, out)
+		}
+	}
+	out := runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "20", "-reps", "2", "-predictor", "all")
+	for _, want := range []string{"decay", "mixture", "ppm-escape"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predictor sweep missing %q:\n%s", want, out)
+		}
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "25",
+		"-predictor", "decay", "-decay-half-life", "60")
+	if !strings.Contains(out, "predictor decay") {
+		t.Errorf("half-life run missing decay line:\n%s", out)
+	}
+	out = runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "25",
+		"-predictor", "mixture", "-mix-weight", "0.5")
+	if !strings.Contains(out, "predictor mixture") {
+		t.Errorf("mix-weight run missing mixture line:\n%s", out)
+	}
+}
+
+// TestRunRejectsBadDriftFlags: the drift and drift-predictor tunables
+// are validated in every mode — a typo'd value must never be silently
+// ignored by a mode that does not consume it.
+func TestRunRejectsBadDriftFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "multiclient", "-drift-every", "-1"},
+		{"-mode", "prefetch-only", "-drift-every", "-3"},
+		{"-mode", "multiclient", "-decay-half-life", "0"},
+		{"-mode", "multiclient", "-decay-half-life", "-5"},
+		{"-mode", "multiclient", "-decay-half-life", "NaN"},
+		{"-mode", "multiclient", "-decay-half-life", "Inf"},
+		{"-mode", "cache", "-decay-half-life", "0"},
+		{"-mode", "prefetch-only", "-decay-half-life", "Inf"},
+		{"-mode", "multiclient", "-mix-weight", "0"},
+		{"-mode", "multiclient", "-mix-weight", "1"},
+		{"-mode", "multiclient", "-mix-weight", "NaN"},
+		{"-mode", "session", "-mix-weight", "2"},
+		{"-mode", "multiclient", "-predictor", "decay", "-ppm-order", "0"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad drift input", args)
+		}
+	}
+}
+
+// TestExitStatusBadDriftFlags: the same validation at the process level.
+func TestExitStatusBadDriftFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec test")
+	}
+	bad := [][]string{
+		{"-mode", "prefetch-only", "-drift-every", "-1"},
+		{"-mode", "cache", "-mix-weight", "7"},
+		{"-mode", "prefetch-only", "-decay-half-life", "-2"},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "5", "-predictor", "markov"},
+	}
+	for _, args := range bad {
+		if code := exitStatus(t, args...); code == 0 {
+			t.Errorf("prefetchsim %v exited 0, want non-zero", args)
+		}
+	}
+}

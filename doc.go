@@ -124,4 +124,24 @@
 // Pareto frontier — the view that keeps a weak predictor visible when
 // adaptive λ masks it in raw latency. See examples/learned for the gap
 // table at N=16 under FIFO and priority scheduling.
+//
+// # Non-stationary workloads: drifting hot sets
+//
+// The paper's model — and every sweep above — presumes a stationary
+// access distribution, the regime in which a predictor that hoards
+// evidence forever is optimal. MultiClientConfig.DriftEvery makes the
+// workload non-stationary: every DriftEvery browsing rounds each
+// surfer's preference vector (the hot set biasing its link choices and
+// teleports) is re-drawn from a per-client derived drift stream, so
+// runs stay deterministic and replay bit-for-bit while the hot set
+// moves, and the oracle source stays exact across phases. Three
+// drift-capable prediction sources ride the same axis: PredictorDecay
+// (exponentially decayed transition counts, PredictConfig.HalfLife
+// observations to half weight — the source that re-converges after a
+// shift, property-tested against the dependency graph which does not),
+// PredictorMixture (a popularity×transition blend at
+// PredictConfig.MixWeight) and PredictorPPMEscape (PPM with escape
+// blending across context orders down to global frequencies, replacing
+// the hard cold-start fallback). See examples/drift for the stationary
+// predictor ranking inverting under drift.
 package prefetch

@@ -157,7 +157,9 @@ func (cfg Config) withDefaults() Config {
 
 // Validate checks the configuration (after defaulting). Checks are in
 // positive form so NaN inputs are rejected rather than slipping past
-// every comparison.
+// every comparison, and every diagnostic reports the defaulted value
+// actually compared against — a Lambda0 above the *default* MaxLambda
+// must say "max lambda 8", not echo the zero the caller left unset.
 func (cfg Config) Validate() error {
 	c := cfg.withDefaults()
 	known := false
@@ -171,29 +173,29 @@ func (cfg Config) Validate() error {
 	case !known:
 		return fmt.Errorf("%w: unknown controller %q", ErrBadConfig, c.Kind)
 	case !(c.Lambda0 >= 0) || math.IsInf(c.Lambda0, 0):
-		return fmt.Errorf("%w: lambda0 %v (need finite >= 0)", ErrBadConfig, cfg.Lambda0)
+		return fmt.Errorf("%w: lambda0 %v (need finite >= 0)", ErrBadConfig, c.Lambda0)
 	case !(c.MaxLambda >= c.Lambda0) || math.IsInf(c.MaxLambda, 0):
 		// Report the defaulted value actually compared against, so
 		// "lambda0 9 above the (default) max lambda 8" is diagnosable.
 		return fmt.Errorf("%w: max lambda %v below lambda0 %v", ErrBadConfig, c.MaxLambda, c.Lambda0)
 	case !(c.CongestUtil > 0 && c.CongestUtil <= 1):
-		return fmt.Errorf("%w: congestion threshold %v outside (0, 1]", ErrBadConfig, cfg.CongestUtil)
+		return fmt.Errorf("%w: congestion threshold %v outside (0, 1]", ErrBadConfig, c.CongestUtil)
 	case !(c.Increase >= 1):
 		// Increase < 1 would break the AIMD monotonicity guarantee: a
 		// congested round could yield a lower λ than a calm one.
-		return fmt.Errorf("%w: aimd increase factor %v (need >= 1)", ErrBadConfig, cfg.Increase)
+		return fmt.Errorf("%w: aimd increase factor %v (need >= 1)", ErrBadConfig, c.Increase)
 	case !(c.Kick > 0):
-		return fmt.Errorf("%w: aimd kick %v (need > 0)", ErrBadConfig, cfg.Kick)
+		return fmt.Errorf("%w: aimd kick %v (need > 0)", ErrBadConfig, c.Kick)
 	case !(c.Decrease > 0):
-		return fmt.Errorf("%w: aimd decrease %v (need > 0)", ErrBadConfig, cfg.Decrease)
+		return fmt.Errorf("%w: aimd decrease %v (need > 0)", ErrBadConfig, c.Decrease)
 	case !(c.TargetUtil > 0 && c.TargetUtil < 1):
-		return fmt.Errorf("%w: target utilisation %v outside (0, 1)", ErrBadConfig, cfg.TargetUtil)
+		return fmt.Errorf("%w: target utilisation %v outside (0, 1)", ErrBadConfig, c.TargetUtil)
 	case !(c.Gain > 0):
-		return fmt.Errorf("%w: integral gain %v (need > 0)", ErrBadConfig, cfg.Gain)
+		return fmt.Errorf("%w: integral gain %v (need > 0)", ErrBadConfig, c.Gain)
 	case !(c.DelayStep > 0):
-		return fmt.Errorf("%w: delay step %v (need > 0)", ErrBadConfig, cfg.DelayStep)
+		return fmt.Errorf("%w: delay step %v (need > 0)", ErrBadConfig, c.DelayStep)
 	case !(c.DelayDecay > 0):
-		return fmt.Errorf("%w: delay decay %v (need > 0)", ErrBadConfig, cfg.DelayDecay)
+		return fmt.Errorf("%w: delay decay %v (need > 0)", ErrBadConfig, c.DelayDecay)
 	}
 	return nil
 }

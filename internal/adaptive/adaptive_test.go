@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"prefetch/internal/core"
@@ -43,6 +44,31 @@ func TestValidate(t *testing.T) {
 		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
 			t.Errorf("bad config %d: New err = %v, want ErrBadConfig", i, err)
 		}
+	}
+}
+
+// TestValidateReportsDefaultedValues: diagnostics must print the
+// defaulted values actually compared against, not the raw (possibly
+// zero/unset) fields. A Lambda0 of 9 with MaxLambda unset fails against
+// the default cap of 8 — the message has to say so, or the error
+// ("max lambda 0 below lambda0 9"?) is undiagnosable.
+func TestValidateReportsDefaultedValues(t *testing.T) {
+	err := Config{Lambda0: 9}.Validate()
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Lambda0 9 above the default MaxLambda: err = %v, want ErrBadConfig", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "max lambda 8") {
+		t.Errorf("diagnostic %q does not name the defaulted max lambda 8", msg)
+	}
+	if !strings.Contains(msg, "9") {
+		t.Errorf("diagnostic %q does not name the offending lambda0 9", msg)
+	}
+	// The same rule holds when an explicit field fails: the value echoed
+	// is the one compared.
+	err = Config{Kind: KindAIMD, Increase: 0.5}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "0.5") {
+		t.Errorf("diagnostic %v does not echo the compared increase factor", err)
 	}
 }
 

@@ -83,6 +83,13 @@ func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webg
 		waitingFor: -1,
 	}
 	c.surfer = webgraph.NewSurfer(c.rand, site, cfg.FollowProb)
+	if cfg.DriftEvery > 0 {
+		// Non-stationary mode: the hot set re-draws every DriftEvery
+		// rounds (the surfer steps once per round) from a per-client
+		// derived stream. The oracle hook below reads the surfer's
+		// current phase, so oracle predictions stay exact across shifts.
+		c.surfer.EnableDrift(rng.Derive(cfg.Seed, driftLabel(id)), cfg.DriftEvery)
+	}
 	pred, err := predict.New(cfg.Predict, id, c.surfer.NextDistributionFrom, agg)
 	if err != nil {
 		return nil, err

@@ -47,6 +47,14 @@ type Config struct {
 	MinViewing  float64 // truncation floor for viewing times
 	FollowProb  float64 // surfer link-follow probability
 
+	// DriftEvery makes the workload non-stationary: every DriftEvery
+	// browsing rounds each client's surfer re-draws its preference vector
+	// (the hot set it links toward and teleports to) from a drift RNG
+	// stream derived per client — deterministic and replay-safe, and the
+	// oracle prediction source stays exact across phases. 0 (the default)
+	// is the stationary surfer, bit-for-bit the previous behaviour.
+	DriftEvery int
+
 	MaxCandidates   int  // cap on SKP candidate list size per round
 	DisablePrefetch bool // demand-fetch only (the no-prefetch baseline)
 
@@ -112,16 +120,21 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("%w: server concurrency %d", ErrBadConfig, cfg.ServerConcurrency)
 	case cfg.ServerCacheSlots < 0:
 		return fmt.Errorf("%w: server cache slots %d", ErrBadConfig, cfg.ServerCacheSlots)
-	case cfg.ServerCacheSlots > 0 && (cfg.ServerHitFactor <= 0 || cfg.ServerHitFactor > 1):
+	case cfg.ServerCacheSlots > 0 && !(cfg.ServerHitFactor > 0 && cfg.ServerHitFactor <= 1):
 		return fmt.Errorf("%w: server hit factor %v (need 0 < f <= 1)", ErrBadConfig, cfg.ServerHitFactor)
 	case cfg.ClientCacheSlots < 0:
 		return fmt.Errorf("%w: client cache slots %d", ErrBadConfig, cfg.ClientCacheSlots)
-	case cfg.MeanViewing <= 0:
+	case !(cfg.MeanViewing > 0):
+		// Positive form so a NaN MeanViewing is rejected too: it would
+		// otherwise slip past every comparison and degenerate the warm-
+		// cache cadence (warmEvery = MeanViewing) into never/always firing.
 		return fmt.Errorf("%w: mean viewing %v", ErrBadConfig, cfg.MeanViewing)
-	case cfg.MinViewing < 0:
+	case !(cfg.MinViewing >= 0):
 		return fmt.Errorf("%w: min viewing %v", ErrBadConfig, cfg.MinViewing)
 	case cfg.MaxCandidates < 1:
 		return fmt.Errorf("%w: max candidates %d", ErrBadConfig, cfg.MaxCandidates)
+	case cfg.DriftEvery < 0:
+		return fmt.Errorf("%w: drift cadence %d rounds", ErrBadConfig, cfg.DriftEvery)
 	}
 	scfg := cfg.Sched
 	scfg.Concurrency = cfg.ServerConcurrency
@@ -250,6 +263,12 @@ func (r Result) HitRatio() float64 {
 
 // clientLabel names client i's derived RNG stream.
 func clientLabel(i int) string { return fmt.Sprintf("client/%d", i) }
+
+// driftLabel names client i's derived drift stream — separate from the
+// browsing stream so enabling drift re-draws hot sets without perturbing
+// the pages and viewing times the client would otherwise draw, and
+// per-client so one surfer's shifts never touch another's.
+func driftLabel(i int) string { return fmt.Sprintf("client/%d/drift", i) }
 
 // Run plays the full simulation: all clients start browsing at time zero
 // and the event loop drains every scheduled transfer, including stale

@@ -62,6 +62,9 @@ func predictConfigs() []predict.Config {
 		{Kind: predict.KindDepGraph, ColdStart: predict.FallbackUniform},
 		{Kind: predict.KindPPM, Order: 2},
 		{Kind: predict.KindShared},
+		{Kind: predict.KindDecay, HalfLife: 60},
+		{Kind: predict.KindMixture, MixWeight: 0.3},
+		{Kind: predict.KindPPMEscape, Order: 2},
 	}
 }
 

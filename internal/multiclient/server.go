@@ -1,6 +1,7 @@
 package multiclient
 
 import (
+	"fmt"
 	"math"
 
 	"prefetch/internal/cache"
@@ -139,6 +140,13 @@ func (s *server) done(r *schedsrv.Request, service, waited float64) {
 func (s *server) enableWarming(cfg Config, agg *predict.Aggregate, site *webgraph.Site) {
 	if !cfg.WarmServerCache {
 		return
+	}
+	// maybeWarm fires whenever now >= warmedAt+warmEvery, so a zero (or
+	// NaN) cadence would degenerate into warming on every event (or
+	// never). Config.Validate rejects such MeanViewing values; a config
+	// path that bypasses it is a simulator bug.
+	if !(cfg.MeanViewing > 0) {
+		panic(fmt.Sprintf("multiclient: warm cadence %v (need > 0; config not validated?)", cfg.MeanViewing))
 	}
 	s.agg = agg
 	s.site = site

@@ -442,6 +442,13 @@ func SweepPredictorControllers(cfg Config, preds []predict.Kind, ctls []adaptive
 // controller group: a point is dominated when another point is at least
 // as good on both objectives (demand latency minimised, speculative
 // throughput maximised) and strictly better on one.
+//
+// Tie handling: domination requires a strict improvement on at least one
+// objective, so a point can never dominate an exact duplicate of itself.
+// Cells with identical (demand latency, spec/s) are therefore always
+// marked together — both on the frontier, or both dominated by a
+// strictly better third point — and the full pairwise scan makes the
+// result independent of slice order.
 func markPareto(group []PredictorControllerPoint) {
 	for i := range group {
 		dominated := false

@@ -7,10 +7,11 @@ import (
 	"prefetch/internal/webgraph"
 )
 
-// BenchmarkPredictorObserve measures the learned predictors' hot loop —
-// one Observe plus one Next per browsing round — over a pre-drawn surfer
-// walk. Tracked by the benchmark-regression gate (cmd/benchjson).
-func BenchmarkPredictorObserve(b *testing.B) {
+// benchWalk pre-draws a surfer walk over the default-sized site so the
+// observe/predict benchmarks measure the sources, not the workload
+// generator.
+func benchWalk(b *testing.B) []int {
+	b.Helper()
 	r := rng.New(7)
 	cfg := webgraph.SiteConfig{
 		Pages: 120, MinLinks: 4, MaxLinks: 12, ZipfS: 1.1,
@@ -21,25 +22,52 @@ func BenchmarkPredictorObserve(b *testing.B) {
 		b.Fatal(err)
 	}
 	surfer := webgraph.NewSurfer(r, site, 0.85)
-	const steps = 4096
-	walk := make([]int, steps)
+	walk := make([]int, 4096)
 	for i := range walk {
 		walk[i] = surfer.Step()
 	}
-	for _, kind := range []Kind{KindDepGraph, KindPPM} {
+	return walk
+}
+
+// benchObserveNext is the shared hot loop: one Observe plus one Next per
+// browsing round over the pre-drawn walk.
+func benchObserveNext(b *testing.B, src Source, walk []int) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page := walk[i%len(walk)]
+		src.Observe(page)
+		if d := src.Next(page); d == nil {
+			b.Fatal("nil distribution")
+		}
+	}
+}
+
+// BenchmarkPredictorObserve measures the learned predictors' hot loop —
+// one Observe plus one Next per browsing round — over a pre-drawn surfer
+// walk. Tracked by the benchmark-regression gate (cmd/benchjson).
+func BenchmarkPredictorObserve(b *testing.B) {
+	walk := benchWalk(b)
+	for _, kind := range []Kind{KindDepGraph, KindPPM, KindMixture, KindPPMEscape} {
 		b.Run(string(kind), func(b *testing.B) {
 			src, err := New(Config{Kind: kind}, 0, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				page := walk[i%steps]
-				src.Observe(page)
-				if d := src.Next(page); d == nil {
-					b.Fatal("nil distribution")
-				}
-			}
+			benchObserveNext(b, src, walk)
 		})
 	}
+}
+
+// BenchmarkPredictorObserveDecay measures the decayed-count source's hot
+// loop (lazy per-state aging on Observe, sorted-key normalisation on
+// Next) over the same walk. A top-level benchmark rather than a sub-run
+// so the bench gate tracks it under its own name. Tracked by the
+// benchmark-regression gate (cmd/benchjson).
+func BenchmarkPredictorObserveDecay(b *testing.B) {
+	walk := benchWalk(b)
+	src, err := New(Config{Kind: KindDecay}, 0, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchObserveNext(b, src, walk)
 }

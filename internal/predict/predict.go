@@ -20,7 +20,15 @@
 //     access stream of every client (per-client transition chains, so
 //     interleaving never fabricates cross-client edges). The aggregate
 //     doubles as the server's cache-warming model: its global page
-//     frequencies say what the whole population will want next.
+//     frequencies say what the whole population will want next;
+//   - KindDecay — order-1 transitions with exponentially decayed counts,
+//     the predictor built for non-stationary workloads: after the hot
+//     set drifts, stale evidence ages out and the estimate re-converges;
+//   - KindMixture — a popularity×transition blend that hedges sparse
+//     states with the global hot set;
+//   - KindPPMEscape — PPM with escape-probability blending across
+//     context orders down to global frequencies, replacing the hard
+//     cold-start fallback with graceful back-off.
 //
 // Learned sources start cold. ColdStart selects the fallback while the
 // model has no evidence for the current state: FallbackNone (predict
@@ -36,6 +44,7 @@ package predict
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"prefetch/internal/access"
@@ -53,11 +62,24 @@ const (
 	KindDepGraph Kind = "depgraph"
 	KindPPM      Kind = "ppm"
 	KindShared   Kind = "shared"
+	// KindDecay is an order-1 transition model with exponentially decayed
+	// counts (Config.HalfLife observations to half weight) — the
+	// predictor that re-converges after a workload shift because stale
+	// evidence ages out instead of anchoring the estimate forever.
+	KindDecay Kind = "decay"
+	// KindMixture blends order-1 transitions with global page popularity
+	// at Config.MixWeight — popularity hedges sparse states and absorbs
+	// the full mass when a state has no transition evidence at all.
+	KindMixture Kind = "mixture"
+	// KindPPMEscape is PPM with PPM-C-style escape blending across
+	// context orders down to global frequencies, replacing the hard
+	// cold-start fallback with graceful back-off.
+	KindPPMEscape Kind = "ppm-escape"
 )
 
 // Kinds lists the built-in prediction sources in canonical order.
 func Kinds() []Kind {
-	return []Kind{KindOracle, KindDepGraph, KindPPM, KindShared}
+	return []Kind{KindOracle, KindDepGraph, KindPPM, KindShared, KindDecay, KindMixture, KindPPMEscape}
 }
 
 // Fallback selects a learned source's cold-start behaviour for states it
@@ -95,11 +117,18 @@ type Source interface {
 type Config struct {
 	// Kind selects the source; "" means KindOracle.
 	Kind Kind
-	// Order is the PPM context order (KindPPM only; 0 = default 2).
+	// Order is the PPM context order (KindPPM and KindPPMEscape;
+	// 0 = default 2).
 	Order int
 	// ColdStart selects the learned sources' cold-start fallback;
 	// "" means FallbackNone. Ignored by the oracle.
 	ColdStart Fallback
+	// HalfLife is KindDecay's evidence half-life in observations
+	// (0 = default 500).
+	HalfLife float64
+	// MixWeight is KindMixture's popularity share, in (0, 1)
+	// (0 = default 0.25).
+	MixWeight float64
 }
 
 // withDefaults fills zero-valued fields.
@@ -113,10 +142,18 @@ func (cfg Config) withDefaults() Config {
 	if cfg.ColdStart == "" {
 		cfg.ColdStart = FallbackNone
 	}
+	if cfg.HalfLife == 0 {
+		cfg.HalfLife = 500
+	}
+	if cfg.MixWeight == 0 {
+		cfg.MixWeight = 0.25
+	}
 	return cfg
 }
 
-// Validate checks the configuration (after defaulting).
+// Validate checks the configuration (after defaulting). Numeric checks
+// are in positive form so NaN inputs are rejected, and every diagnostic
+// reports the defaulted value actually compared against.
 func (cfg Config) Validate() error {
 	c := cfg.withDefaults()
 	known := false
@@ -130,9 +167,13 @@ func (cfg Config) Validate() error {
 	case !known:
 		return fmt.Errorf("%w: unknown predictor %q", ErrBadConfig, c.Kind)
 	case c.Order < 1:
-		return fmt.Errorf("%w: ppm order %d (need >= 1)", ErrBadConfig, cfg.Order)
+		return fmt.Errorf("%w: ppm order %d (need >= 1)", ErrBadConfig, c.Order)
 	case c.ColdStart != FallbackNone && c.ColdStart != FallbackUniform:
-		return fmt.Errorf("%w: unknown cold-start fallback %q", ErrBadConfig, cfg.ColdStart)
+		return fmt.Errorf("%w: unknown cold-start fallback %q", ErrBadConfig, c.ColdStart)
+	case !(c.HalfLife > 0) || math.IsInf(c.HalfLife, 0):
+		return fmt.Errorf("%w: decay half-life %v (need finite > 0)", ErrBadConfig, c.HalfLife)
+	case !(c.MixWeight > 0 && c.MixWeight < 1):
+		return fmt.Errorf("%w: mixture weight %v outside (0, 1)", ErrBadConfig, c.MixWeight)
 	}
 	return nil
 }
@@ -165,6 +206,12 @@ func New(cfg Config, client int, oracle func(state int) map[int]float64, shared 
 			return nil, fmt.Errorf("%w: shared source needs the run's aggregate model", ErrBadConfig)
 		}
 		return withFallback(shared.ForClient(client), cfg.ColdStart), nil
+	case KindDecay:
+		return withFallback(newDecay(cfg.HalfLife), cfg.ColdStart), nil
+	case KindMixture:
+		return withFallback(newMixture(cfg.MixWeight), cfg.ColdStart), nil
+	case KindPPMEscape:
+		return withFallback(newPPMEscape(cfg.Order), cfg.ColdStart), nil
 	}
 	return nil, fmt.Errorf("%w: unknown predictor %q", ErrBadConfig, cfg.Kind)
 }

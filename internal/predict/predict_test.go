@@ -16,6 +16,9 @@ func TestValidate(t *testing.T) {
 		{Kind: KindDepGraph},
 		{Kind: KindPPM, Order: 3},
 		{Kind: KindShared, ColdStart: FallbackUniform},
+		{Kind: KindDecay, HalfLife: 120},
+		{Kind: KindMixture, MixWeight: 0.5},
+		{Kind: KindPPMEscape, Order: 3},
 	}
 	for i, cfg := range good {
 		if err := cfg.Validate(); err != nil {
@@ -26,6 +29,13 @@ func TestValidate(t *testing.T) {
 		{Kind: "lstm"},
 		{Kind: KindPPM, Order: -1},
 		{ColdStart: "oracle"},
+		{Kind: KindDecay, HalfLife: -1},
+		{Kind: KindDecay, HalfLife: math.NaN()},
+		{Kind: KindDecay, HalfLife: math.Inf(1)},
+		{Kind: KindMixture, MixWeight: 1},
+		{Kind: KindMixture, MixWeight: -0.5},
+		{Kind: KindMixture, MixWeight: math.NaN()},
+		{Kind: KindPPMEscape, Order: -2},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
@@ -245,7 +255,7 @@ func TestLearnedConvergeToTrueDistribution(t *testing.T) {
 		}
 		return src
 	}
-	for _, kind := range []Kind{KindDepGraph, KindPPM} {
+	for _, kind := range []Kind{KindDepGraph, KindPPM, KindDecay, KindMixture, KindPPMEscape} {
 		for _, seed := range []uint64{1, 7, 42} {
 			early := trainOnSurfer(t, build(kind), seed, 500, 250)
 			late := trainOnSurfer(t, build(kind), seed, 30000, 2000)
@@ -258,5 +268,220 @@ func TestLearnedConvergeToTrueDistribution(t *testing.T) {
 				t.Errorf("%s seed %d: late L1 %.3f too far from the true distribution", kind, seed, late)
 			}
 		}
+	}
+}
+
+// trainOnDriftingSurfer is trainOnSurfer on a non-stationary surfer: the
+// hot set is re-drawn every driftEvery steps from a dedicated derived
+// drift stream, exactly as the multiclient simulation wires it.
+func trainOnDriftingSurfer(t *testing.T, src Source, seed uint64, steps, driftEvery, evalWindow int) float64 {
+	t.Helper()
+	r := rng.New(seed)
+	cfg := webgraph.SiteConfig{
+		Pages: 40, MinLinks: 3, MaxLinks: 6, ZipfS: 1.1,
+		MinSizeKB: 2, MaxSizeKB: 40, BandwidthKBps: 16, LatencyS: 0.3,
+	}
+	site, err := webgraph.Generate(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surfer := webgraph.NewSurfer(r, site, 0.85)
+	surfer.EnableDrift(rng.Derive(seed, "drift"), driftEvery)
+	src.Observe(surfer.Current())
+	var sum float64
+	var n int
+	for i := 0; i < steps; i++ {
+		state := surfer.Current()
+		if i >= steps-evalWindow {
+			sum += L1(src.Next(state), surfer.NextDistributionFrom(state))
+			n++
+		}
+		src.Observe(surfer.Step())
+	}
+	return sum / float64(n)
+}
+
+// TestDriftRecoveryProperty is the drift-recovery property test: after
+// the hot set shifts mid-run, the decayed-count source must re-converge
+// (its late-window L1 error returns near its stationary level and ends
+// up below the undecayed dependency graph's), while plain counts must
+// NOT re-converge (their stale pre-shift evidence keeps the late error
+// far above their stationary level) — the behaviour that makes decay
+// worth its evidence loss on stationary workloads, where the ranking is
+// inverted.
+func TestDriftRecoveryProperty(t *testing.T) {
+	const (
+		steps  = 30000
+		shift  = 15000 // one hot-set re-draw at mid-run
+		window = 2000
+	)
+	build := func(kind Kind) Source {
+		src, err := New(Config{Kind: kind}, 0, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		depStat := trainOnSurfer(t, build(KindDepGraph), seed, steps, window)
+		decStat := trainOnSurfer(t, build(KindDecay), seed, steps, window)
+		depDrift := trainOnDriftingSurfer(t, build(KindDepGraph), seed, steps, shift, window)
+		decDrift := trainOnDriftingSurfer(t, build(KindDecay), seed, steps, shift, window)
+		t.Logf("seed %d: stationary depgraph %.3f decay %.3f | drifted depgraph %.3f decay %.3f",
+			seed, depStat, decStat, depDrift, decDrift)
+		// Stationary ranking: decay pays for its forgetting.
+		if depStat >= decStat {
+			t.Errorf("seed %d: stationary depgraph L1 %.3f not below decay %.3f",
+				seed, depStat, decStat)
+		}
+		// Drifted ranking inverts: decay re-converges below plain counts.
+		if decDrift >= depDrift {
+			t.Errorf("seed %d: post-shift decay L1 %.3f did not re-converge below depgraph %.3f",
+				seed, decDrift, depDrift)
+		}
+		// Decay genuinely recovers (back near its stationary error)...
+		if decDrift > 1.5*decStat {
+			t.Errorf("seed %d: post-shift decay L1 %.3f far above its stationary %.3f",
+				seed, decDrift, decStat)
+		}
+		// ...while plain counts stay anchored to the stale phase.
+		if depDrift < 2*depStat {
+			t.Errorf("seed %d: post-shift depgraph L1 %.3f suspiciously close to its stationary %.3f — drift too weak to matter",
+				seed, depDrift, depStat)
+		}
+	}
+}
+
+// TestNewSourcesDeterministic: the drift-tracking sources are pure
+// functions of their observation streams — two instances fed the same
+// stream answer Next with bit-for-bit identical maps at every state.
+func TestNewSourcesDeterministic(t *testing.T) {
+	for _, kind := range []Kind{KindDecay, KindMixture, KindPPMEscape} {
+		t.Run(string(kind), func(t *testing.T) {
+			a, err := New(Config{Kind: kind}, 0, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(Config{Kind: kind}, 0, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(99)
+			stream := make([]int, 4000)
+			for i := range stream {
+				stream[i] = r.IntN(25)
+			}
+			for i, page := range stream {
+				a.Observe(page)
+				b.Observe(page)
+				if i%7 != 0 {
+					continue
+				}
+				da, db := a.Next(page), b.Next(page)
+				if len(da) != len(db) {
+					t.Fatalf("step %d: support sizes differ: %d vs %d", i, len(da), len(db))
+				}
+				for p, v := range da {
+					if db[p] != v {
+						t.Fatalf("step %d page %d: %v vs %v", i, p, v, db[p])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecayForgets pins the decay semantics: after a burst of 1→2
+// transitions followed by halfLives' worth of 1→3 transitions, the new
+// evidence must dominate, while a plain dependency graph still splits
+// by raw counts.
+func TestDecayForgets(t *testing.T) {
+	src, err := New(Config{Kind: KindDecay, HalfLife: 10}, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 observations of 1→2, then 40 of 1→3 (interleaved with returns
+	// to 1 so every pair is a 1→x transition).
+	for i := 0; i < 40; i++ {
+		src.Observe(1)
+		src.Observe(2)
+	}
+	for i := 0; i < 40; i++ {
+		src.Observe(1)
+		src.Observe(3)
+	}
+	d := src.Next(1)
+	if d[3] <= 0.9 {
+		t.Errorf("decay Next(1)[3] = %.3f after 8 half-lives of 1→3, want > 0.9 (full: %v)", d[3], d)
+	}
+	if d[2] >= d[3] {
+		t.Errorf("stale edge 1→2 (%.3f) still outweighs fresh 1→3 (%.3f)", d[2], d[3])
+	}
+}
+
+// TestMixtureBlends pins the mixture semantics: predictions blend the
+// transition estimate with global popularity at the configured weight,
+// and a state with no transition evidence escapes fully to popularity.
+func TestMixtureBlends(t *testing.T) {
+	src, err := New(Config{Kind: KindMixture, MixWeight: 0.4}, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 1,2,1,2,...: transitions 1→2 and 2→1; popularity 50/50.
+	for i := 0; i < 10; i++ {
+		src.Observe(1)
+		src.Observe(2)
+	}
+	d := src.Next(1)
+	// (1−w)·1 [transition 1→2] + w·freq share.
+	want2 := 0.6*1 + 0.4*float64(10)/20
+	if math.Abs(d[2]-want2) > 1e-12 {
+		t.Errorf("Next(1)[2] = %v, want %v", d[2], want2)
+	}
+	if math.Abs(d[1]-0.4*0.5) > 1e-12 {
+		t.Errorf("Next(1)[1] = %v, want %v (popularity share only)", d[1], 0.4*0.5)
+	}
+	// Unseen state: full escape to popularity.
+	e := src.Next(99)
+	if math.Abs(e[1]-0.5) > 1e-12 || math.Abs(e[2]-0.5) > 1e-12 {
+		t.Errorf("cold-state escape = %v, want {1:0.5, 2:0.5}", e)
+	}
+}
+
+// TestPPMEscapeNeverCliffs pins the escape semantics: even at a state
+// whose order-1 context was never seen, the source still predicts from
+// global frequencies — no hard cold-start cliff — and its distribution
+// mass never exceeds 1.
+func TestPPMEscapeNeverCliffs(t *testing.T) {
+	src, err := New(Config{Kind: KindPPMEscape, Order: 2}, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "ppm-escape-2" {
+		t.Errorf("Name() = %q", src.Name())
+	}
+	for _, page := range []int{1, 2, 3, 1, 2, 3, 1, 2} {
+		src.Observe(page)
+	}
+	// State 9 has no context of any order: order-0 frequencies answer.
+	d := src.Next(9)
+	if len(d) == 0 {
+		t.Fatal("escape PPM fell off a cold-start cliff")
+	}
+	var mass float64
+	for _, p := range d {
+		mass += p
+	}
+	if mass > 1+1e-12 {
+		t.Errorf("mass %v > 1", mass)
+	}
+	if d[1] <= 0 || d[2] <= 0 || d[3] <= 0 {
+		t.Errorf("order-0 backstop missing pages: %v", d)
+	}
+	// A warm state blends orders: the longest-context successor must
+	// dominate.
+	w := src.Next(2)
+	if w[3] <= w[1] {
+		t.Errorf("warm prediction %v does not favour the observed successor", w)
 	}
 }

@@ -120,11 +120,27 @@ func Generate(r *rng.Source, cfg SiteConfig) (*Site, error) {
 // Surfer is a random-surfer browsing model over a Site: with probability
 // FollowProb it follows a uniformly chosen link of the current page,
 // otherwise it teleports to a page drawn from the popularity weights.
+//
+// EnableDrift switches the surfer into a non-stationary (phase-shifting)
+// mode in which browsing is driven by a mutable preference vector that is
+// re-drawn at a fixed cadence — the hot set moves while the link
+// structure stays put. A stationary surfer's behaviour is untouched.
 type Surfer struct {
 	site       *Site
 	rand       *rng.Source
 	followProb float64
 	current    int
+
+	// Drift state. weights is nil for a stationary surfer; when set it is
+	// the current phase's preference vector, consulted for both link
+	// choice and teleports, and re-drawn from driftRand (a stream
+	// dedicated to drift, so enabling drift never perturbs the browsing
+	// stream) every driftEvery steps.
+	weights    []float64
+	driftRand  *rng.Source
+	driftEvery int
+	steps      int
+	phase      int
 }
 
 // NewSurfer starts a surfer at page 0. followProb outside (0,1) defaults
@@ -157,15 +173,32 @@ func (s *Surfer) NextDistribution() map[int]float64 {
 
 // NextDistributionFrom returns the true next-page distribution from an
 // arbitrary page — the distribution is a pure function of (site, page,
-// followProb), so this is NextDistribution reconditioned without moving
-// the surfer. It is the oracle hook of the prediction subsystem.
+// followProb) plus, under drift, the current phase's preference vector —
+// so this is NextDistribution reconditioned without moving the surfer.
+// It is the oracle hook of the prediction subsystem, and it tracks every
+// phase shift exactly: shifts are applied at the end of Step, so the
+// distribution queried between steps always matches what the next Step
+// will sample from.
 func (s *Surfer) NextDistributionFrom(page int) map[int]float64 {
 	dist := map[int]float64{}
 	links := s.site.Pages[page].Links
 	if len(links) > 0 {
-		per := s.followProb / float64(len(links))
-		for _, t := range links {
-			dist[t] += per
+		if s.weights == nil {
+			per := s.followProb / float64(len(links))
+			for _, t := range links {
+				dist[t] += per
+			}
+		} else {
+			// Drifting: link choice is biased by the phase preferences.
+			// Links is duplicate-free and in fixed order, so the sum is
+			// deterministic.
+			var wsum float64
+			for _, t := range links {
+				wsum += s.weights[t]
+			}
+			for _, t := range links {
+				dist[t] += s.followProb * s.weights[t] / wsum
+			}
 		}
 	}
 	teleport := 1 - s.followProb
@@ -173,24 +206,92 @@ func (s *Surfer) NextDistributionFrom(page int) map[int]float64 {
 		teleport = 1
 	}
 	for i := range s.site.Pages {
-		if w := s.site.Pages[i].Weight * teleport; w > 0 {
+		if w := s.weightAt(i) * teleport; w > 0 {
 			dist[i] += w
 		}
 	}
 	return dist
 }
 
-// Step advances the surfer and returns the new page ID.
+// weightAt returns page i's preference weight in the current phase — the
+// static site popularity unless drift has installed a phase vector.
+func (s *Surfer) weightAt(i int) float64 {
+	if s.weights != nil {
+		return s.weights[i]
+	}
+	return s.site.Pages[i].Weight
+}
+
+// Step advances the surfer and returns the new page ID. Under drift the
+// phase shift (if the cadence has elapsed) is applied after the page is
+// sampled, so NextDistribution queries between steps always describe the
+// step about to be taken.
 func (s *Surfer) Step() int {
 	links := s.site.Pages[s.current].Links
 	if len(links) > 0 && s.rand.Float64() < s.followProb {
-		s.current = links[s.rand.IntN(len(links))]
-		return s.current
+		if s.weights == nil {
+			s.current = links[s.rand.IntN(len(links))]
+		} else {
+			lw := make([]float64, len(links))
+			for i, t := range links {
+				lw[i] = s.weights[t]
+			}
+			s.current = links[s.rand.Categorical(lw)]
+		}
+	} else {
+		weights := s.weights
+		if weights == nil {
+			weights = make([]float64, len(s.site.Pages))
+			for i := range s.site.Pages {
+				weights[i] = s.site.Pages[i].Weight
+			}
+		}
+		s.current = s.rand.Categorical(weights)
 	}
-	weights := make([]float64, len(s.site.Pages))
-	for i := range s.site.Pages {
-		weights[i] = s.site.Pages[i].Weight
-	}
-	s.current = s.rand.Categorical(weights)
+	s.maybeShift()
 	return s.current
 }
+
+// EnableDrift switches the surfer into phase-shifting mode: every `every`
+// steps the preference vector — the weights that bias both link choice
+// and teleports — is re-drawn by re-permuting the site's popularity
+// profile with draws from r. r must be a stream dedicated to drift (the
+// partitioned-RNG idiom: derive it per surfer), so the re-draws are
+// deterministic, replay bit-for-bit, and never perturb the browsing
+// stream. The initial phase keeps the site's own weights; the first
+// shift happens after `every` steps. every < 1 panics: that is always a
+// caller bug (0 means "stationary" and must not reach here).
+func (s *Surfer) EnableDrift(r *rng.Source, every int) {
+	if every < 1 {
+		panic(fmt.Sprintf("webgraph: EnableDrift cadence %d (need >= 1)", every))
+	}
+	s.driftRand = r
+	s.driftEvery = every
+	s.weights = make([]float64, len(s.site.Pages))
+	for i := range s.site.Pages {
+		s.weights[i] = s.site.Pages[i].Weight
+	}
+}
+
+// maybeShift applies a phase shift when the drift cadence has elapsed.
+func (s *Surfer) maybeShift() {
+	if s.driftEvery == 0 {
+		return
+	}
+	s.steps++
+	if s.steps%s.driftEvery != 0 {
+		return
+	}
+	// Re-permute the site's weight profile: the popularity ranks are
+	// reassigned to pages, so the hot set moves while the overall
+	// popularity skew (and the weights' sum) is preserved exactly.
+	perm := s.driftRand.Perm(len(s.weights))
+	for i := range s.weights {
+		s.weights[i] = s.site.Pages[perm[i]].Weight
+	}
+	s.phase++
+}
+
+// Phase returns how many drift shifts have been applied (0 while
+// stationary or before the first shift).
+func (s *Surfer) Phase() int { return s.phase }

@@ -202,3 +202,148 @@ func TestNextDistributionFrom(t *testing.T) {
 		s.Step()
 	}
 }
+
+// driftSite builds a small site and a drifting surfer for the drift
+// tests: cadence `every`, drift stream derived from (seed, "drift").
+func driftSite(t *testing.T, seed uint64, every int) *Surfer {
+	t.Helper()
+	r := rng.New(seed)
+	site, err := Generate(r, DefaultSiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSurfer(r, site, 0.85)
+	s.EnableDrift(rng.Derive(seed, "drift"), every)
+	return s
+}
+
+// TestDriftReplayDeterministic: a drifting surfer replays bit for bit —
+// same seeds, same trajectory, same phase boundaries, same distributions.
+func TestDriftReplayDeterministic(t *testing.T) {
+	a := driftSite(t, 11, 17)
+	b := driftSite(t, 11, 17)
+	for i := 0; i < 200; i++ {
+		da, db := a.NextDistribution(), b.NextDistribution()
+		if len(da) != len(db) {
+			t.Fatalf("step %d: distribution supports differ", i)
+		}
+		for k, v := range da {
+			if db[k] != v {
+				t.Fatalf("step %d: dist[%d] = %v vs %v", i, k, v, db[k])
+			}
+		}
+		if pa, pb := a.Step(), b.Step(); pa != pb {
+			t.Fatalf("step %d: trajectories diverged: %d vs %d", i, pa, pb)
+		}
+		if a.Phase() != b.Phase() {
+			t.Fatalf("step %d: phases diverged: %d vs %d", i, a.Phase(), b.Phase())
+		}
+	}
+	if a.Phase() != 200/17 {
+		t.Errorf("Phase() = %d after 200 steps at cadence 17, want %d", a.Phase(), 200/17)
+	}
+}
+
+// TestDriftOracleExactAcrossPhases: the exposed next-page distribution
+// is exactly the distribution the next Step samples from, through every
+// phase shift — within a phase it is constant per page, it changes only
+// at shift boundaries, and it always sums to 1.
+func TestDriftOracleExactAcrossPhases(t *testing.T) {
+	const every = 25
+	s := driftSite(t, 5, every)
+	page := s.Current()
+	prevPhase := s.Phase()
+	prev := s.NextDistributionFrom(0)
+	shifts := 0
+	for i := 0; i < 150; i++ {
+		d := s.NextDistributionFrom(0)
+		var mass float64
+		for _, p := range d {
+			mass += p
+		}
+		if mass < 1-1e-9 || mass > 1+1e-9 {
+			t.Fatalf("step %d: distribution mass %v", i, mass)
+		}
+		changed := len(d) != len(prev)
+		for k, v := range d {
+			if prev[k] != v {
+				changed = true
+				break
+			}
+		}
+		if s.Phase() == prevPhase && changed {
+			t.Fatalf("step %d: distribution moved inside phase %d", i, s.Phase())
+		}
+		if s.Phase() != prevPhase {
+			if !changed {
+				// A re-draw can coincidentally fix a page's weight; the
+				// whole distribution matching bit-for-bit across a shift
+				// would mean the shift did nothing.
+				t.Logf("step %d: phase %d shift left page-0 distribution unchanged", i, s.Phase())
+			} else {
+				shifts++
+			}
+			prevPhase = s.Phase()
+		}
+		prev = d
+		page = s.Step()
+	}
+	_ = page
+	if shifts == 0 {
+		t.Error("no phase shift moved the exposed distribution")
+	}
+}
+
+// TestDriftStreamsIndependent: the browsing trajectory before the first
+// shift does not depend on the drift cadence — drift draws come from
+// their own stream, never the browsing stream.
+func TestDriftStreamsIndependent(t *testing.T) {
+	a := driftSite(t, 9, 50)
+	b := driftSite(t, 9, 500)
+	for i := 0; i < 50; i++ {
+		if pa, pb := a.Step(), b.Step(); pa != pb {
+			t.Fatalf("step %d (before any shift): trajectories diverged: %d vs %d", i, pa, pb)
+		}
+	}
+}
+
+// TestDriftMovesHotSet: a phase shift really moves the preference
+// vector — the exposed next-page distribution changes across the
+// boundary.
+func TestDriftMovesHotSet(t *testing.T) {
+	s := driftSite(t, 13, 10)
+	before := s.NextDistributionFrom(0)
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	if s.Phase() != 1 {
+		t.Fatalf("Phase() = %d after 10 steps at cadence 10, want 1", s.Phase())
+	}
+	after := s.NextDistributionFrom(0)
+	changed := false
+	for k, v := range after {
+		if before[k] != v {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("phase shift left the next-page distribution unchanged")
+	}
+}
+
+// TestEnableDriftRejectsBadCadence: cadence < 1 is always a caller bug.
+func TestEnableDriftRejectsBadCadence(t *testing.T) {
+	r := rng.New(1)
+	site, err := Generate(r, DefaultSiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSurfer(r, site, 0.85)
+	defer func() {
+		if recover() == nil {
+			t.Error("EnableDrift(r, 0) did not panic")
+		}
+	}()
+	s.EnableDrift(rng.Derive(1, "drift"), 0)
+}

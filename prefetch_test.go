@@ -224,7 +224,9 @@ func TestFacadePredictors(t *testing.T) {
 	if got := prefetch.PredictionL1(d.Next(1), map[int]float64{2: 1}); got != 0 {
 		t.Errorf("depgraph after 1→2 observations: L1 vs {2:1} = %v, want 0", got)
 	}
-	if kinds := prefetch.PredictorKinds(); len(kinds) != 4 || kinds[0] != prefetch.PredictorOracle {
+	if kinds := prefetch.PredictorKinds(); len(kinds) != 7 || kinds[0] != prefetch.PredictorOracle ||
+		kinds[4] != prefetch.PredictorDecay || kinds[5] != prefetch.PredictorMixture ||
+		kinds[6] != prefetch.PredictorPPMEscape {
 		t.Errorf("PredictorKinds() = %v", kinds)
 	}
 }

@@ -211,6 +211,16 @@ const (
 	// PredictorShared plans over one server-side model trained on the
 	// aggregate access stream of every client.
 	PredictorShared = predict.KindShared
+	// PredictorDecay learns order-1 transitions with exponentially
+	// decayed counts (PredictConfig.HalfLife) — the predictor that
+	// re-converges after a non-stationary workload shifts its hot set.
+	PredictorDecay = predict.KindDecay
+	// PredictorMixture blends order-1 transitions with global page
+	// popularity at PredictConfig.MixWeight.
+	PredictorMixture = predict.KindMixture
+	// PredictorPPMEscape is PPM with escape blending across context
+	// orders down to global frequencies — no hard cold-start cliff.
+	PredictorPPMEscape = predict.KindPPMEscape
 )
 
 // The learned sources' cold-start fallbacks.
