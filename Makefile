@@ -22,11 +22,20 @@ BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiC
 BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient ./internal/predict
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -count 3
 
-.PHONY: test bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift
+.PHONY: test lint bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift
 
-test:
+test: lint
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Determinism & config-hygiene invariants (internal/lint): build the
+# simlint multichecker and run all four analyzers (detrand, maporder,
+# validatecfg, floatdet) over the tree. Violations are fixed or
+# suppressed with a justified `//lint:allow <analyzer> <reason>`
+# directive; `bin/simlint -show-allowed ./...` audits the suppressions.
+lint:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	bin/simlint ./...
 
 # Always re-runs (phony): a stale bench-raw.txt must never satisfy the
 # gate. The redirect (not a tee pipe) preserves go test's exit status,

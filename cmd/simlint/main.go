@@ -1,0 +1,106 @@
+// Command simlint runs the repository's determinism and config-hygiene
+// analyzers (internal/lint) over the packages matching the given
+// patterns, in the spirit of a go/analysis multichecker:
+//
+//	simlint ./...                 # run every analyzer
+//	simlint -only detrand,maporder ./internal/...
+//	simlint -list                 # print the suite and exit
+//	simlint -show-allowed ./...   # audit suppressed findings too
+//
+// Diagnostics print as file:line:col: message [analyzer], sorted by
+// position; the exit status is 1 when any unsuppressed diagnostic is
+// found, 2 on usage or load errors. Findings are suppressed with a
+// justified directive on the flagged line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// See `make lint`, which builds this command and runs it over ./....
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prefetch/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only        = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list        = fs.Bool("list", false, "list the analyzers in the suite and exit")
+		showAllowed = fs.Bool("show-allowed", false, "also print findings suppressed by //lint:allow directives")
+		dir         = fs.String("C", ".", "change to this directory before resolving package patterns")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: simlint [flags] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := lint.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "simlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+
+	bad := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showAllowed {
+				fmt.Fprintf(stdout, "%s: allowed (%s): %s [%s]\n", d.Pos, d.AllowReason, d.Message, d.Analyzer)
+			}
+			continue
+		}
+		bad++
+		fmt.Fprintf(stdout, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}

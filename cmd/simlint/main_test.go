@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsSuite(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"detrand", "maporder", "validatecfg", "floatdet"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer message", errb.String())
+	}
+}
+
+// TestFlagsFixturePackage runs the real driver end to end over the
+// detrand fixture (loaded as a module package by explicit path, which
+// bypasses go list's testdata pruning) and expects findings and exit 1.
+func TestFlagsFixturePackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-C", "../..",
+		"-only", "detrand",
+		"./internal/lint/testdata/src/detrand/internal/eventq",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run over bad fixture = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[detrand]") {
+		t.Errorf("missing detrand findings in output:\n%s", out.String())
+	}
+}
+
+// TestRepoIsClean is the enforcement test: the shipped tree must stay
+// simlint-clean, so a violation fails `go test ./...` (and therefore
+// `make test` and CI), not just the dedicated lint job.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree; skipped in -short mode")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("simlint found violations (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}

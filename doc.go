@@ -144,4 +144,30 @@
 // blending across context orders down to global frequencies, replacing
 // the hard cold-start fallback). See examples/drift for the stationary
 // predictor ranking inverting under drift.
+//
+// # Determinism invariants
+//
+// Everything above rests on bit-for-bit replay: one (seed, config)
+// pair must reproduce identical metrics under any GOMAXPROCS, Go
+// release, and map iteration order. Those invariants are mechanized by
+// a static-analysis suite, internal/lint, run by cmd/simlint (and by
+// `make lint`, the first step of `make test`):
+//
+//   - detrand forbids math/rand and wall-clock time in the simulation
+//     packages — randomness flows through internal/rng streams derived
+//     with rng.Derive, time through the simulated clock;
+//   - maporder flags order-dependent work (float accumulation, unsorted
+//     output collection, Observe-style training) under map iteration;
+//   - validatecfg requires exported Config structs with Validate()
+//     error methods to be validated before their fields are read on
+//     exported entry paths;
+//   - floatdet flags float reductions performed from goroutines into
+//     shared variables, whose rounding order follows scheduling.
+//
+// A finding that is understood and acceptable is suppressed with a
+// justified directive, `//lint:allow <analyzer> <reason>`, on the
+// flagged line or the line above; `simlint -show-allowed ./...` audits
+// every suppression. See the package documentation of
+// prefetch/internal/lint for the analyzer details and escape-hatch
+// semantics.
 package prefetch

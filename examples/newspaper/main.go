@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"prefetch"
 )
@@ -106,24 +107,28 @@ func (rd *reader) viewing() float64 {
 	return skimSeconds
 }
 
-// step samples the next page from the distribution.
+// step samples the next page from the distribution. The draw walks the
+// ids in sorted order so it is independent of map iteration.
 func (rd *reader) step() int {
 	dist := rd.next()
-	ids := make([]int, 0, len(dist))
-	weights := make([]float64, 0, len(dist))
-	for id, p := range dist {
-		ids = append(ids, id)
-		weights = append(weights, p)
-	}
-	// Sort for determinism of the categorical draw across map iteration.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
-			weights[j-1], weights[j] = weights[j], weights[j-1]
-		}
+	ids := sortedPages(dist)
+	weights := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		weights = append(weights, dist[id])
 	}
 	rd.current = ids[rd.rand.Categorical(weights)]
 	return rd.current
+}
+
+// sortedPages returns dist's page ids in ascending order, the
+// deterministic way to iterate a probability map.
+func sortedPages(dist map[int]float64) []int {
+	ids := make([]int, 0, len(dist))
+	for id := range dist {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // retrievalOf maps pages to retrieval times: articles are heavier.
@@ -195,9 +200,9 @@ func main() {
 			var accepted prefetch.Plan
 			if pol.solver != nil {
 				var cands []prefetch.Item
-				for id, p := range probs {
+				for _, id := range sortedPages(probs) {
 					if !cached[id] {
-						cands = append(cands, prefetch.Item{ID: id, Prob: p, Retrieval: retrievalOf(id)})
+						cands = append(cands, prefetch.Item{ID: id, Prob: probs[id], Retrieval: retrievalOf(id)})
 					}
 				}
 				plan, err := pol.solver(prefetch.Problem{Items: cands, Viewing: stp.viewing, TotalProb: 1})

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"prefetch"
+)
+
+// Regression test for the PR 6 maporder fix: candidate construction and
+// the categorical draw both iterate sortedPages(dist) instead of the
+// probability map directly, so two identical readers must now produce
+// identical traces and identical candidate lists. Before the fix the
+// plan candidates were collected in map iteration order, which Go
+// randomizes per range statement.
+func TestReaderTraceDeterministic(t *testing.T) {
+	trace := func() []int {
+		rd := newReader(prefetch.NewRand(42))
+		out := make([]int, 300)
+		for i := range out {
+			out[i] = rd.step()
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: trace diverged (%d vs %d) under identical seeds", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSortedPagesAscending(t *testing.T) {
+	rd := newReader(prefetch.NewRand(7))
+	for i := 0; i < 50; i++ {
+		dist := rd.next()
+		ids := sortedPages(dist)
+		if len(ids) != len(dist) {
+			t.Fatalf("sortedPages dropped keys: %d vs %d", len(ids), len(dist))
+		}
+		for j := 1; j < len(ids); j++ {
+			if ids[j-1] >= ids[j] {
+				t.Fatalf("ids not strictly ascending at %d: %v", j, ids)
+			}
+		}
+		rd.step()
+	}
+}

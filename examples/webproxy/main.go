@@ -65,6 +65,17 @@ func (p *proxy) probabilities(s *prefetch.Surfer) map[int]float64 {
 	}
 }
 
+// sortedPages returns dist's page ids in ascending order, the
+// deterministic way to iterate a probability map.
+func sortedPages(dist map[int]float64) []int {
+	ids := make([]int, 0, len(dist))
+	for id := range dist {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // entries snapshots the cache for arbitration.
 func (p *proxy) entries(probs map[int]float64) []prefetch.CacheEntry {
 	ids := make([]int, 0, len(p.cached))
@@ -90,10 +101,10 @@ func (p *proxy) round(s *prefetch.Surfer, viewing float64, next int) {
 	var accepted prefetch.Plan
 	if p.prefetching && len(probs) > 0 {
 		var candidates []prefetch.Item
-		for id, prob := range probs {
+		for _, id := range sortedPages(probs) {
 			if !p.cached[id] {
 				candidates = append(candidates, prefetch.Item{
-					ID: id, Prob: prob, Retrieval: p.site.Pages[id].Retrieval,
+					ID: id, Prob: probs[id], Retrieval: p.site.Pages[id].Retrieval,
 				})
 			}
 		}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+
+	"prefetch"
+)
+
+// Regression test for the PR 6 maporder fix: the prefetch candidate
+// list is built by iterating sortedPages(probs), so identically
+// configured proxies fed the identical trace must plan identically.
+// Before the fix candidates were appended in map iteration order, and
+// the SKP plan (and therefore the cache contents, hit count, and
+// network seconds) could drift between runs of the same binary.
+func TestOracleProxyDeterministic(t *testing.T) {
+	run := func() (int64, float64, float64) {
+		r := prefetch.NewRand(2026)
+		site, err := prefetch.GenerateSite(r, prefetch.DefaultSiteConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		surfer := prefetch.NewSurfer(r, site, 0.85)
+		type step struct {
+			page    int
+			viewing float64
+		}
+		trace := make([]step, 500)
+		for i := range trace {
+			v := r.Exp(1 / readingSec)
+			if v < 1 {
+				v = 1
+			}
+			trace[i] = step{page: surfer.Step(), viewing: v}
+		}
+		p := newProxy("oracle", site, true, true, false)
+		replay := prefetch.NewSurfer(prefetch.NewRand(1), site, 0.85)
+		for _, stp := range trace {
+			p.round(replay, stp.viewing, stp.page)
+			replaySet(replay, stp.page)
+		}
+		return p.hits, p.total, p.fetched
+	}
+	h1, t1, f1 := run()
+	h2, t2, f2 := run()
+	if h1 != h2 || t1 != t2 || f1 != f2 {
+		t.Fatalf("identical runs diverged: hits %d vs %d, total %v vs %v, fetched %v vs %v",
+			h1, h2, t1, t2, f1, f2)
+	}
+}
+
+func TestSortedPagesAscending(t *testing.T) {
+	probs := map[int]float64{9: 0.1, 2: 0.3, 5: 0.2, 0: 0.4}
+	ids := sortedPages(probs)
+	want := []int{0, 2, 5, 9}
+	if len(ids) != len(want) {
+		t.Fatalf("sortedPages = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sortedPages = %v, want %v", ids, want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package lint implements simlint, a suite of static analyzers that
+// mechanize the simulator's determinism and config-hygiene invariants.
+//
+// Every result in this repository rests on bit-for-bit replay: the same
+// seed must produce the same metrics regardless of GOMAXPROCS, map
+// iteration order, or the Go release. The analyzers in this package turn
+// the conventions that replay depends on into machine-checked rules:
+//
+//   - detrand: in the simulation packages, all randomness must flow
+//     through internal/rng's derived streams and all time through the
+//     simulated clock — math/rand and time.Now are forbidden.
+//   - maporder: iterating a map while accumulating floats, appending to
+//     an output slice, or training a predictor is order-dependent and
+//     breaks replay unless the keys are sorted first (the PR 4 L1
+//     summation bug).
+//   - validatecfg: an exported *Config struct with a Validate method must
+//     be validated on entry to the package's exported functions, before
+//     any field is read (the PR 5 enableWarming panic class).
+//   - floatdet: float accumulation performed inside goroutines into
+//     shared variables makes the reduction order depend on scheduling
+//     and worker count.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) so analyzers could be ported to
+// a vet-tool multichecker verbatim; it is implemented on the standard
+// library alone (go/parser, go/types, and the source importer) because
+// this module carries no external dependencies.
+//
+// # Suppressing a diagnostic
+//
+// A finding that is understood and acceptable is silenced with an allow
+// directive on the flagged line or the line above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: a bare allow is itself a diagnostic. Allows
+// are the audit trail for every place the invariants are intentionally
+// relaxed (wall-clock progress logging in cmd/figures, for example).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named invariant check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the checks can migrate to a
+// stock multichecker if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer flags.
+	Doc string
+	// Run applies the analyzer to one package and reports findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and
+// collects the diagnostics it reports.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path the package was loaded under. Fixture
+	// packages under testdata keep their testdata-relative path here.
+	PkgPath string
+
+	diags  *[]Diagnostic
+	allows map[string][]allowDirective // filename -> directives
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed is set when an allow directive matched; suppressed
+	// diagnostics are retained so tooling can audit them.
+	Suppressed bool
+	// AllowReason is the justification from the matching directive.
+	AllowReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos, honoring any
+// //lint:allow directive on the same or preceding line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	d := Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	for _, a := range p.allows[position.Filename] {
+		if a.analyzer != p.Analyzer.Name {
+			continue
+		}
+		if a.line == position.Line || a.line == position.Line-1 {
+			d.Suppressed = true
+			d.AllowReason = a.reason
+			break
+		}
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+var allowRe = regexp.MustCompile(`^//lint:allow\s+(\S+)\s*(.*)$`)
+
+// parseAllows extracts //lint:allow directives from every comment in the
+// package, keyed by filename. A directive with no reason is reported as a
+// diagnostic in its own right: allows must carry their justification.
+func parseAllows(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) map[string][]allowDirective {
+	out := make(map[string][]allowDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(m[2])
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message:  fmt.Sprintf("lint:allow %s directive without a justification", m[1]),
+					})
+					continue
+				}
+				out[pos.Filename] = append(out[pos.Filename], allowDirective{
+					line:     pos.Line,
+					analyzer: m[1],
+					reason:   reason,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies each analyzer to each package and returns all
+// diagnostics sorted by position. Suppressed findings are included with
+// Suppressed set; callers filter as needed.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := parseAllows(pkg.Fset, pkg.Files, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				diags:     &diags,
+				allows:    allows,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full simlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, ValidateCfg, FloatDet}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// DetRand forbids ambient nondeterminism in the simulation packages:
+// math/rand (the stream changes across Go releases and its global
+// functions are seeded from runtime entropy) and wall-clock time
+// (time.Now and friends vary run to run). All randomness must flow
+// through internal/rng streams derived via rng.Derive, and all time
+// through the simulated clock, so that a (seed, config) pair replays
+// bit for bit under any GOMAXPROCS.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand and wall-clock time in simulation packages; " +
+		"randomness must come from internal/rng derived streams and time from the simulated clock",
+	Run: runDetRand,
+}
+
+// simPackagePattern matches the import paths of the packages whose
+// behavior feeds replayed metrics. internal/rng itself is exempt: it is
+// the one place the repository defines randomness (and it deliberately
+// implements its own generator rather than wrapping math/rand).
+var simPackagePattern = regexp.MustCompile(
+	`(^|/)internal/(multiclient|schedsrv|eventq|predict|adaptive|webgraph)(/|$)`)
+
+// rngPackagePattern matches the exempt randomness package.
+var rngPackagePattern = regexp.MustCompile(`(^|/)internal/rng(/|$)`)
+
+// forbiddenTimeFuncs are the time package functions that read the wall
+// clock or the runtime timer. time.Duration arithmetic and constants
+// remain fine: they are pure values.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "wall-clock time",
+	"Since":     "wall-clock time",
+	"Until":     "wall-clock time",
+	"Sleep":     "runtime timing",
+	"After":     "runtime timing",
+	"Tick":      "runtime timing",
+	"NewTimer":  "runtime timing",
+	"NewTicker": "runtime timing",
+}
+
+func runDetRand(pass *Pass) error {
+	if !simPackagePattern.MatchString(pass.PkgPath) || rngPackagePattern.MatchString(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// The import itself is the violation for math/rand: there is no
+		// deterministic use of it here, by construction.
+		randNames := make(map[string]bool) // local name of math/rand import, if any
+		timeNames := make(map[string]bool)
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			switch path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"simulation package imports %s: derive a stream with rng.Derive(seed, label) instead "+
+						"(math/rand output drifts across Go releases and breaks bit-for-bit replay)", path)
+				randNames[localName(imp, "rand")] = true
+			case "time":
+				timeNames[localName(imp, "time")] = true
+			}
+		}
+		if len(timeNames) == 0 && len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Only package-qualified selectors: a local variable named
+			// `time` shadowing the import resolves to a non-PkgName
+			// object and is skipped.
+			if !isPkgName(pass, id) {
+				return true
+			}
+			if timeNames[id.Name] {
+				if why, bad := forbiddenTimeFuncs[sel.Sel.Name]; bad {
+					pass.Reportf(sel.Pos(),
+						"simulation package calls time.%s (%s): simulated time must come from the event clock",
+						sel.Sel.Name, why)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	return p[1 : len(p)-1]
+}
+
+// localName returns the name the import is referred to by in this file.
+func localName(spec *ast.ImportSpec, dflt string) string {
+	if spec.Name != nil {
+		return spec.Name.Name
+	}
+	return dflt
+}
+
+// isPkgName reports whether id resolves to an imported package name.
+func isPkgName(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok
+}

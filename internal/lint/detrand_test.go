@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"prefetch/internal/lint"
+	"prefetch/internal/lint/linttest"
+)
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, ".", lint.DetRand,
+		"detrand/internal/eventq",
+		"detrand/internal/multiclient",
+		"detrand/cmd/tool",
+	)
+}

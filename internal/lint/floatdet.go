@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatDet flags float accumulation performed inside concurrently
+// executing function literals (goroutines launched with `go`, or worker
+// closures handed to a .Go(...) method à la errgroup/WaitGroup) into
+// variables shared with the enclosing function. Even when the writes
+// are mutex-protected and race-free, the *order* of the additions
+// depends on goroutine scheduling and worker count, and float addition
+// is non-associative — so the reduction's low bits differ between
+// GOMAXPROCS=1 and GOMAXPROCS=8 and bit-for-bit replay breaks. The fix
+// is the partitioned-reduction idiom: accumulate per-worker partials
+// indexed by worker ID and merge them in fixed order after the join.
+var FloatDet = &Analyzer{
+	Name: "floatdet",
+	Doc: "flag float accumulation from goroutines into shared variables; " +
+		"the reduction order depends on scheduling and worker count",
+	Run: runFloatDet,
+}
+
+func runFloatDet(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkConcurrentLit(pass, lit)
+				}
+			case *ast.CallExpr:
+				// wg.Go(func(){...}), g.Go(func()error{...}) — any
+				// method named Go taking a function literal.
+				if name, ok := calleeMethodName(n); ok && name == "Go" {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							checkConcurrentLit(pass, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkConcurrentLit reports float accumulation inside lit into
+// variables declared outside it.
+func checkConcurrentLit(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, rhs := as.Lhs[0], as.Rhs[0]
+		accum := false
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			accum = true
+		case token.ASSIGN:
+			if bin, ok := rhs.(*ast.BinaryExpr); ok {
+				switch bin.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					accum = sameObject(pass, lhs, bin.X) || sameObject(pass, lhs, bin.Y)
+				}
+			}
+		}
+		if !accum || !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+			return true
+		}
+		if free := freeOfLit(pass, lhs, lit); free != "" {
+			pass.Reportf(as.Pos(),
+				"float accumulation into shared %s from a goroutine: the reduction order depends on "+
+					"scheduling and worker count, breaking bit-for-bit replay; accumulate per-worker "+
+					"partials and merge in fixed order", free)
+		}
+		return true
+	})
+}
+
+// freeOfLit returns a printable name when expr's base variable is
+// declared outside lit (a free variable of the closure, or a field of
+// one); "" otherwise.
+func freeOfLit(pass *Pass, expr ast.Expr, lit *ast.FuncLit) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return "" // declared inside the goroutine, private to it
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		// A field write s.total += x: order-dependent whenever the base
+		// value is shared, i.e. declared outside the literal.
+		if base := freeOfLit(pass, e.X, lit); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		// partials[i] += x with a per-worker index is the recommended
+		// idiom; writes to distinct slots commute.
+		return ""
+	}
+	return ""
+}

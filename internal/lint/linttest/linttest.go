@@ -1,0 +1,136 @@
+// Package linttest is an analysistest-style harness for the simlint
+// analyzers: it loads fixture packages from a testdata/src tree, runs
+// one analyzer, and checks the reported diagnostics against `// want`
+// expectations embedded in the fixtures.
+//
+// An expectation is a trailing comment on the line the diagnostic is
+// expected at:
+//
+//	sum += d // want `non-associative`
+//
+// The backquoted text is a regular expression matched against the
+// diagnostic message. Every expectation must be matched by exactly one
+// diagnostic and every diagnostic must match an expectation; suppressed
+// (//lint:allow'd) diagnostics must instead match an `// allowed`
+// comment on their line, keeping fixtures honest about what the escape
+// hatch hides.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"prefetch/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package (a path relative to root, typically
+// "testdata/src/<analyzer>/<pkg>") and applies the analyzer, failing t
+// on any mismatch between diagnostics and expectations.
+func Run(t *testing.T, root string, a *lint.Analyzer, pkgRels ...string) {
+	t.Helper()
+	for _, rel := range pkgRels {
+		rel := rel
+		t.Run(strings.ReplaceAll(rel, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, root, a, rel)
+		})
+	}
+}
+
+func runOne(t *testing.T, root string, a *lint.Analyzer, rel string) {
+	t.Helper()
+	src := filepath.Join(root, "testdata", "src")
+	pkg, err := lint.LoadDir(src, rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, rel, err)
+	}
+
+	wants, alloweds, err := parseExpectations(pkg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if d.Suppressed {
+			if !alloweds[key] {
+				t.Errorf("%s: suppressed diagnostic without an `// allowed` marker: %s", key, d.Message)
+			}
+			delete(alloweds, key)
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s [%s]", key, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `// want `%s``", w.file, w.line, w.pattern)
+		}
+	}
+	for key := range alloweds {
+		t.Errorf("%s: `// allowed` marker but no suppressed diagnostic reported there", key)
+	}
+}
+
+// parseExpectations scans the fixture sources for `// want` and
+// `// allowed` comments.
+func parseExpectations(dir string) ([]*expectation, map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var wants []*expectation
+	alloweds := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, pattern: re})
+			}
+			if strings.Contains(line, "// allowed") {
+				alloweds[fmt.Sprintf("%s:%d", path, i+1)] = true
+			}
+		}
+	}
+	return wants, alloweds, nil
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range statements over maps whose bodies are sensitive
+// to iteration order: accumulating floats (non-associative, so the sum's
+// low bits depend on visit order — the exact PR 4 L1 bug), appending to
+// a slice declared outside the loop that is never sorted afterwards
+// (its element order leaks map order into output and metrics), or
+// training a predictor via Observe-like calls (model state becomes
+// order-dependent). The fix is to sort the keys first and range over
+// the sorted slice, or to sort the collected slice before it is used.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag order-dependent work (float accumulation, unsorted collection, Observe calls) " +
+		"performed while ranging over a map",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				inspectFunc(pass, fd, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// inspectFunc walks body looking for ranges over maps, with encl as the
+// innermost enclosing function node (the scope searched for a
+// sort-after-the-loop). Function literals recurse so their bodies get
+// themselves as the enclosing function.
+func inspectFunc(pass *Pass, encl ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inspectFunc(pass, n, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				checkMapRangeBody(pass, n, encl)
+			}
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody reports order-dependent statements inside the body
+// of a range over a map.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node) {
+	body := rs.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is visited on its own; its body's
+			// findings should not be double-reported here.
+			if n != rs && isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, enclosing, n)
+		case *ast.CallExpr:
+			if name, ok := calleeMethodName(n); ok && strings.HasPrefix(name, "Observe") {
+				pass.Reportf(n.Pos(),
+					"%s called while ranging over a map: the model is trained in map iteration order; "+
+						"iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags float accumulation and unsorted appends.
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+
+	// s = append(s, ...) with s declared outside the loop.
+	if as.Tok == token.ASSIGN {
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			if obj := declaredOutside(pass, lhs, rs); obj != nil {
+				if !sortedAfter(pass, rs, enclosing, obj) {
+					pass.Reportf(as.Pos(),
+						"append to %s while ranging over a map leaks iteration order into the slice; "+
+							"sort the keys first or sort %s after the loop", obj.Name(), obj.Name())
+				}
+				return
+			}
+		}
+	}
+
+	// Float accumulation: sum += d, sum -= d, sum *= d, sum /= d, or
+	// sum = sum + d. Accumulating a compile-time constant is exempt:
+	// adding the identical value each iteration rounds identically in
+	// any order.
+	accum := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accum = true
+	case token.ASSIGN:
+		if bin, ok := rhs.(*ast.BinaryExpr); ok {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				accum = sameObject(pass, lhs, bin.X) || sameObject(pass, lhs, bin.Y)
+			}
+		}
+	}
+	if !accum || !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Value != nil && as.Tok != token.ASSIGN {
+		return // constant step, order-independent
+	}
+	target := lhsName(lhs)
+	if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+		// out[k] += v writes a distinct slot per key; order-independent.
+		return
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		if declaredOutside(pass, id, rs) == nil {
+			return // loop-local accumulator resets each iteration
+		}
+	}
+	pass.Reportf(as.Pos(),
+		"float accumulation into %s while ranging over a map: addition is non-associative, "+
+			"so the result depends on iteration order; sum over sorted keys instead", target)
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range statement but within the enclosing function.
+func sortedAfter(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node, obj types.Object) bool {
+	if enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		if !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall matches sort.X(...) and slices.SortX(...) calls.
+func isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch pkg.Name {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// calleeMethodName returns the method name of a selector call.
+func calleeMethodName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// declaredOutside returns the object expr resolves to when it is
+// declared outside the range statement (including struct fields, which
+// always outlive the loop); nil when loop-local or unresolvable.
+func declaredOutside(pass *Pass, expr ast.Expr, rs *ast.RangeStmt) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil
+		}
+		return obj
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// sameObject reports whether two expressions resolve to one variable
+// (x and x, or s.f and s.f on the same base).
+func sameObject(pass *Pass, a, b ast.Expr) bool {
+	switch ae := a.(type) {
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := pass.TypesInfo.Uses[ae]
+		return ao != nil && ao == pass.TypesInfo.Uses[bi]
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		asel, ok1 := pass.TypesInfo.Selections[ae]
+		bsel, ok2 := pass.TypesInfo.Selections[be]
+		return ok1 && ok2 && asel.Obj() == bsel.Obj() && sameObject(pass, ae.X, be.X)
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float32 || b.Kind() == types.Float64)
+}
+
+// lhsName renders the accumulation target for a diagnostic.
+func lhsName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return lhsName(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return lhsName(e.X) + "[...]"
+	}
+	return "value"
+}

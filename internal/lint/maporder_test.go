@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"prefetch/internal/lint"
+	"prefetch/internal/lint/linttest"
+)
+
+// TestMapOrder includes the fixture reproducing the historical PR 4
+// map-order float-summation bug (testdata/src/maporder/a/bad.go,
+// l1Unsorted) and the shipped sorted-key fix as the clean counterpart.
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, ".", lint.MapOrder,
+		"maporder/a",
+		"maporder/b",
+	)
+}

@@ -1,0 +1,14 @@
+// Package tool is a detrand fixture outside the simulation package set:
+// command-line tools may read the wall clock and use math/rand freely.
+package tool
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample is unflagged: this package's behavior feeds no replayed metric.
+func Sample(n int) int {
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return r.Intn(n)
+}

@@ -1,0 +1,22 @@
+// Package eventq is a detrand fixture: its path matches the simulation
+// package pattern, so ambient randomness and wall-clock time are
+// forbidden.
+package eventq
+
+import (
+	"math/rand" // want `derive a stream with rng.Derive`
+	"time"
+)
+
+// Jitter seeds a generator from the wall clock — the canonical
+// irreproducible pattern detrand exists to reject.
+func Jitter(n int) int {
+	src := rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now`
+	return src.Intn(n)
+}
+
+// Elapsed measures with the runtime clock instead of the simulated one.
+func Elapsed(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // want `time.Sleep`
+	return time.Since(start)     // want `time.Since`
+}

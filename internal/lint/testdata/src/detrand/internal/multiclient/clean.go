@@ -1,0 +1,18 @@
+// Package multiclient is a detrand fixture for the clean patterns: pure
+// time.Duration arithmetic is fine, and a justified //lint:allow
+// directive suppresses an otherwise-flagged call.
+package multiclient
+
+import "time"
+
+// Timeout uses time only for pure duration values; nothing is flagged.
+func Timeout(rounds int) time.Duration {
+	return time.Duration(rounds) * 100 * time.Millisecond
+}
+
+// Stamp demonstrates the escape hatch: the wall-clock read is justified
+// and audited rather than silently permitted.
+func Stamp() time.Time {
+	//lint:allow detrand report header timestamp, never feeds simulated state
+	return time.Now() // allowed
+}

@@ -1,0 +1,60 @@
+// Package a holds the floatdet fixtures: float accumulation from
+// concurrently executing goroutines into shared variables, where the
+// reduction order — and therefore the float rounding sequence —
+// depends on scheduling and worker count.
+package a
+
+import "sync"
+
+func work(i int) float64 { return float64(i) * 0.1 }
+
+// sumRaced accumulates under a mutex: race-free, but the addition order
+// still follows goroutine scheduling, so replay diverges across
+// GOMAXPROCS settings.
+func sumRaced(n int) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var sum float64
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += work(i) // want `reduction order depends on scheduling`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+type group struct{ wg sync.WaitGroup }
+
+func (g *group) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		fn()
+	}()
+}
+
+type tally struct{ total float64 }
+
+// sumGroup covers the errgroup-style worker closure and the
+// shared-struct-field spelling.
+func sumGroup(n int) float64 {
+	var g group
+	var t tally
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() {
+			mu.Lock()
+			t.total = t.total + work(i) // want `reduction order depends on scheduling`
+			mu.Unlock()
+		})
+	}
+	g.wg.Wait()
+	return t.total
+}

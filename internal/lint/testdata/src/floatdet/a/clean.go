@@ -1,0 +1,57 @@
+package a
+
+import "sync"
+
+// sumPartitioned is the recommended idiom: each worker owns a distinct
+// partial slot (writes to distinct slots commute), and the merge runs
+// after the join, single-threaded, in fixed index order.
+func sumPartitioned(n, workers int) float64 {
+	partials := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				partials[w] += work(i)
+			}
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}
+
+// countShared accumulates an integer: order-independent, unflagged.
+func countShared(n int) int64 {
+	var mu sync.Mutex
+	var count int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			count += 1
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// localAccum keeps the accumulator private to the goroutine; nothing
+// shared is order-dependent.
+func localAccum(n int, out chan<- float64) {
+	go func() {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += work(i)
+		}
+		out <- sum
+	}()
+}

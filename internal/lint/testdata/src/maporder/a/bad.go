@@ -1,0 +1,56 @@
+// Package a holds the maporder fixtures, including the historical PR 4
+// bug: internal/predict's L1 metric originally summed |p(k)-q(k)| while
+// ranging the distribution maps directly, so the float sum's low bits
+// followed Go's randomized map iteration order and the worker-count
+// determinism test caught replay divergence. l1Unsorted reproduces that
+// buggy shape verbatim; the shipped fix (sorted key iteration) is in
+// clean.go.
+package a
+
+// l1Unsorted is the PR 4 map-order float-summation bug.
+func l1Unsorted(p, q map[int]float64) float64 {
+	var sum float64
+	for k, pv := range p {
+		d := pv - q[k]
+		if d < 0 {
+			d = -d
+		}
+		sum += d // want `non-associative`
+	}
+	for k, qv := range q {
+		if _, ok := p[k]; ok {
+			continue
+		}
+		sum += qv // want `non-associative`
+	}
+	return sum
+}
+
+// meanSelf shows the self-assignment spelling of the same bug.
+func meanSelf(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total = total + w // want `non-associative`
+	}
+	return total / float64(len(weights))
+}
+
+// collectUnsorted leaks map order into the returned slice.
+func collectUnsorted(m map[int]float64) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id) // want `leaks iteration order`
+	}
+	return ids
+}
+
+type model struct{}
+
+func (model) Observe(page int) {}
+
+// trainUnordered trains a predictor in map iteration order.
+func trainUnordered(m model, hits map[int]int) {
+	for page := range hits {
+		m.Observe(page) // want `trained in map iteration order`
+	}
+}

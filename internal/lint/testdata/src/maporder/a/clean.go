@@ -1,0 +1,62 @@
+package a
+
+import "sort"
+
+// l1Sorted is the shipped PR 4 fix: union the keys, sort them, and sum
+// in sorted order so the rounding sequence is identical on every run.
+// The key-collecting appends are unflagged because the slice is sorted
+// before use.
+func l1Sorted(p, q map[int]float64) float64 {
+	keys := make([]int, 0, len(p)+len(q))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	for k := range q {
+		if _, ok := p[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		d := p[k] - q[k]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum
+}
+
+// histogram accumulates into a distinct slot per key: order-independent.
+func histogram(m map[int]float64, out map[int]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// countKeys accumulates an integer and a per-iteration constant float:
+// both are order-independent.
+func countKeys(m map[int]float64) (int, float64) {
+	n := 0
+	weight := 0.0
+	for range m {
+		n++
+		weight += 0.5
+	}
+	return n, weight
+}
+
+// localAccum resets its accumulator every iteration; nothing escapes in
+// map order.
+func localAccum(m map[int][]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		out[k] = rowSum
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Package b exercises the maporder escape hatch and the Observe-prefix
+// matching.
+package b
+
+type counter struct{}
+
+func (counter) ObserveHit(id int)  {}
+func (counter) Lookup(id int) bool { return false }
+
+// auditAllowed documents why an order-dependent loop is acceptable: the
+// set union is commutative, so the allow directive (with justification)
+// suppresses the finding while keeping it auditable.
+func auditAllowed(m map[int]float64) map[int]bool {
+	seen := make(map[int]bool)
+	var order []int
+	for k := range m {
+		//lint:allow maporder slice is deduplicated into a set below; order never escapes
+		order = append(order, k) // allowed
+		seen[k] = true
+	}
+	_ = order
+	return seen
+}
+
+// observePrefixed matches any Observe-prefixed method, not just the
+// exact name.
+func observePrefixed(c counter, hits map[int]int) {
+	for id := range hits {
+		c.ObserveHit(id) // want `trained in map iteration order`
+	}
+}
+
+// lookupClean calls a non-Observe method: reads are order-independent.
+func lookupClean(c counter, hits map[int]int) int {
+	n := 0
+	for id := range hits {
+		if c.Lookup(id) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+// Package a holds the validatecfg fixtures: exported entry points must
+// validate a Config-suffixed parameter before reading its fields — the
+// PR 5 enableWarming panic came from exactly this gap.
+package a
+
+import "errors"
+
+// Config is an exported config struct with a Validate method, so the
+// analyzer tracks every exported consumer.
+type Config struct {
+	Rounds int
+	Rate   float64
+}
+
+// Validate reports an error for non-positive rounds or rates.
+func (c Config) Validate() error {
+	if c.Rounds <= 0 {
+		return errors.New("rounds must be positive")
+	}
+	if c.Rate <= 0 {
+		return errors.New("rate must be positive")
+	}
+	return nil
+}
+
+// SweepConfig also matches the *Config naming convention.
+type SweepConfig struct {
+	Reps int
+}
+
+// Validate reports an error for non-positive reps.
+func (s *SweepConfig) Validate() error {
+	if s.Reps <= 0 {
+		return errors.New("reps must be positive")
+	}
+	return nil
+}
+
+// RunBad reads fields without ever validating.
+func RunBad(cfg Config) float64 {
+	return cfg.Rate * float64(cfg.Rounds) // want `never calls cfg.Validate`
+}
+
+// RunLate validates, but only after the first field read.
+func RunLate(cfg Config) (float64, error) {
+	total := cfg.Rate // want `before cfg.Validate`
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// SweepBad covers the pointer-receiver Validate variant.
+func SweepBad(sc *SweepConfig) int {
+	return sc.Reps * 2 // want `never calls sc.Validate`
+}

@@ -1,0 +1,46 @@
+package a
+
+// RunGood validates on entry, then reads freely.
+func RunGood(cfg Config) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return cfg.Rate * float64(cfg.Rounds), nil
+}
+
+// RunViaHelper forwards the whole config to a package-local helper that
+// validates it; the interprocedural fixpoint credits the call site.
+func RunViaHelper(cfg Config) (float64, error) {
+	if err := prepare(cfg); err != nil {
+		return 0, err
+	}
+	return cfg.Rate, nil
+}
+
+// prepare is the helper: unexported, but its Validate call flows back
+// to every caller that hands it the config.
+func prepare(cfg Config) error {
+	return cfg.Validate()
+}
+
+// Forward never reads a field itself, so it owes no validation.
+func Forward(cfg Config) (float64, error) {
+	return RunGood(cfg)
+}
+
+// internalUse is unexported: not an entry point, so reading without
+// validating is the caller's concern, not a finding.
+func internalUse(cfg Config) float64 {
+	return cfg.Rate
+}
+
+// Normalize writes a field before validating — the normalize-then-
+// validate idiom. Pure writes consume no unvalidated data, so only a
+// read before Validate would be flagged.
+func Normalize(cfg Config) (Config, error) {
+	cfg.Rounds = 1
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ValidateCfg enforces config hygiene: every exported struct type whose
+// name is Config or ends in Config and which carries a Validate() error
+// method must actually be validated before its fields are read on the
+// paths entering the package. Concretely, an exported function (or
+// method on a non-config type) that reads fields of a config-typed
+// parameter must call cfg.Validate() — or pass the whole config to a
+// package-local function that does — at a position preceding the first
+// field read. This catches the PR 5 class of bug where an exported entry
+// point consumed an unvalidated cadence and panicked deep inside the
+// warm-cache path.
+//
+// The check is lexical within each function and one-level
+// interprocedural across the package (validation through a helper the
+// config is forwarded to counts, to any depth, via a fixpoint).
+var ValidateCfg = &Analyzer{
+	Name: "validatecfg",
+	Doc: "exported Config-suffixed structs with a Validate() error method must be validated " +
+		"before their fields are read in exported entry points",
+	Run: runValidateCfg,
+}
+
+func runValidateCfg(pass *Pass) error {
+	cfgTypes := configTypes(pass.Pkg)
+	if len(cfgTypes) == 0 {
+		return nil
+	}
+
+	// Gather every function declaration with at least one config-typed
+	// parameter (receiver included, so helper methods can validate).
+	type cfgParam struct {
+		obj *types.Var // the parameter object
+	}
+	type funcEntry struct {
+		decl     *ast.FuncDecl
+		obj      *types.Func
+		params   []cfgParam
+		exported bool
+	}
+	var funcs []funcEntry
+	byObj := make(map[*types.Func]*funcEntry)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fobj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var params []cfgParam
+			for _, field := range fieldListParams(fd) {
+				for _, name := range field.Names {
+					pobj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if named := derefNamed(pobj.Type()); named != nil && cfgTypes[named] {
+						params = append(params, cfgParam{obj: pobj})
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			// Methods on the config type itself (Validate, defaulting
+			// helpers) are the implementation of validation, not
+			// consumers of it.
+			if recv := receiverNamed(pass, fd); recv != nil && cfgTypes[recv] {
+				continue
+			}
+			fe := funcEntry{decl: fd, obj: fobj, params: params, exported: fd.Name.IsExported()}
+			funcs = append(funcs, fe)
+			byObj[fobj] = &funcs[len(funcs)-1]
+		}
+	}
+
+	// validated[param] is the earliest position at which the parameter
+	// is known validated (a direct .Validate() call or a forwarding call
+	// to a function that validates the corresponding parameter).
+	// Iterate to a fixpoint so validation through helpers propagates.
+	validated := make(map[*types.Var]token.Pos)
+	paramIndex := func(fobj *types.Func, i int) *types.Var {
+		fe, ok := byObj[fobj]
+		if !ok {
+			return nil
+		}
+		sig := fobj.Type().(*types.Signature)
+		if i < sig.Params().Len() {
+			p := sig.Params().At(i)
+			for _, cp := range fe.params {
+				if cp.obj == p {
+					return p
+				}
+			}
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range funcs {
+			fe := &funcs[i]
+			ast.Inspect(fe.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// cfg.Validate() — directly or under & / parens.
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+					if pobj := baseParam(pass, sel.X); pobj != nil {
+						if old, ok := validated[pobj]; !ok || call.Pos() < old {
+							validated[pobj] = call.Pos()
+							changed = true
+						}
+					}
+				}
+				// helper(cfg, ...) where helper validates that parameter.
+				callee := calleeFunc(pass, call)
+				if callee == nil {
+					return true
+				}
+				for argIdx, arg := range call.Args {
+					pobj := baseParam(pass, arg)
+					if pobj == nil {
+						continue
+					}
+					target := paramIndex(callee, argIdx)
+					if target == nil {
+						continue
+					}
+					if _, ok := validated[target]; !ok {
+						continue
+					}
+					if old, ok := validated[pobj]; !ok || call.Pos() < old {
+						validated[pobj] = call.Pos()
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Report exported entry points that read config fields without (or
+	// before) validation.
+	for i := range funcs {
+		fe := &funcs[i]
+		if !fe.exported {
+			continue
+		}
+		for _, cp := range fe.params {
+			readPos, readField := firstFieldRead(pass, fe.decl.Body, cp.obj)
+			if readPos == token.NoPos {
+				continue
+			}
+			vpos, ok := validated[cp.obj]
+			if !ok {
+				pass.Reportf(readPos,
+					"%s reads %s.%s but never calls %s.Validate(): validate the config on entry "+
+						"before reading its fields", fe.decl.Name.Name, cp.obj.Name(), readField, cp.obj.Name())
+				continue
+			}
+			if vpos > readPos {
+				pass.Reportf(readPos,
+					"%s reads %s.%s before %s.Validate() is called: move validation to the top of the function",
+					fe.decl.Name.Name, cp.obj.Name(), readField, cp.obj.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// configTypes returns the package's exported named struct types whose
+// name is Config or ends in Config and which have a Validate() error
+// method on the value or pointer receiver.
+func configTypes(pkg *types.Package) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() {
+			continue
+		}
+		if name != "Config" && !strings.HasSuffix(name, "Config") {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		if hasValidateError(named) {
+			out[named] = true
+		}
+	}
+	return out
+}
+
+// hasValidateError reports whether t (or *t) has method Validate() error.
+func hasValidateError(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Name() != "Validate" {
+				continue
+			}
+			sig, ok := m.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				continue
+			}
+			if named, ok := sig.Results().At(0).Type().(*types.Named); ok &&
+				named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldListParams returns the receiver (if any) followed by the
+// parameter fields of fd.
+func fieldListParams(fd *ast.FuncDecl) []*ast.Field {
+	var out []*ast.Field
+	if fd.Recv != nil {
+		out = append(out, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		out = append(out, fd.Type.Params.List...)
+	}
+	return out
+}
+
+// receiverNamed returns the named type of fd's receiver, nil for plain
+// functions.
+func receiverNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	return derefNamed(t)
+}
+
+// derefNamed unwraps pointers and returns the named type, if any.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// baseParam resolves expr (possibly &p or (p)) to a parameter variable.
+func baseParam(pass *Pass, expr ast.Expr) *types.Var {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return baseParam(pass, e.X)
+		}
+	case *ast.ParenExpr:
+		return baseParam(pass, e.X)
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to a same-package function declaration.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// firstFieldRead returns the position and name of the lexically first
+// field selection on param within body. Method calls on the config do
+// not count (they see the whole value and validate their own access),
+// and neither do pure field writes (cfg.X = v stores into the config
+// without consuming unvalidated data — the normalize-then-validate
+// idiom).
+func firstFieldRead(pass *Pass, body *ast.BlockStmt, param *types.Var) (token.Pos, string) {
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+			for _, lhs := range as.Lhs {
+				writes[lhs] = true
+			}
+		}
+		return true
+	})
+	first := token.NoPos
+	field := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || writes[ast.Expr(sel)] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != param {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if first == token.NoPos || sel.Pos() < first {
+			first = sel.Pos()
+			field = sel.Sel.Name
+		}
+		return true
+	})
+	return first, field
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"prefetch/internal/lint"
+	"prefetch/internal/lint/linttest"
+)
+
+func TestValidateCfg(t *testing.T) {
+	linttest.Run(t, ".", lint.ValidateCfg,
+		"validatecfg/a",
+	)
+}

@@ -29,6 +29,9 @@ type SweepPoint struct {
 // estimate. Tasks derive all randomness from their own (seed, client) pairs,
 // so the result is independent of worker scheduling.
 func SweepClients(cfg Config, ns []int, reps, workers int) ([]SweepPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(ns) == 0 {
 		return nil, fmt.Errorf("%w: empty client-count axis", ErrBadConfig)
 	}
@@ -102,6 +105,9 @@ type DisciplinePoint struct {
 // how the server's arbitration policy alone moves demand latency and
 // speculative throughput.
 func SweepDisciplines(cfg Config, kinds []schedsrv.Kind, reps, workers int) ([]DisciplinePoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(kinds) == 0 {
 		return nil, fmt.Errorf("%w: empty discipline axis", ErrBadConfig)
 	}
@@ -194,6 +200,9 @@ type ControllerPoint struct {
 // speculation-control policy alone moves demand latency, speculative
 // traffic and the λ trajectory.
 func SweepControllers(cfg Config, kinds []adaptive.Kind, reps, workers int) ([]ControllerPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(kinds) == 0 {
 		return nil, fmt.Errorf("%w: empty controller axis", ErrBadConfig)
 	}
@@ -283,6 +292,9 @@ type PredictorPoint struct {
 // sweep isolates the oracle-vs-learned gap — demand latency, prediction
 // L1 error, wasted-prefetch fraction and hit ratio per source.
 func SweepPredictors(cfg Config, kinds []predict.Kind, reps, workers int) ([]PredictorPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(kinds) == 0 {
 		return nil, fmt.Errorf("%w: empty predictor axis", ErrBadConfig)
 	}
@@ -371,6 +383,9 @@ type PredictorControllerPoint struct {
 // group the Pareto flags mark the (demand latency, speculative
 // throughput) frontier across predictors.
 func SweepPredictorControllers(cfg Config, preds []predict.Kind, ctls []adaptive.Kind, reps, workers int) ([]PredictorControllerPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("%w: empty predictor axis", ErrBadConfig)
 	}

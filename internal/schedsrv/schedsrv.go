@@ -268,6 +268,12 @@ func New(clock Clock, cfg Config) (*Scheduler, error) {
 // ignored; concurrency and the admission window still come from cfg.
 func NewWithDiscipline(clock Clock, cfg Config, disc Discipline, adm AdmissionController) (*Scheduler, error) {
 	cfg = cfg.withDefaults()
+	// Deliberately NOT cfg.Validate(): that would reject the exotic
+	// cfg.Kind values callers with custom disciplines may carry, and Kind
+	// is documented-ignored here. Only the fields this constructor
+	// consumes (concurrency, admission window) are checked, with the same
+	// messages Validate produces.
+	//lint:allow validatecfg validates the consumed subset inline; full Validate would reject ignored custom Kinds
 	if cfg.Concurrency < 1 {
 		return nil, fmt.Errorf("%w: concurrency %d", ErrBadConfig, cfg.Concurrency)
 	}
