@@ -16,13 +16,15 @@ SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
 
 # The tracked hot paths: the shared event-queue heap, the scheduling
 # subsystem's submit/dispatch/complete cycle, the end-to-end multiclient
-# simulation round (oracle and learned-predictor variants), and the
-# learned predictors' observe/predict cycle.
-BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkMultiClientRoundDrift|BenchmarkPredictorObserve|BenchmarkPredictorObserveDecay)$$
+# simulation round (oracle and learned-predictor variants, plus the
+# traced and disabled-tracer variants that hold the observability
+# layer's overhead — off must stay within noise of the untraced
+# baseline), and the learned predictors' observe/predict cycle.
+BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkMultiClientRoundDrift|BenchmarkMultiClientRoundTracerOff|BenchmarkMultiClientRoundTraced|BenchmarkPredictorObserve|BenchmarkPredictorObserveDecay)$$
 BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient ./internal/predict
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -count 3
 
-.PHONY: test lint bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift
+.PHONY: test lint bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift trace
 
 test: lint
 	$(GO) build ./...
@@ -55,6 +57,21 @@ bench-baseline: bench-raw
 clean-bench:
 	rm -f bench-raw.txt BENCH_*.json
 	git checkout -- BENCH_baseline.json 2>/dev/null || true
+
+# Sample observability bundle under trace-out/: a traced multiclient
+# run (JSONL decision trace + metrics), the traceq report over it, and
+# the Perfetto/chrome://tracing timeline. CI runs this and uploads the
+# directory as an artifact, so every main build ships an inspectable
+# trace of the reference configuration.
+trace:
+	rm -rf trace-out && mkdir -p trace-out
+	$(GO) run ./cmd/prefetchsim -mode multiclient -clients 8 -rounds 120 \
+		-discipline priority -controller aimd -predictor depgraph -seed 1 \
+		-trace-out trace-out/run.jsonl -metrics-out trace-out/run.metrics.json
+	$(GO) run ./cmd/traceq -chrome trace-out/run.chrome.json trace-out/run.jsonl \
+		> trace-out/run.report.txt
+	@cat trace-out/run.report.txt
+	@ls -l trace-out
 
 # Oracle-vs-learned gap report (examples/learned): predictor×controller
 # tables with Pareto marks at N=16 under fifo and priority scheduling.

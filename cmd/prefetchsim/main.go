@@ -74,6 +74,18 @@
 //
 // Traces: -record FILE writes the generated workload as JSON lines;
 // -replay FILE replays a previously recorded workload (prefetch-only mode).
+//
+// Observability (every mode): -trace-out FILE streams the run's decision
+// trace as JSON lines (see internal/obs; inspect with cmd/traceq, or
+// convert to a Perfetto timeline with traceq -chrome), and -metrics-out
+// FILE writes the aggregated metrics registry as JSON. Both refuse to
+// overwrite an existing file unless -force is given (-record too).
+// -cpuprofile and -memprofile write pprof profiles. Traces are keyed on
+// simulated time and byte-identical for a fixed seed regardless of
+// GOMAXPROCS; -trace-out requires a single run (no sweep axes):
+//
+//	prefetchsim -mode multiclient -clients 8 -controller aimd \
+//	            -trace-out run.jsonl -metrics-out run-metrics.json
 package main
 
 import (
@@ -81,13 +93,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"prefetch"
 	"prefetch/internal/core"
+	"prefetch/internal/obs"
 	"prefetch/internal/sim"
 	"prefetch/internal/workload"
 )
@@ -143,6 +159,12 @@ func run(args []string, out io.Writer) error {
 		driftEvery    = fs.Int("drift-every", 0, "re-draw each surfer's hot set every N rounds, 0 = stationary (multiclient)")
 		decayHalfLife = fs.Float64("decay-half-life", 500, "observation half-life for -predictor decay (multiclient)")
 		mixWeight     = fs.Float64("mix-weight", 0.25, "popularity share for -predictor mixture, in (0, 1) (multiclient)")
+
+		traceOut   = fs.String("trace-out", "", "write the decision trace as JSON lines to this file (single run only)")
+		metricsOut = fs.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		force      = fs.Bool("force", false, "overwrite existing -record/-trace-out/-metrics-out/-*profile files")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -177,15 +199,30 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-mix-weight must be in (0, 1) (got %v)", *mixWeight)
 	}
 
-	switch *mode {
-	case "prefetch-only":
-		return runPrefetchOnly(out, *seed, *n, *gen, *iters, *policies, *record, *replay)
-	case "cache":
-		return runCache(out, *seed, *states, *requests, *cacheSize, *skew, *policies)
-	case "session":
-		return runSession(out, *seed, *states, *requests, *skew)
-	case "multiclient":
-		return runMultiClient(out, mcOptions{
+	obsOut, err := setupObs(*traceOut, *metricsOut, *force)
+	if err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := createOutput(*cpuprofile, *force)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	runErr := dispatch(*mode, out, obsOut.tracer, modeArgs{
+		seed: *seed, n: *n, gen: *gen, iters: *iters, policies: *policies,
+		record: *record, replay: *replay, force: *force,
+		states: *states, requests: *requests, cacheSize: *cacheSize, skew: *skew,
+		mc: mcOptions{
 			seed:          *seed,
 			clients:       *clients,
 			serverConc:    *serverConc,
@@ -210,10 +247,154 @@ func run(args []string, out io.Writer) error {
 			driftEvery:    *driftEvery,
 			decayHalfLife: *decayHalfLife,
 			mixWeight:     *mixWeight,
-		})
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		},
+	})
+	// Flush the observability outputs even when the run failed — a
+	// partial trace is still evidence.
+	if err := obsOut.finish(); runErr == nil {
+		runErr = err
 	}
+	if runErr == nil && *memprofile != "" {
+		runErr = writeMemProfile(*memprofile, *force)
+	}
+	return runErr
+}
+
+// modeArgs bundles the per-mode flag values for dispatch.
+type modeArgs struct {
+	seed                        uint64
+	n                           int
+	gen                         string
+	iters                       int
+	policies                    string
+	record, replay              string
+	force                       bool
+	states, requests, cacheSize int
+	skew                        float64
+	mc                          mcOptions
+}
+
+func dispatch(mode string, out io.Writer, tr obs.Tracer, a modeArgs) error {
+	switch mode {
+	case "prefetch-only":
+		return runPrefetchOnly(out, a.seed, a.n, a.gen, a.iters, a.policies, a.record, a.replay, a.force, tr)
+	case "cache":
+		return runCache(out, a.seed, a.states, a.requests, a.cacheSize, a.skew, a.policies, tr)
+	case "session":
+		return runSession(out, a.seed, a.states, a.requests, a.skew, tr)
+	case "multiclient":
+		return runMultiClient(out, a.mc, tr)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// createOutput creates path for writing. Without force an existing file
+// is refused, so a run cannot silently clobber earlier results.
+func createOutput(path string, force bool) (*os.File, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if !force {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		return nil, fmt.Errorf("%s already exists (pass -force to overwrite)", path)
+	}
+	return f, err
+}
+
+// registryTracer folds every event into a metrics registry.
+type registryTracer struct{ reg *obs.Registry }
+
+func (registryTracer) Enabled() bool       { return true }
+func (t registryTracer) Emit(ev obs.Event) { t.reg.Accumulate(ev) }
+
+// obsOutputs owns a run's observability sinks: an optional JSONL trace
+// writer and an optional metrics registry, fanned out behind one tracer.
+type obsOutputs struct {
+	tracer  obs.Tracer
+	writer  *obs.Writer
+	traceF  *os.File
+	reg     *obs.Registry
+	metrics string
+	force   bool
+}
+
+// setupObs opens the -trace-out / -metrics-out sinks. The metrics file
+// is created up front so a clobber is refused before the run spends any
+// time, but written only at finish.
+func setupObs(traceOut, metricsOut string, force bool) (*obsOutputs, error) {
+	o := &obsOutputs{metrics: metricsOut, force: force}
+	var sinks obs.Multi
+	if traceOut != "" {
+		f, err := createOutput(traceOut, force)
+		if err != nil {
+			return nil, err
+		}
+		o.traceF = f
+		o.writer = obs.NewWriter(f)
+		sinks = append(sinks, o.writer)
+	}
+	if metricsOut != "" {
+		f, err := createOutput(metricsOut, force)
+		if err != nil {
+			if o.traceF != nil {
+				o.traceF.Close()
+			}
+			return nil, err
+		}
+		f.Close() // reopened at finish; this call only reserved the path
+		o.reg = obs.NewRegistry()
+		sinks = append(sinks, registryTracer{o.reg})
+	}
+	if len(sinks) > 0 {
+		o.tracer = sinks
+	}
+	return o, nil
+}
+
+// finish flushes the trace and writes the metrics file.
+func (o *obsOutputs) finish() error {
+	var first error
+	if o.writer != nil {
+		if err := o.writer.Flush(); first == nil {
+			first = err
+		}
+		if err := o.traceF.Close(); first == nil {
+			first = err
+		}
+	}
+	if o.reg != nil {
+		f, err := createOutput(o.metrics, true)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		if err := o.reg.WriteJSON(f); first == nil {
+			first = err
+		}
+		if err := f.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// writeMemProfile snapshots the heap after a GC, the standard pprof
+// idiom for allocation profiles.
+func writeMemProfile(path string, force bool) error {
+	f, err := createOutput(path, force)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parsePolicies(list string) ([]sim.Policy, error) {
@@ -243,7 +424,7 @@ func parsePolicies(list string) ([]sim.Policy, error) {
 	return out, nil
 }
 
-func runPrefetchOnly(out io.Writer, seed uint64, n int, genName string, iters int, policyList, record, replay string) error {
+func runPrefetchOnly(out io.Writer, seed uint64, n int, genName string, iters int, policyList, record, replay string, force bool, tr obs.Tracer) error {
 	var rounds []workload.Round
 	if replay != "" {
 		f, err := os.Open(replay)
@@ -268,7 +449,7 @@ func runPrefetchOnly(out io.Writer, seed uint64, n int, genName string, iters in
 		rounds = workload.Collect(src)
 	}
 	if record != "" {
-		f, err := os.Create(record)
+		f, err := createOutput(record, force)
 		if err != nil {
 			return err
 		}
@@ -285,7 +466,7 @@ func runPrefetchOnly(out io.Writer, seed uint64, n int, genName string, iters in
 	if err != nil {
 		return err
 	}
-	results, err := sim.RunPrefetchOnly(rounds, pols, sim.PrefetchOnlyOptions{})
+	results, err := sim.RunPrefetchOnly(rounds, pols, sim.PrefetchOnlyOptions{Tracer: tr})
 	if err != nil {
 		return err
 	}
@@ -313,7 +494,7 @@ func genByName(name string) (prefetch.ProbGen, error) {
 	}
 }
 
-func runCache(out io.Writer, seed uint64, states, requests, cacheSize int, skew float64, policyList string) error {
+func runCache(out io.Writer, seed uint64, states, requests, cacheSize int, skew float64, policyList string, tr obs.Tracer) error {
 	r := prefetch.NewRand(seed)
 	cfg := prefetch.Fig7MarkovConfig()
 	cfg.States = states
@@ -334,14 +515,16 @@ func runCache(out io.Writer, seed uint64, states, requests, cacheSize int, skew 
 	}
 	runAll := wanted["all"] || policyList == "none,perfect,kp,skp"
 	fmt.Fprintf(out, "%-12s %10s %10s %8s %14s %14s\n", "policy", "mean T", "±95%", "hit%", "prefetch-net", "demand-net")
+	track := 0 // one trace track per planner actually run
 	for _, planner := range prefetch.Fig7Planners(prefetch.DeltaTheorem3) {
 		if !runAll && !wanted[planner.Label] {
 			continue
 		}
-		res, err := prefetch.RunPrefetchCache(trace, planner, cacheSize)
+		res, err := sim.RunPrefetchCacheOpts(trace, planner, cacheSize, sim.CacheOptions{Tracer: tr, Track: track})
 		if err != nil {
 			return err
 		}
+		track++
 		fmt.Fprintf(out, "%-12s %10.4f %10.4f %7.1f%% %14.0f %14.0f\n",
 			res.Policy, res.Access.Mean(), res.Access.CI95(), 100*res.HitRate(),
 			res.Prefetch, res.Demand)
@@ -349,7 +532,7 @@ func runCache(out io.Writer, seed uint64, states, requests, cacheSize int, skew 
 	return nil
 }
 
-func runSession(out io.Writer, seed uint64, states, requests int, skew float64) error {
+func runSession(out io.Writer, seed uint64, states, requests int, skew float64, tr obs.Tracer) error {
 	r := prefetch.NewRand(seed)
 	cfg := prefetch.MarkovConfig{
 		States: states, MinOut: 10, MaxOut: 20, MinViewing: 1, MaxViewing: 20, SkewAlpha: skew,
@@ -374,7 +557,9 @@ func runSession(out io.Writer, seed uint64, states, requests int, skew float64) 
 		{sim.Depth2Planner{}, sim.SessionOptions{EffectiveViewing: true}},
 	}
 	fmt.Fprintf(out, "%-16s %10s %14s\n", "planner", "mean T", "net/request")
-	for _, pl := range planners {
+	for i, pl := range planners {
+		pl.opts.Tracer = tr
+		pl.opts.Track = i
 		res, err := sim.RunMarkovSession(trace, pl.planner, pl.opts)
 		if err != nil {
 			return err
@@ -498,7 +683,7 @@ func parseClients(list string) ([]int, error) {
 	return ns, nil
 }
 
-func runMultiClient(out io.Writer, opt mcOptions) error {
+func runMultiClient(out io.Writer, opt mcOptions, tr obs.Tracer) error {
 	ns, err := parseClients(opt.clients)
 	if err != nil {
 		return err
@@ -614,6 +799,13 @@ func runMultiClient(out io.Writer, opt mcOptions) error {
 	if len(kinds) > 1 && (len(ctls) > 1 || len(preds) > 1) {
 		return fmt.Errorf("sweep one axis at a time: -discipline combines with neither a -controller nor a -predictor list")
 	}
+	// Sweeps run replicated parallel legs; a single merged trace would be
+	// meaningless (and its ordering nondeterministic), so tracing demands
+	// one run.
+	if tr != nil && (len(ns) > 1 || len(kinds) > 1 || len(ctls) > 1 || len(preds) > 1) {
+		return fmt.Errorf("-trace-out/-metrics-out need a single run: drop the sweep axes (clients/discipline/controller/predictor lists)")
+	}
+	cfg.Tracer = tr
 	if len(preds) > 1 && len(ctls) > 1 {
 		return runPredictorControllerSweep(out, cfg, ns, preds, ctls, reps, driftNote)
 	}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"prefetch/internal/obs"
 )
 
 // TestMain lets the test binary impersonate the real prefetchsim process
@@ -588,6 +591,167 @@ func TestExitStatusBadDriftFlags(t *testing.T) {
 	for _, args := range bad {
 		if code := exitStatus(t, args...); code == 0 {
 			t.Errorf("prefetchsim %v exited 0, want non-zero", args)
+		}
+	}
+}
+
+// traceFlagModes are the mode invocations every observability flag must
+// work with — tracing is not a multiclient-only feature.
+var traceFlagModes = [][]string{
+	{"-mode", "prefetch-only", "-n", "5", "-iters", "100", "-policies", "none,skp"},
+	{"-mode", "cache", "-states", "20", "-requests", "200", "-cachesize", "8", "-policies", "all"},
+	{"-mode", "session", "-states", "12", "-requests", "100"},
+	{"-mode", "multiclient", "-clients", "2", "-rounds", "20"},
+}
+
+func TestRunTraceAndMetricsOutAllModes(t *testing.T) {
+	for _, mode := range traceFlagModes {
+		dir := t.TempDir()
+		trace := filepath.Join(dir, "trace.jsonl")
+		metrics := filepath.Join(dir, "metrics.json")
+		args := append(append([]string{}, mode...), "-trace-out", trace, "-metrics-out", metrics)
+		runOut(t, args...)
+		f, err := os.Open(trace)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		events, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%v: trace does not parse: %v", mode, err)
+		}
+		if len(events) == 0 {
+			t.Errorf("%v: empty trace", mode)
+		}
+		data, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !strings.Contains(string(data), "counters") {
+			t.Errorf("%v: metrics file missing counters:\n%.200s", mode, data)
+		}
+	}
+}
+
+// TestRunRefusesOverwrite: -record, -trace-out, and -metrics-out must
+// refuse to clobber an existing file unless -force is passed.
+func TestRunRefusesOverwrite(t *testing.T) {
+	existing := filepath.Join(t.TempDir(), "existing")
+	if err := os.WriteFile(existing, []byte("precious\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-mode", "prefetch-only", "-n", "4", "-iters", "50", "-policies", "skp", "-record", existing},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "10", "-trace-out", existing},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "10", "-metrics-out", existing},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		err := run(args, &sb)
+		if err == nil || !strings.Contains(err.Error(), "-force") {
+			t.Errorf("run(%v) = %v, want overwrite refusal naming -force", args, err)
+		}
+		if data, rerr := os.ReadFile(existing); rerr != nil || string(data) != "precious\n" {
+			t.Fatalf("run(%v) clobbered the existing file: %q %v", args, data, rerr)
+		}
+	}
+	// With -force each of them overwrites.
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(append(append([]string{}, args...), "-force"), &sb); err != nil {
+			t.Errorf("run(%v -force): %v", args, err)
+		}
+		if err := os.WriteFile(existing, []byte("precious\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExitStatusOverwriteRefused: the refusal must surface as a
+// non-zero process exit, not only as an in-process error value.
+func TestExitStatusOverwriteRefused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec test")
+	}
+	existing := filepath.Join(t.TempDir(), "existing")
+	if err := os.WriteFile(existing, []byte("precious\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]string{
+		{"-mode", "prefetch-only", "-n", "4", "-iters", "50", "-policies", "skp", "-record", existing},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "5", "-trace-out", existing},
+	}
+	for _, args := range bad {
+		if code := exitStatus(t, args...); code == 0 {
+			t.Errorf("prefetchsim %v exited 0, want non-zero", args)
+		}
+	}
+	fresh := filepath.Join(t.TempDir(), "fresh.jsonl")
+	ok := []string{"-mode", "multiclient", "-clients", "2", "-rounds", "5", "-trace-out", fresh}
+	if code := exitStatus(t, ok...); code != 0 {
+		t.Errorf("prefetchsim %v exited %d, want 0", ok, code)
+	}
+}
+
+// TestRunTraceRejectsSweeps: a trace describes ONE run; sweep axes must
+// be rejected rather than silently interleaving several runs.
+func TestRunTraceRejectsSweeps(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	cases := [][]string{
+		{"-mode", "multiclient", "-clients", "1,2", "-rounds", "10", "-trace-out", trace},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "10", "-discipline", "all", "-trace-out", trace},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "10", "-controller", "all", "-trace-out", trace},
+		{"-mode", "multiclient", "-clients", "2", "-rounds", "10", "-predictor", "all", "-metrics-out", trace},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted tracing a sweep", args)
+		}
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	runOut(t, "-mode", "multiclient", "-clients", "2", "-rounds", "10",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunTraceDeterministic: same seed, same flags — byte-identical
+// trace and metrics files.
+func TestRunTraceDeterministic(t *testing.T) {
+	mk := func(dir string) (string, string) {
+		trace := filepath.Join(dir, "trace.jsonl")
+		metrics := filepath.Join(dir, "metrics.json")
+		runOut(t, "-mode", "multiclient", "-clients", "3", "-rounds", "25", "-seed", "7",
+			"-discipline", "priority", "-controller", "aimd",
+			"-trace-out", trace, "-metrics-out", metrics)
+		return trace, metrics
+	}
+	t1, m1 := mk(t.TempDir())
+	t2, m2 := mk(t.TempDir())
+	for _, pair := range [][2]string{{t1, t2}, {m1, m2}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ", pair[0], pair[1])
 		}
 	}
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prefetch/internal/multiclient"
+	"prefetch/internal/obs"
+	"prefetch/internal/webgraph"
+)
+
+// writeTestTrace runs a small contended multiclient simulation and
+// writes its decision trace to a temp file.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	cfg := multiclient.DefaultConfig()
+	cfg.Clients = 3
+	cfg.Rounds = 40
+	cfg.ServerConcurrency = 1
+	cfg.Site = webgraph.SiteConfig{
+		Pages: 40, MinLinks: 3, MaxLinks: 6, ZipfS: 1.1,
+		MinSizeKB: 2, MaxSizeKB: 40, BandwidthKBps: 16, LatencyS: 0.3,
+	}
+	cfg.Seed = 11
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewWriter(f)
+	cfg.Tracer = w
+	if _, err := multiclient.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReports(t *testing.T) {
+	trace := writeTestTrace(t)
+	var sb strings.Builder
+	if err := run([]string{trace}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"events over", "round_start", "sq_dequeue", "transfer_done",
+		"rounds", "mean T", "queue delay", "queue_wait_demand",
+		"wasted prefetches", "mean cand prob",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	trace := writeTestTrace(t)
+	var a, b strings.Builder
+	if err := run([]string{trace}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{trace}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two reports of the same trace differ")
+	}
+}
+
+func TestRunChromeOut(t *testing.T) {
+	trace := writeTestTrace(t)
+	chrome := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	if err := run([]string{"-chrome", chrome, trace}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Fatalf("not a chrome trace:\n%.200s", data)
+	}
+	// A second run must refuse to overwrite without -force…
+	if err := run([]string{"-chrome", chrome, trace}, &sb); err == nil || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("overwrite not refused: %v", err)
+	}
+	// …and succeed with it.
+	if err := run([]string{"-chrome", chrome, "-force", trace}, &sb); err != nil {
+		t.Fatalf("run -force: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	trace := writeTestTrace(t)
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"t":1,"k":"nope","c":0,"page":-1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                   // no trace argument
+		{trace, "extra"},     // too many arguments
+		{"-top", "0", trace}, // bad -top
+		{filepath.Join(t.TempDir(), "missing.jsonl")},
+		{empty},
+		{bad},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -145,6 +145,30 @@
 // the hard cold-start fallback). See examples/drift for the stationary
 // predictor ranking inverting under drift.
 //
+// # Observability: the decision trace
+//
+// Every aggregate above is a mean over thousands of individual
+// speculation decisions, and the paper's argument is precisely about
+// those decisions — each unit of access improvement is bought with
+// λ-priced wasted bandwidth. The observability layer (internal/obs,
+// re-exported here as Tracer, TraceEvent, TraceWriter, TraceCollector,
+// MetricsRegistry) records them: a typed event stream stamped with the
+// simulated clock covering round lifecycle, demand vs speculative
+// issue and completion, the post-run useful/wasted resolution of every
+// prefetch (carrying the predictor candidate probability that
+// justified it), λ updates with their congestion-feedback snapshots,
+// server queue and admission verdicts, and cache traffic. Any harness
+// accepts a Tracer (MultiClientConfig.Tracer, PrefetchOnlyOptions,
+// CacheOptions, SessionOptions); nil means disabled at the cost of one
+// branch per would-be event. ReadDecisionTrace parses a trace back,
+// WriteChromeTrace converts it into a Perfetto/chrome://tracing
+// timeline, MetricsRegistry.Accumulate folds it into deterministic
+// counters and histograms, and cmd/traceq answers the common questions
+// (queue-delay distributions, λ trajectories, per-client wasted-page
+// attribution) from the trace alone. Because a run is single-goroutine
+// on one event clock, a fixed seed yields a byte-identical trace under
+// any GOMAXPROCS — CI diffs the traces to enforce it.
+//
 // # Determinism invariants
 //
 // Everything above rests on bit-for-bit replay: one (seed, config)

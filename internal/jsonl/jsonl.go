@@ -1,0 +1,113 @@
+// Package jsonl is the repository's hardened JSON-lines scanner: one
+// JSON value per line, decoded strictly. Both trace formats — the
+// workload traces of internal/workload and the decision traces of
+// internal/obs — share it, so every trace reader rejects the same
+// malformed inputs with the same line-numbered diagnostics instead of
+// silently tolerating them:
+//
+//   - unknown object fields fail (a typo'd or future field never
+//     round-trips into a zero value silently),
+//   - trailing data after the value on a line fails,
+//   - a final line not terminated by '\n' fails as truncated (the
+//     writer always terminates lines, so a missing terminator means
+//     the file was cut off mid-write even if the fragment parses),
+//   - blank lines fail (a hole in a trace is damage, not style).
+//
+// Every error is wrapped with the 1-based line number it was found on.
+package jsonl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBadLine reports a malformed JSON-lines input.
+var ErrBadLine = errors.New("jsonl: bad line")
+
+// MaxLineBytes bounds a single line; longer lines fail loudly rather
+// than exhausting memory on a corrupt (e.g. newline-stripped) file.
+const MaxLineBytes = 1 << 20
+
+// Decoder reads one JSON value per line, strictly.
+type Decoder struct {
+	r    *bufio.Reader
+	line int
+	err  error // sticky
+}
+
+// NewDecoder returns a strict line-oriented decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Line returns the 1-based number of the last line Decode consumed.
+func (d *Decoder) Line() int { return d.line }
+
+// Decode reads the next line into v. It returns io.EOF at a clean end
+// of input and a line-numbered error (wrapping ErrBadLine) on any
+// malformed line; after an error every subsequent call returns the
+// same error.
+func (d *Decoder) Decode(v any) error {
+	if d.err != nil {
+		return d.err
+	}
+	raw, err := d.readLine()
+	if err != nil {
+		d.err = err
+		return err
+	}
+	d.line++
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return d.fail("blank line")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return d.fail("%v", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return d.fail("trailing data after JSON value")
+	}
+	return nil
+}
+
+// readLine returns the next '\n'-terminated line without its
+// terminator. A non-empty final fragment with no terminator is a
+// truncated write and fails.
+func (d *Decoder) readLine() ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := d.r.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > MaxLineBytes {
+			d.line++
+			return nil, d.fail("line exceeds %d bytes", MaxLineBytes)
+		}
+		switch err {
+		case nil:
+			return buf[:len(buf)-1], nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(buf) == 0 {
+				return nil, io.EOF
+			}
+			d.line++
+			return nil, d.fail("unterminated final line (truncated file?)")
+		default:
+			d.line++
+			return nil, d.fail("%v", err)
+		}
+	}
+}
+
+// fail records and returns the sticky line-numbered error.
+func (d *Decoder) fail(format string, args ...any) error {
+	d.err = fmt.Errorf("%w %d: %s", ErrBadLine, d.line, fmt.Sprintf(format, args...))
+	return d.err
+}

@@ -1,0 +1,102 @@
+package jsonl_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"prefetch/internal/jsonl"
+)
+
+type row struct {
+	A int     `json:"a"`
+	B float64 `json:"b,omitempty"`
+}
+
+func decodeAll(t *testing.T, input string) ([]row, error) {
+	t.Helper()
+	d := jsonl.NewDecoder(strings.NewReader(input))
+	var out []row
+	for {
+		var r row
+		err := d.Decode(&r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	rows, err := decodeAll(t, "{\"a\":1}\n{\"a\":2,\"b\":0.5}\n")
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rows) != 2 || rows[0].A != 1 || rows[1].B != 0.5 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestDecodeEmptyInput(t *testing.T) {
+	rows, err := decodeAll(t, "")
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty input: rows=%v err=%v", rows, err)
+	}
+}
+
+// Every malformed input fails with ErrBadLine and names the offending
+// 1-based line.
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"unknown field", "{\"a\":1}\n{\"a\":2,\"zz\":3}\n", "line 2"},
+		{"truncated final line", "{\"a\":1}\n{\"a\":2", "truncated"},
+		{"truncated mid-value", "{\"a\":1}\n{\"a\":\n", "line 2"},
+		{"blank line", "{\"a\":1}\n\n{\"a\":2}\n", "blank line"},
+		{"trailing data", "{\"a\":1} {\"a\":2}\n", "trailing data"},
+		{"not json", "hello\n", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeAll(t, tc.input)
+			if err == nil {
+				t.Fatalf("decode(%q) succeeded, want error", tc.input)
+			}
+			if !errors.Is(err, jsonl.ErrBadLine) {
+				t.Fatalf("error %v does not wrap ErrBadLine", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// After an error the decoder is sticky: further calls return the same
+// error instead of resynchronising on damaged input.
+func TestDecodeSticky(t *testing.T) {
+	d := jsonl.NewDecoder(strings.NewReader("bad\n{\"a\":1}\n"))
+	var r row
+	err1 := d.Decode(&r)
+	if err1 == nil {
+		t.Fatal("first decode succeeded on bad input")
+	}
+	err2 := d.Decode(&r)
+	if err2 != err1 {
+		t.Fatalf("sticky error mismatch: %v vs %v", err1, err2)
+	}
+}
+
+func TestDecodeLongLine(t *testing.T) {
+	// A line over MaxLineBytes fails loudly instead of ballooning.
+	input := "{\"a\":1,\"b\":" + strings.Repeat("1", jsonl.MaxLineBytes) + "}\n"
+	_, err := decodeAll(t, input)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("long line: err = %v", err)
+	}
+}

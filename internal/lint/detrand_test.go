@@ -11,6 +11,7 @@ func TestDetRand(t *testing.T) {
 	linttest.Run(t, ".", lint.DetRand,
 		"detrand/internal/eventq",
 		"detrand/internal/multiclient",
+		"detrand/internal/obs",
 		"detrand/cmd/tool",
 	)
 }

@@ -1,0 +1,24 @@
+// Package obs is a detrand fixture: the observability layer stamps
+// events with the simulated clock, so a wall-clock read here would
+// leak run-to-run jitter into traces that must replay bit for bit.
+package obs
+
+import "time"
+
+// Event is a stand-in for the traced event type.
+type Event struct {
+	T float64
+}
+
+// Stamp timestamps an event from the runtime clock instead of taking
+// the simulated time as an argument — exactly the bug that makes two
+// traces of the same seed differ.
+func Stamp(ev *Event) {
+	ev.T = float64(time.Now().UnixNano()) // want `time.Now`
+}
+
+// Flush throttles with the runtime timer; in a simulation package the
+// pacing must be event-driven.
+func Flush() {
+	time.Sleep(time.Millisecond) // want `time.Sleep`
+}

@@ -7,6 +7,7 @@ import (
 	"prefetch/internal/cache"
 	"prefetch/internal/core"
 	"prefetch/internal/netsim"
+	"prefetch/internal/obs"
 	"prefetch/internal/predict"
 	"prefetch/internal/rng"
 	"prefetch/internal/stats"
@@ -55,6 +56,12 @@ type client struct {
 	prevDropped    int64   // own admission drops at the last feedback
 	prevDeferred   int64   // server-wide deferral total at the last feedback
 
+	// tr is the run's normalised tracer (nil = disabled). specLog
+	// records completed speculative transfers while tracing so the
+	// post-run pass can attribute each one as useful or wasted.
+	tr      obs.Tracer
+	specLog []specRecord
+
 	access            stats.Accumulator
 	demandAccess      stats.Accumulator // access times of rounds that fetched
 	queueWait         stats.Accumulator
@@ -68,13 +75,24 @@ type client struct {
 	zeroWaitRounds    int64
 }
 
-func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site, agg *predict.Aggregate) (*client, error) {
+// specRecord is one completed speculative transfer awaiting its
+// useful-or-wasted resolution, with the predictor candidate
+// probability that justified issuing it.
+type specRecord struct {
+	page  int
+	round int // round the prefetch was planned in
+	prob  float64
+	used  bool
+}
+
+func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site, agg *predict.Aggregate, tr obs.Tracer) (*client, error) {
 	c := &client{
 		id:         id,
 		cfg:        cfg,
 		clock:      clock,
 		server:     srv,
 		site:       site,
+		tr:         tr,
 		rand:       rng.Derive(cfg.Seed, clientLabel(id)),
 		ready:      map[int]bool{},
 		pending:    map[int]bool{},
@@ -167,17 +185,32 @@ func (c *client) startRound(now float64) {
 	if v < c.cfg.MinViewing {
 		v = c.cfg.MinViewing
 	}
+	if c.tr != nil {
+		ev := obs.Ev(now, obs.KindRoundStart, c.id)
+		ev.Round = c.round
+		ev.Viewing = v
+		c.tr.Emit(ev)
+	}
 
 	if !c.cfg.DisablePrefetch {
 		c.observe(now)
 		plan := c.plan(v)
 		for _, it := range plan.Items {
 			c.prefetchIssued++
+			if c.tr != nil {
+				ev := obs.Ev(now, obs.KindSpecIssue, c.id)
+				ev.Round = c.round
+				ev.Page = it.ID
+				ev.Prob = it.Prob
+				ev.Service = it.Retrieval
+				c.tr.Emit(ev)
+			}
 			ok := c.server.enqueue(request{
 				client:   c,
 				page:     it.ID,
 				duration: it.Retrieval,
 				round:    c.round,
+				prob:     it.Prob,
 			})
 			if !ok {
 				// Admission control dropped it: no transfer will happen,
@@ -211,6 +244,17 @@ func (c *client) observe(now float64) {
 	c.prevDeferred = snap.DeferredTotal
 	c.curLambda = c.ctrl.Lambda(fb)
 	c.lambdaTrace.Add(c.curLambda)
+	if c.tr != nil {
+		ev := obs.Ev(now, obs.KindLambda, c.id)
+		ev.Round = c.round
+		ev.Lambda = c.curLambda
+		ev.Util = fb.Utilization
+		ev.QueuedDemand = fb.QueuedDemand
+		ev.Waited = fb.DemandDelay
+		ev.Dropped = fb.Dropped
+		ev.Deferred = fb.Deferred
+		c.tr.Emit(ev)
+	}
 }
 
 // plan solves the cost-aware SKP at the controller's current λ over the
@@ -223,11 +267,11 @@ func (c *client) observe(now float64) {
 func (c *client) plan(viewing float64) core.Plan {
 	state := c.surfer.Current()
 	dist := c.pred.Next(state)
-	if c.oracle {
-		c.l1Trace.Add(0)
-	} else {
-		c.l1Trace.Add(predict.L1(dist, c.surfer.NextDistributionFrom(state)))
+	var l1 float64
+	if !c.oracle {
+		l1 = predict.L1(dist, c.surfer.NextDistributionFrom(state))
 	}
+	c.l1Trace.Add(l1)
 	items := make([]core.Item, 0, len(dist))
 	for page, prob := range dist {
 		if prob <= 0 || c.holds(page) || c.pending[page] {
@@ -243,6 +287,14 @@ func (c *client) plan(viewing float64) core.Plan {
 	})
 	if len(items) > c.cfg.MaxCandidates {
 		items = items[:c.cfg.MaxCandidates]
+	}
+	if c.tr != nil {
+		ev := obs.Ev(c.clock.Now(), obs.KindPredictNext, c.id)
+		ev.Round = c.round
+		ev.Page = state
+		ev.L1 = l1
+		ev.Cands = len(items)
+		c.tr.Emit(ev)
 	}
 	problem := core.Problem{Items: items, Viewing: viewing, TotalProb: 1}
 	plan, _, err := core.SolveSKPOpts(problem, core.Options{}.WithNetworkLambda(c.curLambda))
@@ -261,6 +313,12 @@ func (c *client) request(page int) {
 	c.requestedAt = c.clock.Now()
 	if !c.cfg.DisablePrefetch {
 		c.pred.Observe(page)
+		if c.tr != nil {
+			ev := obs.Ev(c.requestedAt, obs.KindPredictObserve, c.id)
+			ev.Round = c.round
+			ev.Page = page
+			c.tr.Emit(ev)
+		}
 	}
 	if c.holds(page) {
 		if c.cache != nil {
@@ -268,11 +326,13 @@ func (c *client) request(page int) {
 			if c.specReady[page] {
 				c.prefetchUseful++
 				delete(c.specReady, page)
+				c.markSpecUsed(page)
 			}
 		} else {
 			// Without a client cache every held page was prefetched this
 			// round: the hit is speculation paying off by definition.
 			c.prefetchUseful++
+			c.markSpecUsed(page)
 		}
 		c.lastDemandWait = 0
 		c.respond(0)
@@ -280,6 +340,12 @@ func (c *client) request(page int) {
 	}
 	c.waitingFor = page
 	c.demandRound = true
+	if c.tr != nil {
+		ev := obs.Ev(c.requestedAt, obs.KindDemandIssue, c.id)
+		ev.Round = c.round
+		ev.Page = page
+		c.tr.Emit(ev)
+	}
 	if c.pending[page] {
 		// Already queued or in flight as a prefetch: sequential semantics,
 		// the demand waits for the speculative transfer to finish — but the
@@ -299,12 +365,34 @@ func (c *client) request(page int) {
 	})
 }
 
+// markSpecUsed resolves the latest unused speculative transfer of page
+// as useful, while tracing (specLog is only kept then).
+func (c *client) markSpecUsed(page int) {
+	if c.tr == nil {
+		return
+	}
+	for i := len(c.specLog) - 1; i >= 0; i-- {
+		if c.specLog[i].page == page && !c.specLog[i].used {
+			c.specLog[i].used = true
+			ev := obs.Ev(c.clock.Now(), obs.KindSpecUseful, c.id)
+			ev.Round = c.round
+			ev.Page = page
+			ev.Prob = c.specLog[i].prob
+			c.tr.Emit(ev)
+			return
+		}
+	}
+}
+
 // onTransferDone is the server's completion callback.
 func (c *client) onTransferDone(req request, waited float64) {
 	delete(c.pending, req.page)
 	c.queueWait.Add(waited)
 	if !req.demand {
 		c.prefetchCompleted++
+		if c.tr != nil {
+			c.specLog = append(c.specLog, specRecord{page: req.page, round: req.round, prob: req.prob})
+		}
 	}
 	c.store(req)
 	if c.waitingFor == req.page {
@@ -313,6 +401,7 @@ func (c *client) onTransferDone(req request, waited float64) {
 			// for: the speculative transfer served a real access.
 			c.prefetchUseful++
 			delete(c.specReady, req.page)
+			c.markSpecUsed(req.page)
 		}
 		c.waitingFor = -1
 		c.lastDemandWait = waited
@@ -322,6 +411,13 @@ func (c *client) onTransferDone(req request, waited float64) {
 
 // respond closes the round and immediately begins the next one.
 func (c *client) respond(access float64) {
+	if c.tr != nil {
+		ev := obs.Ev(c.clock.Now(), obs.KindRoundEnd, c.id)
+		ev.Round = c.round
+		ev.Access = access
+		ev.Demand = c.demandRound
+		c.tr.Emit(ev)
+	}
 	c.access.Add(access)
 	if c.demandRound {
 		c.demandAccess.Add(access)

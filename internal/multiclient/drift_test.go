@@ -167,7 +167,7 @@ func TestWarmCadenceRespected(t *testing.T) {
 		t.Fatal(err)
 	}
 	var clock netsim.Clock
-	srv, err := newServer(&clock, cfg)
+	srv, err := newServer(&clock, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestWarmRejectsUnvalidatedCadence(t *testing.T) {
 	cfg.Predict = predict.Config{Kind: predict.KindShared}
 	cfg.WarmServerCache = true
 	var clock netsim.Clock
-	srv, err := newServer(&clock, cfg)
+	srv, err := newServer(&clock, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"prefetch/internal/adaptive"
 	"prefetch/internal/netsim"
+	"prefetch/internal/obs"
 	"prefetch/internal/predict"
 	"prefetch/internal/rng"
 	"prefetch/internal/schedsrv"
@@ -85,6 +86,14 @@ type Config struct {
 	// predict.KindShared — the warm set is the pooled model's popularity
 	// estimate.
 	WarmServerCache bool
+
+	// Tracer, when non-nil and enabled, receives the run's decision
+	// trace (see internal/obs): round lifecycle, demand vs speculative
+	// issue and completion, λ updates with their feedback snapshots,
+	// prediction calls with L1 error, every scheduling decision, server
+	// cache traffic, and the post-run wasted-prefetch resolution. The
+	// default (nil) costs the hot paths one branch per emission site.
+	Tracer obs.Tracer
 
 	Site webgraph.SiteConfig // the shared site every client browses
 	Seed uint64              // master seed; all streams derive from it
@@ -282,7 +291,10 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	var clock netsim.Clock
-	srv, err := newServer(&clock, cfg)
+	// Normalise the tracer once: a nil (or disabled) tracer stays nil
+	// all the way down, so every emission site is a single branch.
+	tr := obs.Active(cfg.Tracer)
+	srv, err := newServer(&clock, cfg, tr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -296,7 +308,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	clients := make([]*client, cfg.Clients)
 	for i := range clients {
-		c, err := newClient(i, &cfg, &clock, srv, site, agg)
+		c, err := newClient(i, &cfg, &clock, srv, site, agg, tr)
 		if err != nil {
 			return Result{}, err
 		}
@@ -307,6 +319,26 @@ func Run(cfg Config) (Result, error) {
 		clock.Schedule(0, func() { c.startRound(0) })
 	}
 	clock.Run()
+
+	// Wasted-prefetch resolution: only after the event loop drains is
+	// it known which completed speculative transfers never served a
+	// demand. Emitted per client in id order, then issue order, stamped
+	// at end time — deterministic, like everything on the clock.
+	if tr != nil {
+		end := clock.Now()
+		for _, c := range clients {
+			for _, sp := range c.specLog {
+				if sp.used {
+					continue
+				}
+				ev := obs.Ev(end, obs.KindSpecWasted, c.id)
+				ev.Page = sp.page
+				ev.Round = sp.round
+				ev.Prob = sp.prob
+				tr.Emit(ev)
+			}
+		}
+	}
 
 	res := Result{
 		Clients:          cfg.Clients,
@@ -384,7 +416,9 @@ func (c Comparison) ClientImprovement(i int) float64 {
 }
 
 // Compare runs cfg twice — prefetching as configured, then with prefetching
-// disabled — over the identical derived workload.
+// disabled — over the identical derived workload. Only the prefetch leg
+// is traced: interleaving two runs' events in one stream would make the
+// trace ambiguous, and the baseline leg is the control, not the subject.
 func Compare(cfg Config) (Comparison, error) {
 	cfg.DisablePrefetch = false
 	pre, err := Run(cfg)
@@ -392,6 +426,7 @@ func Compare(cfg Config) (Comparison, error) {
 		return Comparison{}, err
 	}
 	cfg.DisablePrefetch = true
+	cfg.Tracer = nil
 	base, err := Run(cfg)
 	if err != nil {
 		return Comparison{}, err

@@ -1,0 +1,180 @@
+package multiclient
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"prefetch/internal/obs"
+)
+
+// traceBytes runs cfg with a JSONL writer attached and returns the raw
+// trace bytes.
+func traceBytes(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := obs.NewWriter(&buf)
+	cfg.Tracer = w
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministicAcrossGOMAXPROCS is the CI determinism gate in
+// miniature: the simulation runs on one goroutine against a simulated
+// clock, so the emitted trace must be byte-identical no matter how many
+// Ps the runtime schedules over.
+func TestTraceDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := testConfig()
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	one := traceBytes(t, cfg)
+	runtime.GOMAXPROCS(8)
+	eight := traceBytes(t, cfg)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("trace differs across GOMAXPROCS: %d vs %d bytes", len(one), len(eight))
+	}
+	if len(one) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestTraceEventStream checks the emitted stream is well-formed and
+// covers the instrumented layers, and that speculative accounting in
+// the trace reconciles with the run's own counters.
+func TestTraceEventStream(t *testing.T) {
+	cfg := testConfig()
+	c := &obs.Collector{}
+	cfg.Tracer = c
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range c.Events {
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	for _, k := range []obs.Kind{
+		obs.KindRoundStart, obs.KindRoundEnd, obs.KindSpecIssue,
+		obs.KindDemandIssue, obs.KindTransferDone, obs.KindEnqueue,
+		obs.KindDequeue, obs.KindPredictNext,
+	} {
+		if len(c.ByKind(k)) == 0 {
+			t.Errorf("no %s events", k)
+		}
+	}
+	if got := len(c.ByKind(obs.KindRoundEnd)); got != cfg.Clients*cfg.Rounds {
+		t.Errorf("round_end count %d, want %d", got, cfg.Clients*cfg.Rounds)
+	}
+	// Every completed speculative transfer resolves exactly once:
+	// useful or wasted.
+	var specDone int
+	for _, ev := range c.ByKind(obs.KindTransferDone) {
+		if !ev.Demand {
+			specDone++
+		}
+	}
+	useful := len(c.ByKind(obs.KindSpecUseful))
+	wasted := len(c.ByKind(obs.KindSpecWasted))
+	if useful+wasted != specDone {
+		t.Errorf("spec resolution %d useful + %d wasted != %d completed", useful, wasted, specDone)
+	}
+	if int64(useful) != res.PrefetchUseful {
+		t.Errorf("spec_useful %d != PrefetchUseful %d", useful, res.PrefetchUseful)
+	}
+	if int64(specDone) != res.PrefetchCompleted {
+		t.Errorf("spec transfer_done %d != PrefetchCompleted %d", specDone, res.PrefetchCompleted)
+	}
+}
+
+// TestTracerDoesNotPerturbRun proves instrumentation observes without
+// interfering: results with a tracer attached are bit-identical to the
+// untraced run, and a disabled tracer follows the identical code path
+// as no tracer at all.
+func TestTracerDoesNotPerturbRun(t *testing.T) {
+	cfg := testConfig()
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = &obs.Collector{}
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("tracer changed the result:\n%+v\nvs\n%+v", plain, traced)
+	}
+	cfg.Tracer = obs.Nop{}
+	nop, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, nop) {
+		t.Fatalf("Nop tracer changed the result")
+	}
+}
+
+// TestChromeExportFromRun feeds a real run's trace through the Chrome
+// exporter — every emitted event must convert.
+func TestChromeExportFromRun(t *testing.T) {
+	cfg := testConfig()
+	c := &obs.Collector{}
+	cfg.Tracer = c
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, c.Events); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty chrome trace")
+	}
+}
+
+// BenchmarkMultiClientRoundTracerOff is BenchmarkMultiClientRound with
+// an explicitly disabled tracer threaded through the config — the
+// zero-cost-when-disabled claim (ISSUE: <2% vs the untraced baseline).
+// Tracked by the benchmark-regression gate (cmd/benchjson).
+func BenchmarkMultiClientRoundTracerOff(b *testing.B) {
+	cfg := testConfig()
+	cfg.Clients = 8
+	cfg.Rounds = 60
+	cfg.Tracer = obs.Nop{}
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Access.N() != int64(cfg.Clients*cfg.Rounds) {
+			b.Fatalf("short run: %d rounds", res.Access.N())
+		}
+	}
+}
+
+// BenchmarkMultiClientRoundTraced measures the same run streaming its
+// full JSONL trace to a discarded writer — the cost of tracing when on.
+// Tracked by the benchmark-regression gate (cmd/benchjson).
+func BenchmarkMultiClientRoundTraced(b *testing.B) {
+	cfg := testConfig()
+	cfg.Clients = 8
+	cfg.Rounds = 60
+	for i := 0; i < b.N; i++ {
+		cfg.Tracer = obs.NewWriter(io.Discard)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Access.N() != int64(cfg.Clients*cfg.Rounds) {
+			b.Fatalf("short run: %d rounds", res.Access.N())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"prefetch/internal/cache"
 	"prefetch/internal/netsim"
+	"prefetch/internal/obs"
 	"prefetch/internal/predict"
 	"prefetch/internal/schedsrv"
 	"prefetch/internal/webgraph"
@@ -21,6 +22,7 @@ type request struct {
 	duration float64 // origin service time (before any server-cache hit)
 	demand   bool
 	round    int
+	prob     float64 // plan-time candidate probability (speculative only)
 }
 
 // server is the shared bottleneck every client contends for. Since PR 2 it
@@ -34,6 +36,9 @@ type server struct {
 	sched     *schedsrv.Scheduler
 	hitFactor float64
 	cache     *cache.Cache // nil ⇒ no shared cache
+
+	clock *netsim.Clock
+	tr    obs.Tracer // normalised by Run; nil = tracing disabled
 
 	served    int64
 	cacheHits int64
@@ -51,16 +56,19 @@ type server struct {
 	warmHits     int64
 }
 
-func newServer(clock *netsim.Clock, cfg Config) (*server, error) {
+func newServer(clock *netsim.Clock, cfg Config, tr obs.Tracer) (*server, error) {
 	scfg := cfg.Sched
 	scfg.Concurrency = cfg.ServerConcurrency
 	sched, err := schedsrv.New(clock, scfg)
 	if err != nil {
 		return nil, err
 	}
+	sched.Tracer = tr
 	s := &server{
 		sched:     sched,
 		hitFactor: cfg.ServerHitFactor,
+		clock:     clock,
+		tr:        tr,
 	}
 	if cfg.ServerCacheSlots > 0 {
 		c, err := cache.New(cfg.ServerCacheSlots)
@@ -116,17 +124,37 @@ func (s *server) serviceTime(r *schedsrv.Request) float64 {
 		service *= s.hitFactor
 		if first {
 			s.cacheHits++
-			if s.warmPages[r.Page] {
+			warm := s.warmPages[r.Page]
+			if warm {
 				s.warmHits++
+			}
+			if s.tr != nil {
+				ev := obs.Ev(s.clock.Now(), obs.KindCacheHit, r.Client)
+				ev.Page = r.Page
+				if warm {
+					ev.Note = "warm"
+				}
+				s.tr.Emit(ev)
 			}
 		}
 	}
 	return service
 }
 
-// done is the scheduler's completion callback.
+// done is the scheduler's completion callback. The transfer_done event
+// carries the issue class (req.demand), not the scheduler's possibly
+// promoted class — attribution follows why the transfer was requested.
 func (s *server) done(r *schedsrv.Request, service, waited float64) {
 	req := r.Tag.(request)
+	if s.tr != nil {
+		ev := obs.Ev(s.clock.Now(), obs.KindTransferDone, req.client.id)
+		ev.Round = req.round
+		ev.Page = req.page
+		ev.Demand = req.demand
+		ev.Service = service
+		ev.Waited = waited
+		s.tr.Emit(ev)
+	}
 	if s.cache != nil {
 		s.insertCache(req.page, req.duration)
 	}
@@ -179,22 +207,40 @@ func (s *server) maybeWarm(now float64) {
 				panic(err)
 			}
 			delete(s.warmPages, victim)
+			s.emitCache(obs.KindCacheEvict, victim)
 		}
 		if err := s.cache.Insert(page, s.site.Pages[page].Retrieval); err != nil {
 			panic(err)
 		}
 		s.warmPages[page] = true
 		s.warmInserted++
+		s.emitCache(obs.KindWarmInsert, page)
 	}
+}
+
+// emitCache traces one server-cache mutation (always server-side, so
+// no client attribution).
+func (s *server) emitCache(kind obs.Kind, page int) {
+	if s.tr == nil {
+		return
+	}
+	ev := obs.Ev(s.clock.Now(), kind, obs.ServerClient)
+	ev.Page = page
+	s.tr.Emit(ev)
 }
 
 // insertCache caches a demand- or speculation-carried page at the server,
 // keeping the warm-attribution set consistent across LRU evictions
 // (deleting from a nil warmPages map is a safe no-op when warming is off).
 func (s *server) insertCache(page int, retrieval float64) {
+	if s.cache.Contains(page) {
+		return
+	}
 	if victim, evicted := insertLRU(s.cache, page, retrieval); evicted {
 		delete(s.warmPages, victim)
+		s.emitCache(obs.KindCacheEvict, victim)
 	}
+	s.emitCache(obs.KindCacheInsert, page)
 }
 
 // insertLRU caches an item, evicting the least recently used entry when

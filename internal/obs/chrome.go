@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: converts a decision trace into the JSON
+// event-array format chrome://tracing and Perfetto open directly. The
+// timeline is keyed on simulated time — one simulated time unit maps
+// to one millisecond of trace time — with one track per client (round
+// spans, with λ counters and drop/preempt/useful/wasted instants) and
+// one per server queue (transfer spans reconstructed from dequeue to
+// completion or preemption, plus a queue-depth counter). Output is a
+// pure function of the event slice: same trace in, same bytes out.
+
+// tsScale converts simulated time units to trace microseconds (1 unit
+// = 1ms = 1000µs), keeping sub-unit timing visible in the viewer.
+const tsScale = 1000
+
+// Chrome process ids for the two track groups.
+const (
+	chromePidClients = 1
+	chromePidServer  = 2
+)
+
+// chromeEvent is one trace-event record. Args is ordered by
+// construction (encoding/json sorts map keys).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// openSpan is a dequeue whose completion or preemption has not been
+// seen yet.
+type openSpan struct {
+	start   float64
+	service float64
+	id      int
+	demand  bool
+}
+
+// WriteChromeTrace writes events in Chrome trace-event format.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	for i, ev := range events {
+		if err := ev.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	out := metadataEvents(events)
+
+	// Transfer spans: open at sq_dequeue, close at start+service —
+	// unless an sq_preempt for the same (client, page) arrives first,
+	// which truncates the span at the preemption point. Async begin/end
+	// pairs (one id per transfer attempt) keep concurrent transfers on
+	// their own rows instead of mis-nesting on a shared thread.
+	open := map[[2]int][]openSpan{} // (client, page) -> open attempts, oldest first
+	nextID := 1
+	for _, ev := range events {
+		ts := ev.T * tsScale
+		switch ev.Kind {
+		case KindDequeue:
+			key := [2]int{ev.Client, ev.Page}
+			sp := openSpan{start: ev.T, service: ev.Service, id: nextID, demand: ev.Demand}
+			nextID++
+			open[key] = append(open[key], sp)
+			out = append(out, chromeEvent{
+				Name: transferName(ev), Cat: "transfer", Ph: "b",
+				Ts: ts, Pid: chromePidServer, Tid: 0, ID: sp.id,
+				Args: map[string]any{"client": ev.Client, "page": ev.Page, "waited": ev.Waited, "attempt": ev.Attempt},
+			})
+		case KindPreempt:
+			key := [2]int{ev.Client, ev.Page}
+			if spans := open[key]; len(spans) > 0 {
+				// The victim is the most recently started attempt.
+				sp := spans[len(spans)-1]
+				open[key] = spans[:len(spans)-1]
+				out = append(out, chromeEvent{
+					Name: transferNameParts(ev.Client, ev.Page, sp.demand), Cat: "transfer", Ph: "e",
+					Ts: ts, Pid: chromePidServer, Tid: 0, ID: sp.id,
+					Args: map[string]any{"preempted": true},
+				})
+			}
+			out = append(out, instant(ev, "preempt"))
+		case KindDrop:
+			out = append(out, instant(ev, "drop"))
+		case KindDefer:
+			out = append(out, instant(ev, "defer"))
+		case KindSpecUseful:
+			out = append(out, instant(ev, "useful"))
+		case KindSpecWasted:
+			out = append(out, instant(ev, "wasted"))
+		case KindLambda:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("lambda/c%d", ev.Client), Ph: "C",
+				Ts: ts, Pid: chromePidClients, Tid: ev.Client,
+				Args: map[string]any{"lambda": ev.Lambda},
+			})
+		case KindQueueDepth:
+			out = append(out, chromeEvent{
+				Name: "queue", Ph: "C",
+				Ts: ts, Pid: chromePidServer, Tid: 0,
+				Args: map[string]any{"inflight": ev.InFlight, "queued": ev.Queued},
+			})
+		}
+	}
+
+	// Close the surviving transfer spans at their natural completion
+	// time, in deterministic id order.
+	var closes []chromeEvent
+	keys := make([][2]int, 0, len(open))
+	for k := range open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		for _, sp := range open[k] {
+			closes = append(closes, chromeEvent{
+				Name: transferNameParts(k[0], k[1], sp.demand), Cat: "transfer", Ph: "e",
+				Ts: (sp.start + sp.service) * tsScale, Pid: chromePidServer, Tid: 0, ID: sp.id,
+			})
+		}
+	}
+	sort.SliceStable(closes, func(i, j int) bool {
+		if closes[i].Ts != closes[j].Ts {
+			return closes[i].Ts < closes[j].Ts
+		}
+		return closes[i].ID < closes[j].ID
+	})
+	out = append(out, closes...)
+
+	out = append(out, roundSpans(events)...)
+
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ce := range out {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// metadataEvents names the process and thread tracks: one thread per
+// client (using track notes when the harness supplied them) and the
+// server's queue thread.
+func metadataEvents(events []Event) []chromeEvent {
+	names := map[int]string{}
+	for _, ev := range events {
+		if ev.Client < 0 {
+			continue
+		}
+		if _, ok := names[ev.Client]; !ok {
+			names[ev.Client] = fmt.Sprintf("client %d", ev.Client)
+		}
+		if ev.Kind == KindTrack && ev.Note != "" {
+			names[ev.Client] = ev.Note
+		}
+	}
+	ids := make([]int, 0, len(names))
+	for id := range names {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: chromePidClients, Tid: 0, Args: map[string]any{"name": "clients"}},
+		{Name: "process_name", Ph: "M", Pid: chromePidServer, Tid: 0, Args: map[string]any{"name": "server"}},
+		{Name: "thread_name", Ph: "M", Pid: chromePidServer, Tid: 0, Args: map[string]any{"name": "queue"}},
+	}
+	for _, id := range ids {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePidClients, Tid: id,
+			Args: map[string]any{"name": names[id]},
+		})
+	}
+	return out
+}
+
+// roundSpans pairs round_start/round_end per client into duration
+// events on the client's own thread (rounds never overlap within a
+// client, so plain nested spans render correctly).
+func roundSpans(events []Event) []chromeEvent {
+	starts := map[int]Event{}
+	var out []chromeEvent
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindRoundStart:
+			starts[ev.Client] = ev
+		case KindRoundEnd:
+			st, ok := starts[ev.Client]
+			if !ok || st.Round != ev.Round {
+				continue
+			}
+			delete(starts, ev.Client)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("round %d", ev.Round), Cat: "round", Ph: "X",
+				Ts: st.T * tsScale, Dur: (ev.T - st.T) * tsScale,
+				Pid: chromePidClients, Tid: ev.Client,
+				Args: map[string]any{"access": ev.Access, "demand": ev.Demand, "viewing": st.Viewing},
+			})
+		}
+	}
+	return out
+}
+
+// instant renders a client-track instant marker.
+func instant(ev Event, name string) chromeEvent {
+	args := map[string]any{"page": ev.Page}
+	if ev.Prob != 0 {
+		args["prob"] = ev.Prob
+	}
+	return chromeEvent{
+		Name: name, Cat: string(ev.Kind), Ph: "i", S: "t",
+		Ts: ev.T * tsScale, Pid: chromePidClients, Tid: ev.Client, Args: args,
+	}
+}
+
+// transferName labels a transfer span.
+func transferName(ev Event) string { return transferNameParts(ev.Client, ev.Page, ev.Demand) }
+
+func transferNameParts(client, page int, demand bool) string {
+	class := "spec"
+	if demand {
+		class = "demand"
+	}
+	return fmt.Sprintf("c%d p%d %s", client, page, class)
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chromeFixture is a small hand-built trace exercising every exporter
+// path: named tracks, a completed and a preempted transfer, admission
+// instants, λ and queue-depth counters, and a full round span.
+func chromeFixture() []Event {
+	evs := []Event{}
+	add := func(ev Event) { evs = append(evs, ev) }
+
+	track := Ev(0, KindTrack, 0)
+	track.Note = "skp adaptive"
+	add(track)
+
+	start := Ev(0, KindRoundStart, 0)
+	start.Round = 1
+	start.Viewing = 10
+	add(start)
+
+	spec := Ev(0, KindSpecIssue, 0)
+	spec.Round = 1
+	spec.Page = 5
+	spec.Prob = 0.6
+	spec.Service = 4
+	add(spec)
+
+	deq := Ev(0.5, KindDequeue, 0)
+	deq.Page = 5
+	deq.Service = 4
+	deq.Waited = 0.5
+	deq.Attempt = 1
+	add(deq)
+
+	deq2 := Ev(1, KindDequeue, 1)
+	deq2.Page = 7
+	deq2.Service = 6
+	deq2.Waited = 0
+	deq2.Attempt = 1
+	add(deq2)
+
+	pre := Ev(2, KindPreempt, 1)
+	pre.Page = 7
+	pre.Service = 1
+	add(pre)
+
+	drop := Ev(3, KindDrop, 1)
+	drop.Page = 8
+	drop.Util = 0.95
+	add(drop)
+
+	def := Ev(3.5, KindDefer, 1)
+	def.Page = 9
+	def.Util = 0.9
+	add(def)
+
+	lam := Ev(4, KindLambda, 0)
+	lam.Round = 1
+	lam.Lambda = 0.35
+	add(lam)
+
+	depth := Ev(4.5, KindQueueDepth, ServerClient)
+	depth.Queued = 2
+	depth.InFlight = 1
+	depth.Util = 0.8
+	add(depth)
+
+	useful := Ev(10, KindSpecUseful, 0)
+	useful.Round = 1
+	useful.Page = 5
+	useful.Prob = 0.6
+	add(useful)
+
+	wasted := Ev(12, KindSpecWasted, 1)
+	wasted.Round = 1
+	wasted.Page = 7
+	wasted.Prob = 0.2
+	add(wasted)
+
+	end := Ev(12, KindRoundEnd, 0)
+	end.Round = 1
+	end.Access = 2
+	end.Demand = false
+	add(end)
+
+	return evs
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chromeFixture()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden (run with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same trace differ")
+	}
+}
+
+func TestWriteChromeTraceRejectsBadEvent(t *testing.T) {
+	bad := []Event{{T: -1, Kind: KindRoundEnd, Page: NoPage}}
+	if err := WriteChromeTrace(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"displayTimeUnit":"ms"`,
+		`"skp adaptive"`,      // track note names the client thread
+		`"name":"c0 p5 spec"`, // transfer span
+		`"preempted":true`,    // preemption truncates the span
+		`"name":"lambda/c0"`,  // λ counter
+		`"name":"round 1"`,    // round duration span
+		`"ph":"X"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s\n%s", want, out)
+		}
+	}
+	// The preempted attempt must not also close at its natural end.
+	if got := strings.Count(out, `"name":"c1 p7 spec","cat":"transfer","ph":"e"`); got != 1 {
+		t.Errorf("preempted transfer closed %d times, want 1\n%s", got, out)
+	}
+}

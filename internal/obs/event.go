@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"prefetch/internal/jsonl"
+)
+
+// ErrBadTrace reports a malformed decision trace.
+var ErrBadTrace = errors.New("obs: bad trace")
+
+// Kind names an event type. Kinds are layer-prefixed: sq_* events come
+// from the scheduling subsystem, cache_* and warm_* from the server
+// cache, the rest from the client state machine.
+type Kind string
+
+// The event taxonomy. Kind determines which optional Event fields are
+// meaningful; see the field comments on Event.
+const (
+	// Client round lifecycle.
+	KindRoundStart Kind = "round_start" // Round, Viewing
+	KindRoundEnd   Kind = "round_end"   // Round, Access, Demand (round needed a fetch)
+
+	// Request issue and completion, client view.
+	KindDemandIssue  Kind = "demand_issue"  // Round, Page
+	KindSpecIssue    Kind = "spec_issue"    // Round, Page, Prob, Service
+	KindTransferDone Kind = "transfer_done" // Round, Page, Demand, Service, Waited
+	KindSpecUseful   Kind = "spec_useful"   // Round, Page — a prefetch served a demand
+	KindSpecWasted   Kind = "spec_wasted"   // Round, Page, Prob — completed, never used
+
+	// Adaptive λ control and prediction.
+	KindLambda         Kind = "lambda"          // Round, Lambda + feedback: Util, QueuedDemand, Waited (own demand delay), Dropped, Deferred
+	KindPredictNext    Kind = "predict_next"    // Round, Page (current), L1, Cands
+	KindPredictObserve Kind = "predict_observe" // Page (the accessed page entering the training stream)
+
+	// Scheduling subsystem (Client -1 on queue_depth samples).
+	KindEnqueue    Kind = "sq_enqueue"  // Page, Demand, Service, Queued, InFlight
+	KindDequeue    Kind = "sq_dequeue"  // Page, Demand, Service, Waited, Attempt
+	KindPreempt    Kind = "sq_preempt"  // Page, Service (elapsed service lost)
+	KindPromote    Kind = "sq_promote"  // Page, Note (queued | inflight | deferred)
+	KindAdmit      Kind = "sq_admit"    // Page, Util — admission verdicts, speculative only
+	KindDrop       Kind = "sq_drop"     // Page, Util
+	KindDefer      Kind = "sq_defer"    // Page, Util
+	KindQueueDepth Kind = "queue_depth" // Queued, QueuedDemand, InFlight, Util
+
+	// Server cache (Client is the requesting client, -1 for the warmer).
+	KindCacheHit    Kind = "cache_hit"    // Page, Note ("warm" when the warmer placed it)
+	KindCacheInsert Kind = "cache_insert" // Page
+	KindCacheEvict  Kind = "cache_evict"  // Page (the victim)
+	KindWarmInsert  Kind = "warm_insert"  // Page
+
+	// Harness metadata: names a client track (prefetch-only mode maps
+	// policies onto client ids; Note carries the policy name).
+	KindTrack Kind = "track" // Note
+)
+
+// Kinds lists every event kind in canonical (taxonomy) order.
+func Kinds() []Kind {
+	return []Kind{
+		KindRoundStart, KindRoundEnd,
+		KindDemandIssue, KindSpecIssue, KindTransferDone, KindSpecUseful, KindSpecWasted,
+		KindLambda, KindPredictNext, KindPredictObserve,
+		KindEnqueue, KindDequeue, KindPreempt, KindPromote,
+		KindAdmit, KindDrop, KindDefer, KindQueueDepth,
+		KindCacheHit, KindCacheInsert, KindCacheEvict, KindWarmInsert,
+		KindTrack,
+	}
+}
+
+var kindSet = func() map[Kind]bool {
+	m := make(map[Kind]bool, len(Kinds()))
+	for _, k := range Kinds() {
+		m[k] = true
+	}
+	return m
+}()
+
+// Valid reports whether k is a known event kind.
+func (k Kind) Valid() bool { return kindSet[k] }
+
+// NoPage marks events that are not about a particular page, and
+// ServerClient marks events not attributable to one client.
+const (
+	NoPage       = -1
+	ServerClient = -1
+)
+
+// Event is one simulated-clock-stamped observation. It is a flat union
+// across the taxonomy: Kind determines which optional fields carry
+// meaning, and zero-valued optional fields are omitted from the JSONL
+// encoding (an absent field always decodes back to zero, so the
+// encoding round-trips). Page has no omitempty — page 0 is a real page
+// — and is NoPage on events that are not page-scoped.
+type Event struct {
+	T      float64 `json:"t"`               // simulated time of the event
+	Kind   Kind    `json:"k"`               // event type
+	Client int     `json:"c"`               // emitting client; ServerClient (-1) for server-side events
+	Round  int     `json:"round,omitempty"` // 1-based client round, when round-scoped
+	Page   int     `json:"page"`            // page id; NoPage (-1) when not page-scoped
+
+	Demand  bool    `json:"demand,omitempty"`  // demand (true) vs speculative traffic
+	Prob    float64 `json:"prob,omitempty"`    // predictor candidate probability behind a speculation
+	Service float64 `json:"service,omitempty"` // service time (actual on dequeue/done, elapsed-lost on preempt)
+	Waited  float64 `json:"waited,omitempty"`  // queueing delay (on lambda: own demand delay fed back)
+	Access  float64 `json:"access,omitempty"`  // round access time (round_end)
+	Viewing float64 `json:"viewing,omitempty"` // round viewing time (round_start)
+
+	Lambda float64 `json:"lambda,omitempty"` // λ the controller set (lambda)
+	L1     float64 `json:"l1,omitempty"`     // prediction L1 error (predict_next)
+	Util   float64 `json:"util,omitempty"`   // server utilisation estimate
+
+	Queued       int   `json:"queued,omitempty"`   // discipline backlog depth
+	QueuedDemand int   `json:"qdemand,omitempty"`  // of those, demand class
+	InFlight     int   `json:"inflight,omitempty"` // occupied transfer slots
+	Attempt      int   `json:"attempt,omitempty"`  // service attempt (sq_dequeue; >1 after preemption)
+	Cands        int   `json:"cands,omitempty"`    // candidate count the planner saw (predict_next)
+	Dropped      int64 `json:"dropped,omitempty"`  // own admission drops since last feedback (lambda)
+	Deferred     int64 `json:"deferred,omitempty"` // server-wide deferrals since last feedback (lambda)
+
+	Note string `json:"note,omitempty"` // kind-specific detail (promotion site, warm attribution, track name)
+}
+
+// Ev returns an event stamped at t with no page scope; emit sites fill
+// the kind-specific fields.
+func Ev(t float64, k Kind, client int) Event {
+	return Event{T: t, Kind: k, Client: client, Page: NoPage}
+}
+
+// Validate checks the invariants every emitted event satisfies.
+func (ev Event) Validate() error {
+	switch {
+	case !ev.Kind.Valid():
+		return fmt.Errorf("%w: unknown kind %q", ErrBadTrace, ev.Kind)
+	case math.IsNaN(ev.T) || math.IsInf(ev.T, 0) || ev.T < 0:
+		return fmt.Errorf("%w: %s at time %v", ErrBadTrace, ev.Kind, ev.T)
+	case ev.Client < ServerClient:
+		return fmt.Errorf("%w: %s from client %d", ErrBadTrace, ev.Kind, ev.Client)
+	case ev.Page < NoPage:
+		return fmt.Errorf("%w: %s for page %d", ErrBadTrace, ev.Kind, ev.Page)
+	}
+	return nil
+}
+
+// ReadTrace reads a JSONL decision trace, validating every event, via
+// the shared hardened scanner (strict fields, line-numbered errors,
+// truncation detection).
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := jsonl.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: %w", err)
+		}
+		if err := ev.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", dec.Line(), err)
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,55 @@
+// Package obs is the simulator's observability layer: a typed,
+// deterministic decision-trace of every speculation decision the stack
+// makes, plus the metrics registry and exporters built on top of it.
+//
+// The paper's argument is an attribution argument — each unit of access
+// improvement is bought with λ-priced wasted bandwidth — so the
+// simulator must be able to say, per decision, what was speculated,
+// why, what it cost, and whether it paid off. End-of-run aggregates
+// cannot answer that; the event stream here can.
+//
+// # Events
+//
+// Every instrumented layer emits Event values stamped with the
+// simulated clock (never wall time — simlint's detrand analyzer
+// enforces this like any other simulation package):
+//
+//   - multiclient: round_start/round_end, demand_issue, spec_issue,
+//     transfer_done, spec_useful, spec_wasted (the post-run resolution
+//     of every completed prefetch that never served a demand, carrying
+//     the predictor candidate probability that justified it),
+//   - multiclient λ control: lambda, with the congestion-feedback
+//     snapshot that produced the new price,
+//   - prediction: predict_next (with the plan-time L1 error vs the
+//     true distribution) and predict_observe (the training stream),
+//   - schedsrv: sq_enqueue/sq_dequeue/sq_preempt/sq_promote, the
+//     admission verdicts sq_admit/sq_drop/sq_defer, and queue_depth
+//     samples,
+//   - server cache: cache_hit, cache_insert, cache_evict, warm_insert.
+//
+// The Event struct is a flat union: Kind determines which optional
+// fields are meaningful, and zero-valued optional fields are omitted
+// from the JSONL encoding. Page is always encoded; NoPage (-1) marks
+// events that are not about a particular page, and Client -1 marks
+// server-side events.
+//
+// # Zero cost when disabled
+//
+// The disabled state is a nil Tracer. Instrumented hot paths guard
+// every emission with a nil check, so with tracing off the per-event
+// cost is one predictable branch: no Event is constructed, nothing
+// escapes, nothing allocates. Active normalises a caller-supplied
+// Tracer (nil, or one whose Enabled reports false) to nil before it is
+// threaded into the hot paths. BenchmarkMultiClientRoundTracerOff
+// holds this to <2% of the untraced baseline.
+//
+// # Determinism
+//
+// A simulation run is single-goroutine on one discrete-event clock, so
+// the emission order of events is a pure function of (seed, config) —
+// with a fixed seed the JSONL trace is byte-identical under
+// GOMAXPROCS=1 and 8, which the CI determinism gate enforces by
+// diffing traces. The trace is therefore a far stronger replay
+// fingerprint than the summary tables: two runs that agree on every
+// event agree on everything the simulator decided.
+package obs

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Registry is a deterministic metrics store: counters, gauges and
+// fixed-bucket histograms, exported in sorted name order so two runs
+// that measured the same values emit byte-identical output. It is
+// single-goroutine, like everything else on the simulated clock.
+type Registry struct {
+	counters   map[string]int64
+	gauges     map[string]float64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]int64{},
+		gauges:     map[string]float64{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Add increments the named counter.
+func (r *Registry) Add(name string, delta int64) { r.counters[name] += delta }
+
+// Counter returns the named counter's value.
+func (r *Registry) Counter(name string) int64 { return r.counters[name] }
+
+// SetGauge sets the named gauge to its latest value.
+func (r *Registry) SetGauge(name string, v float64) { r.gauges[name] = v }
+
+// Gauge returns the named gauge's value.
+func (r *Registry) Gauge(name string) float64 { return r.gauges[name] }
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Histogram counts observations into fixed buckets: counts[i] holds
+// observations <= bounds[i] (and greater than the previous bound);
+// counts[len(bounds)] is the overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewHistogram returns a histogram over the given ascending bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe counts one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the observation sum.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the observation mean, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bounds returns the bucket bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Counts returns the per-bucket counts, overflow last.
+func (h *Histogram) Counts() []int64 { return append([]int64(nil), h.counts...) }
+
+// sortedKeys returns m's keys in sorted order — every exporter ranges
+// over this, never over the map itself.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText writes the registry in a line-oriented human format,
+// sorted by metric name within each section.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, name := range sortedKeys(r.counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, r.counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %v\n", name, r.gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		if _, err := fmt.Fprintf(w, "histogram %s count %d mean %.6g\n", name, h.n, h.Mean()); err != nil {
+			return err
+		}
+		for i, c := range h.counts {
+			bound := "+inf"
+			if i < len(h.bounds) {
+				bound = fmt.Sprintf("%v", h.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "  le %s %d\n", bound, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonHistogram is the exported histogram shape.
+type jsonHistogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// WriteJSON writes the registry as one JSON object. encoding/json
+// marshals map keys in sorted order, so the output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	hists := make(map[string]jsonHistogram, len(r.histograms))
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		hists[name] = jsonHistogram{Bounds: h.Bounds(), Counts: h.Counts(), Sum: h.sum, Count: h.n}
+	}
+	doc := struct {
+		Counters   map[string]int64         `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{r.counters, r.gauges, hists}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DefaultLatencyBounds is the shared bucket layout for queueing-delay
+// and access-time histograms, in simulated time units.
+func DefaultLatencyBounds() []float64 {
+	return []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128}
+}
+
+// DefaultLambdaBounds is the bucket layout for λ histograms.
+func DefaultLambdaBounds() []float64 {
+	return []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5}
+}
+
+// Accumulate folds one event into the registry: per-kind event
+// counters plus the standard derived metrics (queue-delay histograms
+// split by class, round access times, λ and utilisation). traceq and
+// the -metrics-out wiring both build on it.
+func (r *Registry) Accumulate(ev Event) {
+	r.Add("events."+string(ev.Kind), 1)
+	switch ev.Kind {
+	case KindDequeue:
+		r.Histogram("queue_wait", DefaultLatencyBounds()).Observe(ev.Waited)
+		if ev.Demand {
+			r.Histogram("queue_wait_demand", DefaultLatencyBounds()).Observe(ev.Waited)
+		} else {
+			r.Histogram("queue_wait_spec", DefaultLatencyBounds()).Observe(ev.Waited)
+		}
+	case KindRoundEnd:
+		r.Histogram("round_access", DefaultLatencyBounds()).Observe(ev.Access)
+	case KindLambda:
+		r.Histogram("lambda", DefaultLambdaBounds()).Observe(ev.Lambda)
+		r.SetGauge("lambda_last", ev.Lambda)
+	case KindQueueDepth:
+		r.SetGauge("queue_depth_last", float64(ev.Queued))
+		r.SetGauge("util_last", ev.Util)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 1} // (-inf,1], (1,2], (2,4], overflow
+	got := h.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("counts %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts %v, want %v", got, want)
+		}
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d, want 6", h.N())
+	}
+	if h.Sum() != 108 {
+		t.Errorf("Sum = %v, want 108", h.Sum())
+	}
+	if h.Mean() != 18 {
+		t.Errorf("Mean = %v, want 18", h.Mean())
+	}
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	if m := NewHistogram(nil).Mean(); m != 0 {
+		t.Fatalf("empty Mean = %v", m)
+	}
+}
+
+// fill populates a registry through map-order-hostile insertion order.
+func fill(r *Registry) {
+	r.Add("zeta", 3)
+	r.Add("alpha", 1)
+	r.SetGauge("util", 0.5)
+	r.SetGauge("depth", 4)
+	r.Histogram("wait", []float64{1, 2}).Observe(1.5)
+	r.Histogram("access", []float64{1, 2}).Observe(3)
+}
+
+func TestWriteTextSortedAndStable(t *testing.T) {
+	var a, b bytes.Buffer
+	r1, r2 := NewRegistry(), NewRegistry()
+	fill(r1)
+	fill(r2)
+	if err := r1.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two identical registries exported differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	wantPrefix := []string{
+		"counter alpha 1",
+		"counter zeta 3",
+		"gauge depth 4",
+		"gauge util 0.5",
+		"histogram access count 1 mean 3",
+	}
+	for i, w := range wantPrefix {
+		if i >= len(lines) || lines[i] != w {
+			t.Fatalf("line %d = %q, want %q\nfull:\n%s", i, lines[i], w, a.String())
+		}
+	}
+	if !strings.Contains(a.String(), "  le +inf 1\n") {
+		t.Fatalf("missing overflow bucket:\n%s", a.String())
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	r1, r2 := NewRegistry(), NewRegistry()
+	fill(r1)
+	fill(r2)
+	if err := r1.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("JSON export not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// encoding/json sorts map keys, so alpha precedes zeta.
+	if ai, zi := strings.Index(a.String(), "alpha"), strings.Index(a.String(), "zeta"); ai < 0 || zi < 0 || ai > zi {
+		t.Fatalf("counter keys not sorted:\n%s", a.String())
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	r := NewRegistry()
+	for _, ev := range sampleEvents() {
+		r.Accumulate(ev)
+	}
+	end := Ev(12, KindRoundEnd, 0)
+	end.Access = 3
+	r.Accumulate(end)
+
+	if got := r.Counter("events.sq_dequeue"); got != 1 {
+		t.Errorf("events.sq_dequeue = %d", got)
+	}
+	if got := r.Histogram("queue_wait_demand", nil).N(); got != 1 {
+		t.Errorf("queue_wait_demand N = %d", got)
+	}
+	if got := r.Histogram("queue_wait_spec", nil).N(); got != 0 {
+		t.Errorf("queue_wait_spec N = %d", got)
+	}
+	if got := r.Histogram("round_access", nil).Sum(); got != 3 {
+		t.Errorf("round_access sum = %v", got)
+	}
+	if got := r.Gauge("lambda_last"); got != 0.4 {
+		t.Errorf("lambda_last = %v", got)
+	}
+	if got := r.Gauge("queue_depth_last"); got != 4 {
+		t.Errorf("queue_depth_last = %v", got)
+	}
+	if got := r.Gauge("util_last"); got != 0.75 {
+		t.Errorf("util_last = %v", got)
+	}
+}

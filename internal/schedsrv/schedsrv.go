@@ -42,6 +42,8 @@ package schedsrv
 import (
 	"errors"
 	"fmt"
+
+	"prefetch/internal/obs"
 )
 
 // ErrBadConfig reports an invalid scheduler configuration.
@@ -222,6 +224,13 @@ type Scheduler struct {
 	// OnStart, when non-nil, observes every transfer start (test hook).
 	OnStart func(r *Request)
 
+	// Tracer, when non-nil, receives the scheduling decision trace:
+	// sq_enqueue/sq_dequeue/sq_preempt/sq_promote, the admission
+	// verdicts, and queue-depth samples on every Snapshot. Set it with
+	// obs.Active so a disabled tracer stays nil and the hot paths pay
+	// only a nil check.
+	Tracer obs.Tracer
+
 	nextSeq      int64
 	inFlight     []*transfer
 	deferred     []*Request
@@ -310,17 +319,22 @@ func (s *Scheduler) Submit(r Request) bool {
 	req.seq = s.nextSeq
 	s.nextSeq++
 	if !req.Demand && s.adm != nil {
-		switch s.adm.Admit(*req, s.clock.Now(), s.util.estimate(s.clock.Now())) {
+		util := s.util.estimate(s.clock.Now())
+		switch s.adm.Admit(*req, s.clock.Now(), util) {
 		case Drop:
 			s.dropped++
+			s.emitVerdict(obs.KindDrop, req, util)
 			return false
 		case Defer:
 			s.deferred = append(s.deferred, req)
 			s.deferredTotal++
+			s.emitVerdict(obs.KindDefer, req, util)
 			// The server may already be idle (the window estimate lags),
 			// in which case no completion will ever re-offer this.
 			s.scheduleDeferRetry(s.clock.Now())
 			return true
+		case Admit:
+			s.emitVerdict(obs.KindAdmit, req, util)
 		}
 	}
 	s.push(req)
@@ -347,6 +361,7 @@ func (s *Scheduler) demandArrived() {
 func (s *Scheduler) Promote(client, page int) bool {
 	if s.disc.Promote(client, page) {
 		s.queuedDemand++
+		s.emitPromote(client, page, "queued")
 		s.demandArrived() // same preemption rights as a submitted demand
 		s.dispatch()      // a reordering discipline may now prefer this request
 		return true
@@ -354,17 +369,31 @@ func (s *Scheduler) Promote(client, page int) bool {
 	for _, tr := range s.inFlight {
 		if !tr.cancelled && !tr.req.Demand && tr.req.Client == client && tr.req.Page == page {
 			tr.req.Demand = true
+			s.emitPromote(client, page, "inflight")
 			return true
 		}
 	}
 	for _, req := range s.deferred {
 		if req.Client == client && req.Page == page {
 			req.Demand = true
+			s.emitPromote(client, page, "deferred")
 			s.undefer(req)
 			return true
 		}
 	}
 	return false
+}
+
+// emitPromote traces one promotion, noting where the speculative
+// request was found (queued, inflight, deferred).
+func (s *Scheduler) emitPromote(client, page int, site string) {
+	if s.Tracer == nil {
+		return
+	}
+	ev := obs.Ev(s.clock.Now(), obs.KindPromote, client)
+	ev.Page = page
+	ev.Note = site
+	s.Tracer.Emit(ev)
 }
 
 // undefer moves a deferred request into the discipline immediately
@@ -392,6 +421,26 @@ func (s *Scheduler) push(req *Request) {
 		s.queuedDemand++
 	}
 	s.disc.Push(req)
+	if s.Tracer != nil {
+		ev := obs.Ev(s.clock.Now(), obs.KindEnqueue, req.Client)
+		ev.Page = req.Page
+		ev.Demand = req.Demand
+		ev.Service = req.Service
+		ev.Queued = s.disc.Len()
+		ev.InFlight = len(s.inFlight)
+		s.Tracer.Emit(ev)
+	}
+}
+
+// emitVerdict traces one admission decision on a speculative request.
+func (s *Scheduler) emitVerdict(kind obs.Kind, req *Request, util float64) {
+	if s.Tracer == nil {
+		return
+	}
+	ev := obs.Ev(s.clock.Now(), kind, req.Client)
+	ev.Page = req.Page
+	ev.Util = util
+	s.Tracer.Emit(ev)
 }
 
 // preemptSpeculative aborts the most-recently-started in-flight
@@ -419,6 +468,12 @@ func (s *Scheduler) preemptSpeculative() {
 	s.busyTime += now - tr.startedAt
 	s.util.transition(now, len(s.inFlight))
 	s.preemptions++
+	if s.Tracer != nil {
+		ev := obs.Ev(now, obs.KindPreempt, tr.req.Client)
+		ev.Page = tr.req.Page
+		ev.Service = now - tr.startedAt
+		s.Tracer.Emit(ev)
+	}
 	if rq, ok := s.disc.(requeuer); ok {
 		rq.requeueFront(tr.req)
 	} else {
@@ -478,6 +533,15 @@ func (s *Scheduler) start(req *Request) {
 	}
 	if s.OnStart != nil {
 		s.OnStart(req)
+	}
+	if s.Tracer != nil {
+		ev := obs.Ev(now, obs.KindDequeue, req.Client)
+		ev.Page = req.Page
+		ev.Demand = req.Demand
+		ev.Service = service
+		ev.Waited = waited
+		ev.Attempt = req.attempt
+		s.Tracer.Emit(ev)
 	}
 	s.started++
 	tr := &transfer{req: req, service: service, startedAt: now}
@@ -576,8 +640,18 @@ type Feedback struct {
 	PreemptionsTotal int64 // cumulative aborted speculative transfers
 }
 
-// Snapshot returns the congestion feedback at now.
+// Snapshot returns the congestion feedback at now. When tracing, each
+// snapshot also emits one queue_depth sample — the tracer observes the
+// read, the scheduler's own state is untouched.
 func (s *Scheduler) Snapshot(now float64) Feedback {
+	if s.Tracer != nil {
+		ev := obs.Ev(now, obs.KindQueueDepth, obs.ServerClient)
+		ev.Queued = s.disc.Len()
+		ev.QueuedDemand = s.queuedDemand
+		ev.InFlight = len(s.inFlight)
+		ev.Util = s.util.estimate(now)
+		s.Tracer.Emit(ev)
+	}
 	return Feedback{
 		Time:             now,
 		Utilization:      s.util.estimate(now),

@@ -5,6 +5,7 @@ import (
 
 	"prefetch/internal/core"
 	"prefetch/internal/netsim"
+	"prefetch/internal/obs"
 	"prefetch/internal/stats"
 )
 
@@ -61,6 +62,16 @@ type SessionOptions struct {
 	// resource-aware prefetcher (paper §1: "a resource model allows a
 	// prefetcher to predict the amount of available ... resources").
 	EffectiveViewing bool
+
+	// Tracer, when non-nil and enabled, receives a decision trace on
+	// track (client id) Track against a virtual clock advancing by
+	// viewing + access per round. Page ids are Markov states. Wasted
+	// prefetches resolve at round end (items are flushed each round;
+	// only the link backlog persists).
+	Tracer obs.Tracer
+	// Track is the client id stamped on every event, so several planner
+	// runs can share one trace file on distinct tracks.
+	Track int
 }
 
 // SessionResult aggregates one planner's run through the event-driven
@@ -84,6 +95,14 @@ func RunMarkovSession(trace *MarkovTrace, planner SessionPlanner, opts SessionOp
 	}
 	session := netsim.NewSession(netsim.SessionOptions{KeepItems: false})
 	res := SessionResult{Policy: planner.Name()}
+
+	tr := obs.Active(opts.Tracer)
+	var now float64 // virtual clock; advances by viewing + access per round
+	if tr != nil {
+		ev := obs.Ev(0, obs.KindTrack, opts.Track)
+		ev.Note = planner.Name()
+		tr.Emit(ev)
+	}
 
 	for k := 0; k+1 < len(trace.States); k++ {
 		s := trace.States[k]
@@ -131,7 +150,55 @@ func RunMarkovSession(trace *MarkovTrace, planner SessionPlanner, opts SessionOp
 		}
 		res.Access.Add(t)
 		res.Requests++
+		if tr != nil {
+			now = traceSessionRound(tr, opts.Track, k+1, now, v, requested, plan, t)
+		}
 	}
 	res.NetworkBusy = session.NetworkBusy()
 	return res, nil
+}
+
+// traceSessionRound emits one session round — plan at now, request at
+// now + viewing, wasted prefetches and the round end at now + viewing +
+// access — and returns the advanced virtual clock.
+func traceSessionRound(tr obs.Tracer, track, round int, now, viewing float64, requested int, plan core.Plan, access float64) float64 {
+	ev := obs.Ev(now, obs.KindRoundStart, track)
+	ev.Round = round
+	ev.Viewing = viewing
+	tr.Emit(ev)
+	for _, it := range plan.Items {
+		e := obs.Ev(now, obs.KindSpecIssue, track)
+		e.Round = round
+		e.Page = it.ID
+		e.Prob = it.Prob
+		e.Service = it.Retrieval
+		tr.Emit(e)
+	}
+	reqAt := now + viewing
+	hit := plan.Contains(requested)
+	kind := obs.KindDemandIssue
+	if hit {
+		kind = obs.KindSpecUseful
+	}
+	e := obs.Ev(reqAt, kind, track)
+	e.Round = round
+	e.Page = requested
+	tr.Emit(e)
+	end := reqAt + access
+	for _, it := range plan.Items {
+		if it.ID == requested {
+			continue
+		}
+		w := obs.Ev(end, obs.KindSpecWasted, track)
+		w.Round = round
+		w.Page = it.ID
+		w.Prob = it.Prob
+		tr.Emit(w)
+	}
+	e = obs.Ev(end, obs.KindRoundEnd, track)
+	e.Round = round
+	e.Access = access
+	e.Demand = !hit
+	tr.Emit(e)
+	return end
 }

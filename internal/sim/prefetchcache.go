@@ -6,6 +6,7 @@ import (
 	"prefetch/internal/access"
 	"prefetch/internal/cache"
 	"prefetch/internal/core"
+	"prefetch/internal/obs"
 	"prefetch/internal/rng"
 	"prefetch/internal/stats"
 )
@@ -89,6 +90,20 @@ func (r CacheResult) HitRate() float64 {
 	return float64(r.Hits) / float64(r.Requests)
 }
 
+// CacheOptions tunes RunPrefetchCacheOpts beyond the §5.3 defaults.
+type CacheOptions struct {
+	// Tracer, when non-nil and enabled, receives a decision trace on
+	// track (client id) Track against a virtual clock advancing by
+	// viewing + access per round. Page ids are Markov states. Admitted
+	// prefetches appear as spec_issue, arbitration and demand evictions
+	// as cache_evict, and a request answered from the persistent cache
+	// as cache_hit.
+	Tracer obs.Tracer
+	// Track is the client id stamped on every event, so several policy
+	// runs can share one trace file on distinct tracks.
+	Track int
+}
+
 // RunPrefetchCache replays the trace under one planner and cache size —
 // the paper's §5.3 Monte-Carlo. Each round: the client sits in state s for
 // v_s, the planner runs SKP/KP over the non-cached successors of s
@@ -96,6 +111,12 @@ func (r CacheResult) HitRate() float64 {
 // against the cache, the request States[k+1] arrives, and a miss demand-
 // fetches with a mandatory victim. Access frequencies drive LFU/DS.
 func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (CacheResult, error) {
+	return RunPrefetchCacheOpts(trace, planner, cacheSize, CacheOptions{})
+}
+
+// RunPrefetchCacheOpts is RunPrefetchCache with an optional decision
+// trace; zero options replay it exactly.
+func RunPrefetchCacheOpts(trace *MarkovTrace, planner CachePlanner, cacheSize int, opts CacheOptions) (CacheResult, error) {
 	if trace == nil || len(trace.States) < 2 {
 		return CacheResult{}, fmt.Errorf("%w: empty trace", ErrBadSim)
 	}
@@ -109,6 +130,14 @@ func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (
 	res := CacheResult{Policy: planner.Label, CacheSize: cacheSize}
 	retrOf := func(id int) float64 { return trace.Retrievals[id] }
 
+	tr := obs.Active(opts.Tracer)
+	var now float64 // virtual clock; advances by viewing + access per round
+	if tr != nil {
+		ev := obs.Ev(0, obs.KindTrack, opts.Track)
+		ev.Note = planner.Label
+		tr.Emit(ev)
+	}
+
 	for k := 0; k+1 < len(trace.States); k++ {
 		s := trace.States[k]
 		requested := trace.States[k+1]
@@ -117,6 +146,13 @@ func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (
 		probOf := make(map[int]float64, len(succ))
 		for i, id := range succ {
 			probOf[id] = probs[i]
+		}
+
+		if tr != nil {
+			ev := obs.Ev(now, obs.KindRoundStart, opts.Track)
+			ev.Round = k + 1
+			ev.Viewing = v
+			tr.Emit(ev)
 		}
 
 		var accepted core.Plan
@@ -139,9 +175,23 @@ func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (
 					if err := c.Evict(victim); err != nil {
 						return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
 					}
+					if tr != nil {
+						ev := obs.Ev(now, obs.KindCacheEvict, opts.Track)
+						ev.Round = k + 1
+						ev.Page = victim
+						tr.Emit(ev)
+					}
 				}
 				if err := c.Insert(it.ID, it.Retrieval); err != nil {
 					return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
+				}
+				if tr != nil {
+					ev := obs.Ev(now, obs.KindSpecIssue, opts.Track)
+					ev.Round = k + 1
+					ev.Page = it.ID
+					ev.Prob = it.Prob
+					ev.Service = it.Retrieval
+					tr.Emit(ev)
 				}
 			}
 			accepted = arb.Accepted
@@ -149,16 +199,39 @@ func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (
 		}
 
 		st := accepted.Stretch(v)
+		reqAt := now + v
 		var t float64
+		var demandFetched bool
 		switch {
 		case accepted.Contains(requested):
 			t = core.AccessTime(accepted, v, requested, retrOf)
+			if tr != nil {
+				ev := obs.Ev(reqAt, obs.KindSpecUseful, opts.Track)
+				ev.Round = k + 1
+				ev.Page = requested
+				ev.Prob = probOf[requested]
+				tr.Emit(ev)
+			}
 		case c.Contains(requested):
 			t = 0
+			if tr != nil {
+				ev := obs.Ev(reqAt, obs.KindCacheHit, opts.Track)
+				ev.Round = k + 1
+				ev.Page = requested
+				tr.Emit(ev)
+			}
 		default:
 			// Demand fetch behind the unaborted prefetch (Fig. 2 case C).
 			t = st + trace.Retrievals[requested]
 			res.Demand += trace.Retrievals[requested]
+			demandFetched = true
+			if tr != nil {
+				ev := obs.Ev(reqAt, obs.KindDemandIssue, opts.Track)
+				ev.Round = k + 1
+				ev.Page = requested
+				ev.Service = trace.Retrievals[requested]
+				tr.Emit(ev)
+			}
 			if c.Free() == 0 {
 				victim, ok := core.DemandVictim(arbitrationEntries(c, probOf), planner.Sub)
 				if !ok {
@@ -166,6 +239,12 @@ func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (
 				}
 				if err := c.Evict(victim); err != nil {
 					return CacheResult{}, fmt.Errorf("round %d: %w", k, err)
+				}
+				if tr != nil {
+					ev := obs.Ev(reqAt, obs.KindCacheEvict, opts.Track)
+					ev.Round = k + 1
+					ev.Page = victim
+					tr.Emit(ev)
 				}
 			}
 			if err := c.Insert(requested, trace.Retrievals[requested]); err != nil {
@@ -178,6 +257,14 @@ func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (
 		res.Requests++
 		if t == 0 {
 			res.Hits++
+		}
+		now = reqAt + t
+		if tr != nil {
+			ev := obs.Ev(now, obs.KindRoundEnd, opts.Track)
+			ev.Round = k + 1
+			ev.Access = t
+			ev.Demand = demandFetched
+			tr.Emit(ev)
 		}
 	}
 	return res, nil

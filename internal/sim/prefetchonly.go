@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prefetch/internal/core"
+	"prefetch/internal/obs"
 	"prefetch/internal/stats"
 	"prefetch/internal/workload"
 )
@@ -23,6 +24,14 @@ type PrefetchOnlyOptions struct {
 	// VBinLo/VBinHi bound the by-viewing-time series (Fig. 5 bins average
 	// access time per integer v). Defaults to [1, 100] when both are zero.
 	VBinLo, VBinHi int
+
+	// Tracer, when non-nil and enabled, receives a harness-level
+	// decision trace: each policy runs on its own track (client id =
+	// policy index, named by a track event) against a virtual clock
+	// that advances by viewing + access per round. Page ids are the
+	// round's item indices. Wasted prefetches resolve at round end
+	// (this harness flushes the plan after every request).
+	Tracer obs.Tracer
 }
 
 // PrefetchOnlyResult aggregates one policy's run.
@@ -55,6 +64,15 @@ func RunPrefetchOnly(rounds []workload.Round, policies []Policy, opts PrefetchOn
 	for i, pol := range policies {
 		results[i] = PrefetchOnlyResult{Policy: pol.Name(), ByViewing: stats.NewBinnedSeries(lo, hi)}
 	}
+	tr := obs.Active(opts.Tracer)
+	clocks := make([]float64, len(policies)) // per-policy virtual time
+	if tr != nil {
+		for i, pol := range policies {
+			ev := obs.Ev(0, obs.KindTrack, i)
+			ev.Note = pol.Name()
+			tr.Emit(ev)
+		}
+	}
 	for ri, rd := range rounds {
 		if err := rd.Validate(); err != nil {
 			return nil, fmt.Errorf("round %d: %w", ri, err)
@@ -73,6 +91,9 @@ func RunPrefetchOnly(rounds []workload.Round, policies []Policy, opts PrefetchOn
 				}
 			}
 			t := core.AccessTime(plan, rd.Viewing, rd.Requested, retrOf)
+			if tr != nil {
+				clocks[pi] = tracePrefetchOnlyRound(tr, pi, ri+1, clocks[pi], rd, plan, t)
+			}
 			res := &results[pi]
 			res.Overall.Add(t)
 			res.ByViewing.Add(int(rd.Viewing), t)
@@ -84,4 +105,52 @@ func RunPrefetchOnly(rounds []workload.Round, policies []Policy, opts PrefetchOn
 		}
 	}
 	return results, nil
+}
+
+// tracePrefetchOnlyRound emits one policy-round of trace events and
+// returns the advanced virtual clock: the round spans [now, now +
+// viewing + access]; the request arrives at now + viewing.
+func tracePrefetchOnlyRound(tr obs.Tracer, track, round int, now float64, rd workload.Round, plan core.Plan, access float64) float64 {
+	ev := obs.Ev(now, obs.KindRoundStart, track)
+	ev.Round = round
+	ev.Viewing = rd.Viewing
+	tr.Emit(ev)
+	for _, it := range plan.Items {
+		e := obs.Ev(now, obs.KindSpecIssue, track)
+		e.Round = round
+		e.Page = it.ID
+		e.Prob = it.Prob
+		e.Service = it.Retrieval
+		tr.Emit(e)
+	}
+	reqAt := now + rd.Viewing
+	hit := plan.Contains(rd.Requested)
+	if hit {
+		e := obs.Ev(reqAt, obs.KindSpecUseful, track)
+		e.Round = round
+		e.Page = rd.Requested
+		tr.Emit(e)
+	} else {
+		e := obs.Ev(reqAt, obs.KindDemandIssue, track)
+		e.Round = round
+		e.Page = rd.Requested
+		tr.Emit(e)
+	}
+	end := reqAt + access
+	for _, it := range plan.Items {
+		if it.ID == rd.Requested {
+			continue
+		}
+		e := obs.Ev(end, obs.KindSpecWasted, track)
+		e.Round = round
+		e.Page = it.ID
+		e.Prob = it.Prob
+		tr.Emit(e)
+	}
+	e := obs.Ev(end, obs.KindRoundEnd, track)
+	e.Round = round
+	e.Access = access
+	e.Demand = !hit
+	tr.Emit(e)
+	return end
 }

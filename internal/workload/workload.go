@@ -15,6 +15,7 @@ import (
 
 	"prefetch/internal/access"
 	"prefetch/internal/core"
+	"prefetch/internal/jsonl"
 	"prefetch/internal/rng"
 )
 
@@ -188,19 +189,23 @@ func WriteTrace(w io.Writer, rounds []Round) error {
 	return bw.Flush()
 }
 
-// ReadTrace reads JSON-lines rounds and validates each.
+// ReadTrace reads JSON-lines rounds and validates each. Decoding is
+// strict, via the shared hardened scanner (internal/jsonl): an unknown
+// field, a blank line, trailing data after a round, or a truncated
+// final line is an error naming the offending 1-based line, instead of
+// being silently absorbed or replayed as a half-read workload.
 func ReadTrace(r io.Reader) ([]Round, error) {
 	var out []Round
-	dec := json.NewDecoder(r)
+	dec := jsonl.NewDecoder(r)
 	for {
 		var rd Round
 		if err := dec.Decode(&rd); err == io.EOF {
 			return out, nil
 		} else if err != nil {
-			return nil, fmt.Errorf("workload: decoding round %d: %w", len(out), err)
+			return nil, fmt.Errorf("workload: %w", err)
 		}
 		if err := rd.Validate(); err != nil {
-			return nil, fmt.Errorf("round %d: %w", len(out), err)
+			return nil, fmt.Errorf("line %d: %w", dec.Line(), err)
 		}
 		out = append(out, rd)
 	}

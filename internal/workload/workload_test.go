@@ -158,6 +158,43 @@ func TestReadTraceRejectsBadData(t *testing.T) {
 	}
 }
 
+// TestReadTraceStrictErrors pins the hardened error paths: truncated
+// files and unknown fields must fail with the offending line number
+// instead of silently replaying a damaged workload.
+func TestReadTraceStrictErrors(t *testing.T) {
+	good := `{"v":5,"p":[1],"r":[2],"req":0}`
+	cases := []struct {
+		name, input, want string
+	}{
+		{"unknown field", good + "\n" + `{"v":5,"p":[1],"r":[2],"req":0,"bogus":1}` + "\n", "line 2"},
+		{"truncated final line", good + "\n" + `{"v":5,"p":[1],"r":`, "truncated"},
+		{"truncated mid-value", `{"v":5,"p":[1`, "line 1"},
+		{"blank line", good + "\n\n" + good + "\n", "line 2"},
+		{"trailing data", good + ` {"v":1}` + "\n", "line 1"},
+		{"invalid round names line", good + "\n" + `{"v":5,"p":[1],"r":[2],"req":9}` + "\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTrace(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+	// A trace WriteTrace produced must still read back clean.
+	rounds := []Round{{Viewing: 2, Probs: []float64{1}, Retrievals: []float64{3}, Requested: 0}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rounds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(&buf); err != nil {
+		t.Fatalf("round-trip after hardening: %v", err)
+	}
+}
+
 func TestWriteTraceValidates(t *testing.T) {
 	var buf bytes.Buffer
 	err := WriteTrace(&buf, []Round{{Viewing: -1, Probs: []float64{1}, Retrievals: []float64{1}}})

@@ -1,0 +1,53 @@
+package prefetch
+
+import (
+	"io"
+
+	"prefetch/internal/obs"
+)
+
+// Observability types, re-exported so library users can capture, query
+// and export the decision trace of any simulation (see internal/obs for
+// the event taxonomy and the determinism guarantees).
+type (
+	// Tracer receives the typed decision-trace events of a run. The
+	// disabled state is a nil Tracer: instrumented hot paths guard every
+	// emission with a nil check, so tracing costs one branch when off.
+	Tracer = obs.Tracer
+	// TraceEvent is one decision-trace event: a flat union stamped with
+	// the simulated clock whose Kind determines which fields apply.
+	TraceEvent = obs.Event
+	// TraceKind names an event type (round_start, spec_wasted, …).
+	TraceKind = obs.Kind
+	// TraceCollector is a Tracer buffering events in memory, for tests
+	// and in-process analysis.
+	TraceCollector = obs.Collector
+	// TraceWriter is a Tracer streaming events as JSON lines.
+	TraceWriter = obs.Writer
+	// MetricsRegistry aggregates counters, gauges and histograms with
+	// deterministic (sorted) export; Accumulate folds a decision trace
+	// into run metrics.
+	MetricsRegistry = obs.Registry
+)
+
+// NewTraceWriter returns a Tracer that streams events to w as JSON
+// lines. Call Flush before reading what was written.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewWriter(w) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ReadDecisionTrace reads a JSONL decision trace (as written by
+// TraceWriter or prefetchsim -trace-out) and validates every event.
+// Decoding is strict: unknown fields, blank lines and truncated final
+// lines are errors naming the offending line.
+func ReadDecisionTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadTrace(r) }
+
+// WriteChromeTrace converts a decision trace into the Chrome
+// trace-event format that Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing open directly: per-client round spans, async
+// transfer spans (with preemption), λ and queue-depth counter tracks,
+// and instants for drops, hits and wasted speculations.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}

@@ -32,6 +32,8 @@ type (
 	MarkovTrace = sim.MarkovTrace
 	// CachePlanner combines a prefetch solver with a sub-arbitration.
 	CachePlanner = sim.CachePlanner
+	// CacheOptions tunes the §5.3 harness (decision tracing).
+	CacheOptions = sim.CacheOptions
 	// CacheResult aggregates one prefetch-cache run.
 	CacheResult = sim.CacheResult
 	// MarkovConfig parameterises the request source of Fig. 7.
@@ -116,6 +118,12 @@ func Fig7Planners(mode DeltaMode) []CachePlanner { return sim.Fig7Planners(mode)
 // (§5.3 harness).
 func RunPrefetchCache(trace *MarkovTrace, planner CachePlanner, cacheSize int) (CacheResult, error) {
 	return sim.RunPrefetchCache(trace, planner, cacheSize)
+}
+
+// RunPrefetchCacheOpts is RunPrefetchCache with harness options (a
+// decision Tracer and the track id its events carry).
+func RunPrefetchCacheOpts(trace *MarkovTrace, planner CachePlanner, cacheSize int, opts CacheOptions) (CacheResult, error) {
+	return sim.RunPrefetchCacheOpts(trace, planner, cacheSize, opts)
 }
 
 // NewDependencyGraph returns an empty order-1 predictor.
