@@ -19,12 +19,14 @@ SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
 # simulation round (oracle and learned-predictor variants, plus the
 # traced and disabled-tracer variants that hold the observability
 # layer's overhead — off must stay within noise of the untraced
-# baseline), and the learned predictors' observe/predict cycle.
-BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkMultiClientRoundDrift|BenchmarkMultiClientRoundTracerOff|BenchmarkMultiClientRoundTraced|BenchmarkPredictorObserve|BenchmarkPredictorObserveDecay)$$
-BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient ./internal/predict
+# baseline), the learned predictors' observe/predict cycle, and the
+# multi-replica fleet round (routing + failure injection overhead on
+# top of the single-server round).
+BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkMultiClientRoundDrift|BenchmarkMultiClientRoundTracerOff|BenchmarkMultiClientRoundTraced|BenchmarkPredictorObserve|BenchmarkPredictorObserveDecay|BenchmarkFleetRound)$$
+BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient ./internal/predict ./internal/fleet
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -count 3
 
-.PHONY: test lint bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift trace
+.PHONY: test lint bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift sweep-fleet trace
 
 test: lint
 	$(GO) build ./...
@@ -83,3 +85,9 @@ sweep-learned:
 # predictor ranking inverting under drift.
 sweep-drift:
 	$(GO) run ./examples/drift
+
+# Fleet report (examples/fleet): router × replica-count sweep with
+# failure injection — availability, re-routed demand fetches and lost
+# transfers per router under churn.
+sweep-fleet:
+	$(GO) run ./examples/fleet

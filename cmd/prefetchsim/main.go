@@ -72,6 +72,20 @@
 //	prefetchsim -mode multiclient -clients 16 -drift-every 40 -predictor all
 //	prefetchsim -mode multiclient -clients 16 -drift-every 40 -predictor decay -decay-half-life 120
 //
+// Fleet mode replicates the shared server — each replica a full
+// scheduling-arbitrated, cache-equipped server built from the
+// multiclient flags above — behind a pluggable request router, with
+// deterministic replica failure injection. -router selects the routing
+// policy (round-robin | least-loaded | hash), -replicas the fleet size;
+// comma lists (or "all" for routers) print the router × replicas sweep
+// table with availability under churn. -fail-every sets each replica's
+// mean time between failures (0 = none; a crash loses the replica's
+// queued and in-flight transfers and re-routes the displaced demands)
+// and -recover-after the repair time:
+//
+//	prefetchsim -mode fleet -clients 8 -replicas 4 -router hash -fail-every 40 -recover-after 15
+//	prefetchsim -mode fleet -clients 8 -replicas 1,2,4 -router all -fail-every 40 -recover-after 15
+//
 // Traces: -record FILE writes the generated workload as JSON lines;
 // -replay FILE replays a previously recorded workload (prefetch-only mode).
 //
@@ -119,7 +133,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prefetchsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		mode      = fs.String("mode", "prefetch-only", "prefetch-only | cache | session | multiclient")
+		mode      = fs.String("mode", "prefetch-only", "prefetch-only | cache | session | multiclient | fleet")
 		seed      = fs.Uint64("seed", 42, "random seed")
 		n         = fs.Int("n", 10, "items per round (prefetch-only)")
 		gen       = fs.String("gen", "skewy", "probability generator: skewy | flat | zipf | geometric")
@@ -156,6 +170,11 @@ func run(args []string, out io.Writer) error {
 		coldStart = fs.String("cold-start", "none", "learned-predictor cold-start fallback: none | uniform (multiclient)")
 		warmCache = fs.Bool("warm-cache", false, "server pre-admits the shared model's top pages (needs -predictor shared and -servercache) (multiclient)")
 
+		replicas     = fs.String("replicas", "3", "replica count, or comma list to sweep (fleet)")
+		router       = fs.String("router", "hash", "request router: round-robin | least-loaded | hash, comma list or \"all\" to sweep (fleet)")
+		failEvery    = fs.Float64("fail-every", 0, "mean time between failures per replica, 0 = none (fleet)")
+		recoverAfter = fs.Float64("recover-after", 0, "repair time after a replica failure (fleet)")
+
 		driftEvery    = fs.Int("drift-every", 0, "re-draw each surfer's hot set every N rounds, 0 = stationary (multiclient)")
 		decayHalfLife = fs.Float64("decay-half-life", 500, "observation half-life for -predictor decay (multiclient)")
 		mixWeight     = fs.Float64("mix-weight", 0.25, "popularity share for -predictor mixture, in (0, 1) (multiclient)")
@@ -183,6 +202,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if _, err := parsePredictors(*predictor); err != nil {
+		return err
+	}
+	if _, err := parseRouters(*router); err != nil {
+		return err
+	}
+	if _, err := parseReplicas(*replicas); err != nil {
+		return err
+	}
+	if err := checkFailureFlags(*failEvery, *recoverAfter); err != nil {
 		return err
 	}
 	// The drift and predictor tunables are likewise validated in every
@@ -247,6 +275,10 @@ func run(args []string, out io.Writer) error {
 			driftEvery:    *driftEvery,
 			decayHalfLife: *decayHalfLife,
 			mixWeight:     *mixWeight,
+			replicas:      *replicas,
+			router:        *router,
+			failEvery:     *failEvery,
+			recoverAfter:  *recoverAfter,
 		},
 	})
 	// Flush the observability outputs even when the run failed — a
@@ -284,6 +316,8 @@ func dispatch(mode string, out io.Writer, tr obs.Tracer, a modeArgs) error {
 		return runSession(out, a.seed, a.states, a.requests, a.skew, tr)
 	case "multiclient":
 		return runMultiClient(out, a.mc, tr)
+	case "fleet":
+		return runFleet(out, a.mc, tr)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
@@ -599,6 +633,10 @@ type mcOptions struct {
 	driftEvery    int
 	decayHalfLife float64
 	mixWeight     float64
+	replicas      string
+	router        string
+	failEvery     float64
+	recoverAfter  float64
 }
 
 // parseWeights parses "demand:spec" wfq class weights.
@@ -663,8 +701,14 @@ func parsePredictors(s string) ([]prefetch.PredictorKind, error) {
 	return parseKinds(s, "predictor", prefetch.PredictorKinds())
 }
 
-// parseClients parses a single client count or a comma-separated sweep axis.
-func parseClients(list string) ([]int, error) {
+// parseRouters parses the -router flag against RouterKinds().
+func parseRouters(s string) ([]prefetch.FleetRouterKind, error) {
+	return parseKinds(s, "router", prefetch.RouterKinds())
+}
+
+// parseCounts parses a single positive count or a comma-separated sweep
+// axis; what names the flag in errors.
+func parseCounts(list, what string) ([]int, error) {
 	var ns []int
 	for _, part := range strings.Split(list, ",") {
 		part = strings.TrimSpace(part)
@@ -673,60 +717,89 @@ func parseClients(list string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad client count %q", part)
+			return nil, fmt.Errorf("bad %s %q", what, part)
 		}
 		ns = append(ns, n)
 	}
 	if len(ns) == 0 {
-		return nil, fmt.Errorf("no client counts given")
+		return nil, fmt.Errorf("no %ss given", what)
 	}
 	return ns, nil
 }
 
-func runMultiClient(out io.Writer, opt mcOptions, tr obs.Tracer) error {
-	ns, err := parseClients(opt.clients)
-	if err != nil {
-		return err
+// parseClients parses a single client count or a comma-separated sweep axis.
+func parseClients(list string) ([]int, error) { return parseCounts(list, "client count") }
+
+// parseReplicas parses a single replica count or a comma-separated sweep axis.
+func parseReplicas(list string) ([]int, error) { return parseCounts(list, "replica count") }
+
+// checkFailureFlags validates the fleet failure regime; positive-form
+// checks so NaN is rejected too.
+func checkFailureFlags(failEvery, recoverAfter float64) error {
+	if !(failEvery >= 0) || math.IsInf(failEvery, 0) {
+		return fmt.Errorf("-fail-every must be finite and >= 0 (got %v)", failEvery)
 	}
-	kinds, err := parseDisciplines(opt.discipline)
+	if !(recoverAfter >= 0) || math.IsInf(recoverAfter, 0) {
+		return fmt.Errorf("-recover-after must be finite and >= 0 (got %v)", recoverAfter)
+	}
+	if failEvery > 0 && !(recoverAfter > 0) {
+		return fmt.Errorf("-fail-every needs -recover-after > 0 (failed replicas would never return)")
+	}
+	return nil
+}
+
+// mcConfig validates the multiclient flag values and builds the base
+// config (Clients unset — callers pick from ns) plus the parsed sweep
+// lists. Shared by the multiclient and fleet modes.
+func mcConfig(opt mcOptions) (cfg prefetch.MultiClientConfig, ns []int, kinds []prefetch.SchedKind, ctls []prefetch.ControllerKind, preds []prefetch.PredictorKind, err error) {
+	ns, err = parseClients(opt.clients)
 	if err != nil {
-		return err
+		return
+	}
+	kinds, err = parseDisciplines(opt.discipline)
+	if err != nil {
+		return
 	}
 	demandW, specW, err := parseWeights(opt.weights)
 	if err != nil {
-		return err
+		return
 	}
 	// SchedConfig treats zero tunables as "use the default", so an explicit
 	// -rate 0 would silently become 0.5; refuse it (and NaN) here instead.
 	if !(opt.rate > 0) || !(opt.burst > 0) {
-		return fmt.Errorf("-rate and -burst must be positive (got %v, %v)", opt.rate, opt.burst)
+		err = fmt.Errorf("-rate and -burst must be positive (got %v, %v)", opt.rate, opt.burst)
+		return
 	}
 	if !(opt.admitWindow > 0) {
-		return fmt.Errorf("-admit-window must be positive (got %v)", opt.admitWindow)
+		err = fmt.Errorf("-admit-window must be positive (got %v)", opt.admitWindow)
+		return
 	}
 	if opt.admitDefer && !(opt.admitUtil > 0) {
-		return fmt.Errorf("-admit-defer requires -admit-util > 0")
+		err = fmt.Errorf("-admit-defer requires -admit-util > 0")
+		return
 	}
-	ctls, err := parseControllers(opt.controller)
+	ctls, err = parseControllers(opt.controller)
 	if err != nil {
-		return err
+		return
 	}
 	// ControllerConfig treats a zero setpoint as "use the default", so an
 	// explicit -target-util 0 would silently become 0.7; refuse it (and
 	// NaN) here instead.
 	if !(opt.targetUtil > 0 && opt.targetUtil < 1) {
-		return fmt.Errorf("-target-util must be in (0, 1) (got %v)", opt.targetUtil)
+		err = fmt.Errorf("-target-util must be in (0, 1) (got %v)", opt.targetUtil)
+		return
 	}
-	preds, err := parsePredictors(opt.predictor)
+	preds, err = parsePredictors(opt.predictor)
 	if err != nil {
-		return err
+		return
 	}
 	// PredictConfig treats a zero order as "use the default", so an
 	// explicit -ppm-order 0 would silently become 2; refuse it here.
 	if opt.ppmOrder < 1 {
-		return fmt.Errorf("-ppm-order must be >= 1 (got %d)", opt.ppmOrder)
+		err = fmt.Errorf("-ppm-order must be >= 1 (got %d)", opt.ppmOrder)
+		return
 	}
-	cfg := prefetch.DefaultMultiClientConfig()
+	cfg = prefetch.DefaultMultiClientConfig()
 	cfg.Seed = opt.seed
 	cfg.ServerConcurrency = opt.serverConc
 	cfg.ServerCacheSlots = opt.serverCache
@@ -747,8 +820,8 @@ func runMultiClient(out io.Writer, opt mcOptions, tr obs.Tracer) error {
 		Lambda0:    opt.lambda0,
 		TargetUtil: opt.targetUtil,
 	}
-	if err := cfg.Adaptive.Validate(); err != nil {
-		return err
+	if err = cfg.Adaptive.Validate(); err != nil {
+		return
 	}
 	cfg.Predict = prefetch.PredictConfig{
 		Kind:      preds[0],
@@ -757,8 +830,8 @@ func runMultiClient(out io.Writer, opt mcOptions, tr obs.Tracer) error {
 		HalfLife:  opt.decayHalfLife,
 		MixWeight: opt.mixWeight,
 	}
-	if err := cfg.Predict.Validate(); err != nil {
-		return err
+	if err = cfg.Predict.Validate(); err != nil {
+		return
 	}
 	cfg.DriftEvery = opt.driftEvery
 	cfg.WarmServerCache = opt.warmCache
@@ -766,11 +839,21 @@ func runMultiClient(out io.Writer, opt mcOptions, tr obs.Tracer) error {
 		// Fail the flag combination up front with a CLI-level message
 		// (Validate would reject it too, but less readably).
 		if opt.serverCache <= 0 {
-			return fmt.Errorf("-warm-cache needs -servercache > 0")
+			err = fmt.Errorf("-warm-cache needs -servercache > 0")
+			return
 		}
 		if len(preds) != 1 || preds[0] != prefetch.PredictorShared {
-			return fmt.Errorf("-warm-cache needs -predictor shared")
+			err = fmt.Errorf("-warm-cache needs -predictor shared")
+			return
 		}
+	}
+	return
+}
+
+func runMultiClient(out io.Writer, opt mcOptions, tr obs.Tracer) error {
+	cfg, ns, kinds, ctls, preds, err := mcConfig(opt)
+	if err != nil {
+		return err
 	}
 	reps := opt.reps
 	// Non-default scheduling extends the seed's tables with the
@@ -1031,6 +1114,96 @@ func runPredictorControllerSweep(out io.Writer, cfg prefetch.MultiClientConfig, 
 					p.L1Error.Mean(), 100*p.WastedFraction.Mean(), p.SpecThroughput.Mean(), mark)
 			}
 		}
+	}
+	return nil
+}
+
+// runFleet plays the multiclient workload against an R-replica fleet
+// behind a pluggable router, optionally under failure injection. A
+// single -router and -replicas value prints the per-replica table; a
+// comma list on either sweeps router × replicas.
+func runFleet(out io.Writer, opt mcOptions, tr obs.Tracer) error {
+	base, ns, kinds, ctls, preds, err := mcConfig(opt)
+	if err != nil {
+		return err
+	}
+	if len(ns) > 1 || len(kinds) > 1 || len(ctls) > 1 || len(preds) > 1 {
+		return fmt.Errorf("fleet mode sweeps -router and -replicas only: give single -clients/-discipline/-controller/-predictor values")
+	}
+	routers, err := parseRouters(opt.router)
+	if err != nil {
+		return err
+	}
+	replicas, err := parseReplicas(opt.replicas)
+	if err != nil {
+		return err
+	}
+	if err := checkFailureFlags(opt.failEvery, opt.recoverAfter); err != nil {
+		return err
+	}
+	base.Clients = ns[0]
+	cfg := prefetch.FleetConfig{
+		Base:         base,
+		Replicas:     replicas[0],
+		Router:       routers[0],
+		FailEvery:    opt.failEvery,
+		RecoverAfter: opt.recoverAfter,
+	}
+	failNote := ""
+	if opt.failEvery > 0 {
+		failNote = fmt.Sprintf(", fail every %g, recover after %g", opt.failEvery, opt.recoverAfter)
+	}
+
+	if len(routers) > 1 || len(replicas) > 1 {
+		if tr != nil {
+			return fmt.Errorf("-trace-out/-metrics-out need a single run: drop the -router/-replicas lists")
+		}
+		return runFleetSweep(out, cfg, routers, replicas, opt.reps, failNote)
+	}
+
+	cfg.Base.Tracer = tr
+	res, err := prefetch.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet: %d replicas, router %s, %d clients, server concurrency %d per replica, %d rounds each%s\n\n",
+		res.Replicas, res.Router, res.Clients, res.Concurrency, cfg.Base.Rounds, failNote)
+	fmt.Fprintf(out, "%-8s %9s %9s %10s %8s %6s %9s %6s %10s\n",
+		"replica", "requests", "cachehit", "busy", "spec", "fails", "recovers", "lost", "downtime")
+	for _, rr := range res.PerReplica {
+		fmt.Fprintf(out, "%-8d %9d %9d %10.2f %8d %6d %9d %6d %10.2f\n",
+			rr.Replica+1, rr.Requests, rr.CacheHits, rr.Busy, rr.SpecCompleted,
+			rr.Failures, rr.Recoveries, rr.Lost, rr.Downtime)
+	}
+	fmt.Fprintf(out, "\ndemand access %.4f, mean access %.4f, queue wait %.4f\n",
+		res.DemandAccess.Mean(), res.Access.Mean(), res.QueueWait.Mean())
+	fmt.Fprintf(out, "fleet utilization %.1f%%", 100*res.Utilization())
+	if cfg.Base.ServerCacheSlots > 0 {
+		fmt.Fprintf(out, ", cache hit rate %.1f%%", 100*res.HitRate())
+	}
+	fmt.Fprintln(out)
+	if opt.failEvery > 0 {
+		fmt.Fprintf(out, "availability %.1f%%: %d failures, %d recoveries, %d demands re-routed, %d transfers lost, downtime %.2f\n",
+			100*res.Availability(), res.Failures, res.Recoveries, res.ReRoutes, res.LostTransfers, res.Downtime)
+	}
+	return nil
+}
+
+// runFleetSweep prints the fleet's headline table: router kind ×
+// replica count under the configured failure regime, router-major.
+func runFleetSweep(out io.Writer, cfg prefetch.FleetConfig, routers []prefetch.FleetRouterKind, replicas []int, reps int, failNote string) error {
+	points, err := prefetch.SweepFleetRouters(cfg, routers, replicas, reps, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet sweep, %d clients, discipline %s, server concurrency %d per replica, %d reps, %d rounds each%s\n\n",
+		cfg.Base.Clients, cfg.Base.Sched.Kind, cfg.Base.ServerConcurrency, reps, cfg.Base.Rounds, failNote)
+	fmt.Fprintf(out, "%-13s %9s %10s %10s %12s %8s %9s %6s\n",
+		"router", "replicas", "demand T", "mean T", "queue wait", "avail%", "reroutes", "lost")
+	for _, p := range points {
+		fmt.Fprintf(out, "%-13s %9s %10.4f %10.4f %12.4f %7.1f%% %9d %6d\n",
+			p.Labels[0], p.Labels[1], p.DemandAccess.Mean(), p.Access.Mean(),
+			p.QueueWait.Mean(), 100*p.Availability.Mean(), p.ReRoutes, p.LostTransfers)
 	}
 	return nil
 }

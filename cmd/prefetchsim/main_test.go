@@ -728,6 +728,139 @@ func TestRunProfileFlags(t *testing.T) {
 	}
 }
 
+func TestRunFleetMode(t *testing.T) {
+	out := runOut(t, "-mode", "fleet", "-clients", "3", "-rounds", "20", "-replicas", "2", "-router", "hash")
+	for _, want := range []string{"fleet: 2 replicas", "router hash", "replica", "requests", "downtime", "demand access", "fleet utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Without failure injection there is no availability story to tell.
+	if strings.Contains(out, "availability") {
+		t.Errorf("failure-free run grew an availability line:\n%s", out)
+	}
+}
+
+func TestRunFleetFailures(t *testing.T) {
+	out := runOut(t, "-mode", "fleet", "-clients", "4", "-rounds", "40", "-serverconc", "1", "-seed", "3",
+		"-replicas", "3", "-router", "hash", "-fail-every", "40", "-recover-after", "15")
+	for _, want := range []string{"fail every 40, recover after 15", "availability", "failures", "re-routed", "transfers lost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFleetDeterminism(t *testing.T) {
+	for _, router := range []string{"round-robin", "least-loaded", "hash"} {
+		args := []string{"-mode", "fleet", "-clients", "3", "-rounds", "25", "-seed", "9",
+			"-replicas", "3", "-router", router, "-fail-every", "30", "-recover-after", "10"}
+		if a, b := runOut(t, args...), runOut(t, args...); a != b {
+			t.Errorf("%s: two identical invocations differ:\n%s\n---\n%s", router, a, b)
+		}
+	}
+}
+
+func TestRunFleetSweep(t *testing.T) {
+	out := runOut(t, "-mode", "fleet", "-clients", "3", "-rounds", "15", "-reps", "2",
+		"-replicas", "1,2", "-router", "all", "-fail-every", "30", "-recover-after", "10")
+	for _, want := range []string{"fleet sweep", "avail%", "reroutes", "round-robin", "least-loaded", "hash"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Header + blank + column header + 3 routers × 2 replica counts.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if got, want := len(lines), 9; got != want {
+		t.Errorf("sweep printed %d lines, want %d:\n%s", got, want, out)
+	}
+}
+
+func TestRunFleetTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	runOut(t, "-mode", "fleet", "-clients", "3", "-rounds", "20", "-replicas", "2", "-router", "hash",
+		"-fail-every", "30", "-recover-after", "10", "-trace-out", trace)
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("fleet trace does not parse: %v", err)
+	}
+	var routes int
+	for _, ev := range events {
+		if ev.Kind == obs.KindRoute {
+			routes++
+		}
+	}
+	if routes == 0 {
+		t.Error("fleet trace has no route events")
+	}
+	// A sweep cannot be traced.
+	var sb strings.Builder
+	if err := run([]string{"-mode", "fleet", "-clients", "2", "-rounds", "10", "-router", "all",
+		"-trace-out", filepath.Join(dir, "sweep.jsonl")}, &sb); err == nil {
+		t.Error("run accepted tracing a fleet sweep")
+	}
+}
+
+func TestRunFleetBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "fleet", "-router", "teleport"},
+		{"-mode", "fleet", "-router", ""},
+		{"-mode", "fleet", "-replicas", "0"},
+		{"-mode", "fleet", "-replicas", ""},
+		{"-mode", "fleet", "-fail-every", "-1"},
+		{"-mode", "fleet", "-fail-every", "NaN"},
+		{"-mode", "fleet", "-fail-every", "Inf"},
+		{"-mode", "fleet", "-recover-after", "-1"},
+		{"-mode", "fleet", "-recover-after", "NaN"},
+		{"-mode", "fleet", "-fail-every", "10"}, // failures need a repair time
+		// Fleet sweeps router × replicas only.
+		{"-mode", "fleet", "-clients", "2,3"},
+		{"-mode", "fleet", "-discipline", "all"},
+		{"-mode", "fleet", "-controller", "all"},
+		{"-mode", "fleet", "-predictor", "all"},
+		// The fleet flags are validated in every mode.
+		{"-mode", "prefetch-only", "-router", "teleport"},
+		{"-mode", "cache", "-replicas", "0"},
+		{"-mode", "session", "-fail-every", "-2"},
+		{"-mode", "multiclient", "-fail-every", "5"}, // no -recover-after
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad fleet input", args)
+		}
+	}
+}
+
+// TestExitStatusBadFleetFlags: the same validation at the process level.
+func TestExitStatusBadFleetFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec test")
+	}
+	bad := [][]string{
+		{"-mode", "prefetch-only", "-router", "teleport"},
+		{"-mode", "cache", "-replicas", "0"},
+		{"-mode", "prefetch-only", "-fail-every", "-1"},
+		{"-mode", "session", "-fail-every", "5"},
+		{"-mode", "fleet", "-clients", "2", "-rounds", "5", "-router", "warp"},
+	}
+	for _, args := range bad {
+		if code := exitStatus(t, args...); code == 0 {
+			t.Errorf("prefetchsim %v exited 0, want non-zero", args)
+		}
+	}
+	ok := []string{"-mode", "fleet", "-clients", "2", "-rounds", "5", "-replicas", "2", "-router", "round-robin"}
+	if code := exitStatus(t, ok...); code != 0 {
+		t.Errorf("prefetchsim %v exited %d, want 0", ok, code)
+	}
+}
+
 // TestRunTraceDeterministic: same seed, same flags — byte-identical
 // trace and metrics files.
 func TestRunTraceDeterministic(t *testing.T) {

@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	printSummary(out, events)
+	printFleet(out, events)
 	printRounds(out, events)
 	printQueues(out, events)
 	printLambda(out, events)
@@ -158,6 +159,92 @@ func printSummary(out io.Writer, events []obs.Event) {
 		if counts[k] > 0 {
 			fmt.Fprintf(out, "%-16s %8d\n", k, counts[k])
 		}
+	}
+}
+
+// replicaStats aggregates one replica's routing and failure events.
+type replicaStats struct {
+	routed   int
+	demand   int
+	fails    int
+	recovers int
+	lost     int64
+	downtime float64
+	downAt   float64
+	down     bool
+}
+
+// printFleet rolls a fleet trace up per replica: placements, failure
+// churn, lost transfers and downtime reconstructed from the fail/recover
+// timestamps. Traces without fleet events print nothing.
+func printFleet(out io.Writer, events []obs.Event) {
+	per := map[int]*replicaStats{}
+	stat := func(id int) *replicaStats {
+		s := per[id]
+		if s == nil {
+			s = &replicaStats{}
+			per[id] = s
+		}
+		return s
+	}
+	var reroutes int
+	end := events[len(events)-1].T
+	for _, ev := range events {
+		if ev.T > end {
+			end = ev.T
+		}
+		switch ev.Kind {
+		case obs.KindRoute:
+			s := stat(ev.Replica)
+			s.routed++
+			if ev.Demand {
+				s.demand++
+			}
+		case obs.KindReRoute:
+			reroutes++
+			s := stat(ev.Replica)
+			s.routed++
+			s.demand++
+		case obs.KindReplicaFail:
+			s := stat(ev.Replica)
+			s.fails++
+			s.lost += int64(ev.Queued)
+			s.downAt = ev.T
+			s.down = true
+		case obs.KindReplicaRecover:
+			s := stat(ev.Replica)
+			s.recovers++
+			if s.down {
+				s.downtime += ev.T - s.downAt
+				s.down = false
+			}
+		}
+	}
+	if len(per) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(per))
+	for id := range per {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Fprintf(out, "\nfleet (from route/replica events)\n%-10s %8s %9s %7s %9s %7s %10s\n",
+		"replica", "routed", "demand%", "fails", "recovers", "lost", "downtime")
+	for _, id := range ids {
+		s := per[id]
+		if s.down { // still down at end of trace
+			s.downtime += end - s.downAt
+			s.down = false
+		}
+		demandPct := 0.0
+		if s.routed > 0 {
+			demandPct = 100 * float64(s.demand) / float64(s.routed)
+		}
+		fmt.Fprintf(out, "%-10d %8d %8.1f%% %7d %9d %7d %10.2f\n",
+			id, s.routed, demandPct, s.fails, s.recovers, s.lost, s.downtime)
+	}
+	if reroutes > 0 {
+		fmt.Fprintf(out, "%d demand fetches re-routed by failures\n", reroutes)
 	}
 }
 

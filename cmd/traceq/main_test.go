@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"prefetch/internal/fleet"
 	"prefetch/internal/multiclient"
 	"prefetch/internal/obs"
 	"prefetch/internal/webgraph"
@@ -43,6 +44,37 @@ func writeTestTrace(t *testing.T) string {
 	return path
 }
 
+// writeFleetTrace runs a churny fleet simulation and writes its trace.
+func writeFleetTrace(t *testing.T) string {
+	t.Helper()
+	cfg := fleet.DefaultConfig()
+	cfg.Base.Clients = 4
+	cfg.Base.Rounds = 40
+	cfg.Base.ServerConcurrency = 1
+	cfg.Base.Seed = 3
+	cfg.Replicas = 3
+	cfg.Router = fleet.KindHash
+	cfg.FailEvery = 40
+	cfg.RecoverAfter = 15
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewWriter(f)
+	cfg.Base.Tracer = w
+	if _, err := fleet.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func TestRunReports(t *testing.T) {
 	trace := writeTestTrace(t)
 	var sb strings.Builder
@@ -58,6 +90,47 @@ func TestRunReports(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunFleetRollup: a fleet trace gets the per-replica section —
+// placements, failure churn, lost transfers, downtime — and a plain
+// single-server trace does not.
+func TestRunFleetRollup(t *testing.T) {
+	trace := writeFleetTrace(t)
+	var sb strings.Builder
+	if err := run([]string{trace}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fleet (from route/replica events)",
+		"routed", "demand%", "fails", "recovers", "lost", "downtime",
+		"re-routed by failures",
+		"route", "replica_fail", "replica_recover", // kind counts in the summary
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet rollup missing %q:\n%s", want, out)
+		}
+	}
+	var a, b strings.Builder
+	if err := run([]string{trace}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{trace}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two fleet reports of the same trace differ")
+	}
+
+	single := writeTestTrace(t)
+	sb.Reset()
+	if err := run([]string{single}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fleet (") {
+		t.Errorf("single-server trace grew a fleet section:\n%s", sb.String())
 	}
 }
 

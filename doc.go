@@ -145,6 +145,48 @@
 // the hard cold-start fallback). See examples/drift for the stationary
 // predictor ranking inverting under drift.
 //
+// # Fleet: replicated servers, routing and failures
+//
+// Every layer above still funnels all N clients into one server. The
+// fleet simulation (RunFleet, a FleetConfig) replicates that server R
+// times — each replica a full scheduling-arbitrated, cache-equipped,
+// predictor-carrying server — and puts a pluggable Router in front:
+// RouterRoundRobin spreads requests over live replicas,
+// RouterLeastLoaded follows scheduler backlog feedback, and RouterHash
+// pins each client to a home replica on a consistent-hash ring so
+// caches and shared predictors specialise per replica. FleetConfig
+// composes the whole stack — Base is a complete MultiClientConfig, the
+// fleet section adds Replicas, Router and the failure regime, and one
+// Validate covers it all. With FailEvery > 0 replicas crash on derived
+// random schedules and repair after RecoverAfter: a crash loses the
+// replica's queued and in-flight transfers, re-routes the displaced
+// demand fetches to live replicas (or parks them for a total outage),
+// and cold-starts the replica's scheduler and cache on recovery while
+// its learned predictor state survives. Results add per-replica
+// breakdowns, availability, re-route and lost-transfer counts; the
+// trace gains route, reroute and replica fail/recover events, each
+// stamped with its replica. A one-replica fleet without failures
+// reproduces RunMultiClient bit for bit, and identical seeds replay
+// byte-identical traces under any GOMAXPROCS. SweepFleetRouters (or the
+// composable SweepFleet axes) crosses router kind × replica count under
+// a failure regime; see examples/fleet for availability under churn.
+//
+// # One sweep engine
+//
+// All parameter studies run on one generic grid engine
+// (SweepMultiClientGrid for the single-server model, SweepFleet for the
+// fleet): compose axes — MultiClientClientsAxis,
+// MultiClientDisciplineAxis, MultiClientControllerAxis,
+// MultiClientPredictorAxis; FleetRouterAxis, FleetReplicasAxis,
+// FleetFailEveryAxis — and the engine runs their cross product
+// row-major (first axis slowest) with seed-replicated repetitions,
+// validating every cell up front, deterministic for any worker count.
+// The per-axis entry points above (SweepMultiClient,
+// SweepMultiClientDisciplines, SweepMultiClientControllers,
+// SweepMultiClientPredictors, SweepMultiClientPredictorControllers)
+// remain as thin legacy wrappers over the same engine; new code should
+// compose axes instead.
+//
 // # Observability: the decision trace
 //
 // Every aggregate above is a mean over thousands of individual

@@ -1,0 +1,96 @@
+// Fleet: every run so far hit a single server. This demo spreads the
+// same workload over a replicated fleet — each replica a full
+// scheduling-arbitrated, cache-equipped server — and compares the three
+// built-in request routers (round-robin, least-loaded, consistent-hash
+// affinity) with and without deterministic replica churn
+// (FleetConfig.FailEvery arms exponential failure injection per replica;
+// RecoverAfter fixes the repair time). The headline table is
+// availability under churn: the repair regime pins how much fleet
+// slot-time is lost, while the router decides how much that loss hurts —
+// who absorbs the displaced demand fetches, how many in-flight transfers
+// die with the replica, and whether the per-replica caches and
+// predictors that affinity routing specialised survive the outage.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefetch"
+)
+
+func main() {
+	cfg := prefetch.DefaultFleetConfig()
+	cfg.Base.Clients = 12
+	cfg.Base.Rounds = 300
+	cfg.Base.Seed = 2026
+	cfg.Base.ServerCacheSlots = 24
+	const reps = 2
+	const failEvery, recoverAfter = 60.0, 20.0
+
+	routers := prefetch.RouterKinds()
+	replicas := []int{1, 2, 4}
+
+	fmt.Printf("router × replica-count sweep, %d clients, %d rounds/client, %d reps\n",
+		cfg.Base.Clients, cfg.Base.Rounds, reps)
+	fmt.Printf("(each replica: concurrency %d, %d cache slots)\n",
+		cfg.Base.ServerConcurrency, cfg.Base.ServerCacheSlots)
+
+	demandUnderChurn := map[prefetch.FleetRouterKind]float64{}
+	for _, churn := range []bool{false, true} {
+		c := cfg
+		label := "calm fleet, no failures"
+		if churn {
+			c.FailEvery = failEvery
+			c.RecoverAfter = recoverAfter
+			label = fmt.Sprintf("churn: each replica fails every ~%g, repairs take %g",
+				c.FailEvery, c.RecoverAfter)
+		}
+		points, err := prefetch.SweepFleetRouters(c, routers, replicas, reps, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n-- %s --\n", label)
+		fmt.Printf("%-13s %8s %10s %10s %10s %7s %7s %9s %6s\n",
+			"router", "replicas", "demand T", "mean T", "q wait", "hit%", "avail%", "rerouted", "lost")
+		for _, p := range points {
+			fmt.Printf("%-13s %8s %10.3f %10.3f %10.3f %6.1f%% %6.1f%% %9d %6d\n",
+				p.Labels[0], p.Labels[1],
+				p.DemandAccess.Mean(), p.Access.Mean(), p.QueueWait.Mean(),
+				100*p.HitRatio.Mean(), 100*p.Availability.Mean(),
+				p.ReRoutes, p.LostTransfers)
+			if churn && p.Labels[1] == "4" {
+				demandUnderChurn[prefetch.FleetRouterKind(p.Labels[0])] = p.DemandAccess.Mean()
+			}
+		}
+	}
+
+	// The sweep is only interesting if the routing policy actually moves
+	// the needle once replicas start dying: routers that agree on every
+	// metric would mean the placement decision doesn't matter.
+	first, rest := demandUnderChurn[routers[0]], false
+	for _, r := range routers[1:] {
+		if demandUnderChurn[r] != first {
+			rest = true
+		}
+	}
+	if !rest {
+		log.Fatal("demand latency identical across routers under churn — injection too weak for this configuration")
+	}
+
+	fmt.Println("\nThe repair regime sets the availability column — roughly the same")
+	fmt.Println("fraction of fleet slot-time is lost whoever routes — but the routers")
+	fmt.Println("split the damage differently. Least-loaded wins latency in both")
+	fmt.Println("regimes: scheduler feedback spreads bursts over idle replicas while")
+	fmt.Println("the fleet is calm and routes around the hole automatically when a")
+	fmt.Println("replica dies. Affinity (hash) routing pays twice for pinning each")
+	fmt.Println("client to a home replica — a burst of home traffic queues on one")
+	fmt.Println("server while its siblings idle, and a dead home replica scatters its")
+	fmt.Println("clients onto caches that never saw them. Round-robin sits between:")
+	fmt.Println("blind but even. A one-replica fleet is the degenerate column: every")
+	fmt.Println("failure is a full outage and demands park until the repair completes,")
+	fmt.Println("so the router label doesn't matter — all three collapse to the same")
+	fmt.Println("run.")
+}

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+
+	"prefetch/internal/stats"
+	"prefetch/internal/sweep"
+)
+
+// Axis is one swept dimension of a fleet configuration, and AxisValue
+// one labelled setting on it — the same generic grid machinery the
+// single-server sweeps run on (internal/sweep.Grid).
+type (
+	Axis      = sweep.Axis[Config]
+	AxisValue = sweep.AxisValue[Config]
+)
+
+// RouterAxis sweeps the routing policy.
+func RouterAxis(kinds []Kind) Axis {
+	ax := Axis{Name: "router"}
+	for _, k := range kinds {
+		k := k
+		ax.Values = append(ax.Values, AxisValue{
+			Label: string(k),
+			Apply: func(c *Config) { c.Router = k },
+		})
+	}
+	return ax
+}
+
+// ReplicasAxis sweeps the fleet size.
+func ReplicasAxis(ns []int) (Axis, error) {
+	ax := Axis{Name: "replicas"}
+	for _, n := range ns {
+		if n < 1 {
+			return Axis{}, fmt.Errorf("%w: %d replicas in sweep axis", ErrBadConfig, n)
+		}
+		n := n
+		ax.Values = append(ax.Values, AxisValue{
+			Label: strconv.Itoa(n),
+			Apply: func(c *Config) { c.Replicas = n },
+		})
+	}
+	return ax, nil
+}
+
+// FailEveryAxis sweeps the failure rate (mean time between failures;
+// 0 disables injection).
+func FailEveryAxis(means []float64) (Axis, error) {
+	ax := Axis{Name: "fail-every"}
+	for _, m := range means {
+		if !(m >= 0) {
+			return Axis{}, fmt.Errorf("%w: fail-every %v in sweep axis", ErrBadConfig, m)
+		}
+		m := m
+		ax.Values = append(ax.Values, AxisValue{
+			Label: strconv.FormatFloat(m, 'g', -1, 64),
+			Apply: func(c *Config) { c.FailEvery = m },
+		})
+	}
+	return ax, nil
+}
+
+// Point is one cell of a fleet sweep: the axis labels that select it,
+// the fully-applied config, and the replicated metrics.
+type Point struct {
+	Labels []string
+	Config Config
+	Reps   int
+
+	Access       stats.Accumulator // all reps' rounds merged
+	DemandAccess stats.Accumulator
+	QueueWait    stats.Accumulator
+	L1Error      stats.Accumulator
+
+	Availability   stats.Accumulator // per-rep fleet availability
+	Utilization    stats.Accumulator // per-rep fleet utilisation
+	HitRatio       stats.Accumulator // per-rep zero-fetch round fraction
+	WastedFraction stats.Accumulator // per-rep wasted-prefetch fraction
+
+	Failures      int64
+	Recoveries    int64
+	ReRoutes      int64
+	LostTransfers int64
+}
+
+// Sweep runs the cross product of axes over the base config, reps
+// replications per cell (rep r runs at Seed+r), on up to workers
+// goroutines. Cells come back row-major — first axis slowest — and are
+// deterministic regardless of worker count.
+func Sweep(cfg Config, reps, workers int, axes ...Axis) ([]Point, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
+	}
+	cells, err := sweep.Grid(cfg, axes, reps, workers,
+		func(c Config) error { return c.Validate() },
+		func(c Config, rep int) (Result, error) {
+			c.Base.Seed = cfg.Base.Seed + uint64(rep)
+			return Run(c)
+		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(cells))
+	for i, cell := range cells {
+		p := Point{Labels: cell.Labels, Config: cell.Config, Reps: reps}
+		for r := range cell.Results {
+			res := &cell.Results[r]
+			p.Access.Merge(&res.Access)
+			p.DemandAccess.Merge(&res.DemandAccess)
+			p.QueueWait.Merge(&res.QueueWait)
+			p.L1Error.Merge(&res.L1Error)
+			p.Availability.Add(res.Availability())
+			p.Utilization.Add(res.Utilization())
+			p.HitRatio.Add(res.HitRatio())
+			p.WastedFraction.Add(res.WastedPrefetchFraction())
+			p.Failures += res.Failures
+			p.Recoveries += res.Recoveries
+			p.ReRoutes += res.ReRoutes
+			p.LostTransfers += res.LostTransfers
+		}
+		points[i] = p
+	}
+	return points, nil
+}
+
+// SweepRouters is the fleet's headline experiment: router kind ×
+// replica count under the configured failure regime. Router-major, so
+// each router's scaling curve is contiguous in the output.
+func SweepRouters(cfg Config, routers []Kind, replicas []int, reps, workers int) ([]Point, error) {
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("%w: no routers to sweep", ErrBadConfig)
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("%w: no replica counts to sweep", ErrBadConfig)
+	}
+	repAxis, err := ReplicasAxis(replicas)
+	if err != nil {
+		return nil, err
+	}
+	return Sweep(cfg, reps, workers, RouterAxis(routers), repAxis)
+}

@@ -25,7 +25,7 @@ var DetRand = &Analyzer{
 // the one place the repository defines randomness (and it deliberately
 // implements its own generator rather than wrapping math/rand).
 var simPackagePattern = regexp.MustCompile(
-	`(^|/)internal/(multiclient|schedsrv|eventq|predict|adaptive|webgraph|obs)(/|$)`)
+	`(^|/)internal/(multiclient|fleet|schedsrv|eventq|predict|adaptive|webgraph|obs)(/|$)`)
 
 // rngPackagePattern matches the exempt randomness package.
 var rngPackagePattern = regexp.MustCompile(`(^|/)internal/rng(/|$)`)

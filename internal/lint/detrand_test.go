@@ -10,6 +10,7 @@ import (
 func TestDetRand(t *testing.T) {
 	linttest.Run(t, ".", lint.DetRand,
 		"detrand/internal/eventq",
+		"detrand/internal/fleet",
 		"detrand/internal/multiclient",
 		"detrand/internal/obs",
 		"detrand/cmd/tool",

@@ -1,0 +1,23 @@
+// Package fleet is a detrand fixture: the fleet simulation joined the
+// simulation-package pattern, so ambient randomness and wall-clock time
+// are forbidden here like in every other replayed package — replica
+// failure schedules must come from derived rng streams and downtime
+// from the simulated clock.
+package fleet
+
+import (
+	"math/rand" // want `derive a stream with rng.Derive`
+	"time"
+)
+
+// FailureGap draws a failure gap from ambient randomness instead of a
+// per-replica derived stream.
+func FailureGap(mean float64) float64 {
+	return rand.ExpFloat64() * mean
+}
+
+// Downtime measures a replica outage with the wall clock instead of the
+// simulated one.
+func Downtime(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since`
+}

@@ -1,0 +1,59 @@
+// Package fleet is a validatecfg fixture shaped like the fleet
+// subsystem: a composed Config embedding a base section, where exported
+// entry points must validate the whole stack before reading either
+// layer's fields.
+package fleet
+
+import "errors"
+
+// BaseConfig is the embedded single-server section.
+type BaseConfig struct {
+	Clients int
+}
+
+// Validate reports an error for a non-positive client count.
+func (b BaseConfig) Validate() error {
+	if b.Clients <= 0 {
+		return errors.New("clients must be positive")
+	}
+	return nil
+}
+
+// Config composes the base section with the fleet axes.
+type Config struct {
+	Base     BaseConfig
+	Replicas int
+}
+
+// Validate covers the base section too — one call guards the stack.
+func (c Config) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.Replicas < 1 {
+		return errors.New("replicas must be positive")
+	}
+	return nil
+}
+
+// Run validates before touching either layer; nothing is flagged.
+func Run(cfg Config) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return cfg.Replicas * cfg.Base.Clients, nil
+}
+
+// RunBad sizes the fleet without ever validating.
+func RunBad(cfg Config) int {
+	return cfg.Replicas // want `never calls cfg.Validate`
+}
+
+// RunLate reads the nested base section before the guard.
+func RunLate(cfg Config) (int, error) {
+	n := cfg.Base.Clients // want `before cfg.Validate`
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -10,5 +10,6 @@ import (
 func TestValidateCfg(t *testing.T) {
 	linttest.Run(t, ".", lint.ValidateCfg,
 		"validatecfg/a",
+		"validatecfg/fleet",
 	)
 }

@@ -2,6 +2,7 @@ package multiclient
 
 import (
 	"fmt"
+	"strconv"
 
 	"prefetch/internal/adaptive"
 	"prefetch/internal/predict"
@@ -9,6 +10,181 @@ import (
 	"prefetch/internal/stats"
 	"prefetch/internal/sweep"
 )
+
+// Axis is one labelled dimension of a multiclient sweep (client count,
+// discipline, controller, predictor — or any caller-defined mutation of
+// Config). Axes compose: Sweep runs the full cross product.
+type Axis = sweep.Axis[Config]
+
+// AxisValue is one labelled setting on an Axis.
+type AxisValue = sweep.AxisValue[Config]
+
+// ClientsAxis sweeps the concurrent client count over ns.
+func ClientsAxis(ns []int) (Axis, error) {
+	ax := Axis{Name: "clients"}
+	for _, n := range ns {
+		if n < 1 {
+			return Axis{}, fmt.Errorf("%w: %d clients in sweep axis", ErrBadConfig, n)
+		}
+		n := n
+		ax.Values = append(ax.Values, AxisValue{
+			Label: strconv.Itoa(n),
+			Apply: func(c *Config) { c.Clients = n },
+		})
+	}
+	return ax, nil
+}
+
+// DisciplineAxis sweeps the scheduling discipline, preserving every
+// non-Kind field of the scheduling config (weights, shaping rate,
+// admission threshold; the preemption flag only where valid).
+func DisciplineAxis(kinds []schedsrv.Kind) Axis {
+	ax := Axis{Name: "discipline"}
+	for _, k := range kinds {
+		k := k
+		ax.Values = append(ax.Values, AxisValue{
+			Label: string(k),
+			Apply: func(c *Config) { c.Sched = schedFor(c.Sched, k) },
+		})
+	}
+	return ax
+}
+
+// ControllerAxis sweeps the adaptive λ controller kind.
+func ControllerAxis(kinds []adaptive.Kind) Axis {
+	ax := Axis{Name: "controller"}
+	for _, k := range kinds {
+		k := k
+		ax.Values = append(ax.Values, AxisValue{
+			Label: string(k),
+			Apply: func(c *Config) { c.Adaptive.Kind = k },
+		})
+	}
+	return ax
+}
+
+// PredictorAxis sweeps the prediction source kind.
+func PredictorAxis(kinds []predict.Kind) Axis {
+	ax := Axis{Name: "predictor"}
+	for _, k := range kinds {
+		k := k
+		ax.Values = append(ax.Values, AxisValue{
+			Label: string(k),
+			Apply: func(c *Config) { c.Predict.Kind = k },
+		})
+	}
+	return ax
+}
+
+// Point is one cell of a sweep grid: the axis labels that select it and
+// the union of every metric the per-axis sweeps report, folded over the
+// seed replications. Merged accumulators pool every underlying
+// observation; per-rep accumulators hold one observation per
+// replication; the int64 counters are summed over replications.
+// Improvement is only populated when the sweep ran with a baseline leg.
+type Point struct {
+	Labels  []string // one label per axis, in axis order
+	Config  Config   // the combined configuration (rep-0 seed)
+	Clients int
+	Reps    int
+
+	Access       stats.Accumulator // every round of every rep merged
+	DemandAccess stats.Accumulator // every fetching round merged
+	QueueWait    stats.Accumulator // every server transfer merged
+	Lambda       stats.Accumulator // every planned round's λ merged
+	L1Error      stats.Accumulator // every planned round's prediction L1 error merged
+
+	Utilization    stats.Accumulator // one observation per rep
+	Improvement    stats.Accumulator // one aggregate improvement per rep (baseline sweeps only)
+	SpecThroughput stats.Accumulator // one speculative-throughput obs per rep
+	HitRatio       stats.Accumulator // one no-fetch round fraction per rep
+	WastedFraction stats.Accumulator // one wasted-prefetch fraction per rep
+
+	Preemptions      int64 // summed over reps
+	PrefetchIssued   int64
+	PrefetchDropped  int64
+	PrefetchDeferred int64
+	PrefetchComplete int64
+	PrefetchUseful   int64
+	WarmInserted     int64
+	WarmHits         int64
+}
+
+// fold accumulates one replication into the point, in replication
+// order — the merge order is part of the sweep's determinism contract.
+func (p *Point) fold(cmp Comparison, baseline bool) {
+	res := cmp.Prefetch
+	p.Access.Merge(&res.Access)
+	p.DemandAccess.Merge(&res.DemandAccess)
+	p.QueueWait.Merge(&res.QueueWait)
+	p.Lambda.Merge(&res.Lambda)
+	p.L1Error.Merge(&res.L1Error)
+	p.Utilization.Add(res.Utilization())
+	if baseline {
+		p.Improvement.Add(cmp.Improvement())
+	}
+	p.SpecThroughput.Add(res.SpecThroughput())
+	p.HitRatio.Add(res.HitRatio())
+	p.WastedFraction.Add(res.WastedPrefetchFraction())
+	p.Preemptions += res.Preemptions
+	p.PrefetchDropped += res.PrefetchDropped
+	p.PrefetchDeferred += res.PrefetchDeferred
+	p.PrefetchComplete += res.PrefetchCompleted
+	p.PrefetchUseful += res.PrefetchUseful
+	p.WarmInserted += res.WarmInserted
+	p.WarmHits += res.WarmHits
+	for _, pc := range res.PerClient {
+		p.PrefetchIssued += pc.PrefetchIssued
+	}
+}
+
+// Sweep is THE sweep engine: it runs the full cross product of axes
+// over cfg (row-major, the first axis varying slowest), replicating
+// each grid point with reps derived seeds (rep r uses master seed
+// cfg.Seed + r) across the sweep worker pool. With baseline set, every
+// task runs both the prefetching configuration and its no-prefetch
+// baseline (Compare) so each point carries an access-improvement
+// estimate; without it only the prefetch leg runs. Every combination
+// is validated before any simulation starts, and tasks derive all
+// randomness from their own (seed, client) pairs, so the result is
+// independent of worker scheduling.
+//
+// The per-axis entry points (SweepClients, SweepDisciplines,
+// SweepControllers, SweepPredictors, SweepPredictorControllers) are
+// thin wrappers over this engine, as is the fleet's router×replicas
+// sweep (package fleet).
+func Sweep(cfg Config, reps, workers int, baseline bool, axes ...Axis) ([]Point, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
+	}
+	cells, err := sweep.Grid(cfg, axes, reps, workers,
+		func(c Config) error { return c.Validate() },
+		func(c Config, rep int) (Comparison, error) {
+			c.Seed = cfg.Seed + uint64(rep)
+			if baseline {
+				return Compare(c)
+			}
+			res, err := Run(c)
+			return Comparison{Prefetch: res}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(cells))
+	for i, cell := range cells {
+		points[i].Labels = cell.Labels
+		points[i].Config = cell.Config
+		points[i].Clients = cell.Config.Clients
+		points[i].Reps = reps
+		for _, cmp := range cell.Results {
+			points[i].fold(cmp, baseline)
+		}
+	}
+	return points, nil
+}
 
 // SweepPoint aggregates the seed replications at one client count.
 type SweepPoint struct {
@@ -28,6 +204,9 @@ type SweepPoint struct {
 // and its no-prefetch baseline so every point carries an access-improvement
 // estimate. Tasks derive all randomness from their own (seed, client) pairs,
 // so the result is independent of worker scheduling.
+//
+// Legacy wrapper: new code should call Sweep with a ClientsAxis and read
+// the generic Points.
 func SweepClients(cfg Config, ns []int, reps, workers int) ([]SweepPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -38,40 +217,25 @@ func SweepClients(cfg Config, ns []int, reps, workers int) ([]SweepPoint, error)
 	if reps < 1 {
 		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
 	}
-	type task struct {
-		n   int
-		rep int
-	}
-	var tasks []task
-	for _, n := range ns {
-		if n < 1 {
-			return nil, fmt.Errorf("%w: %d clients in sweep axis", ErrBadConfig, n)
-		}
-		for r := 0; r < reps; r++ {
-			tasks = append(tasks, task{n: n, rep: r})
-		}
-	}
-	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
-		c := cfg
-		c.Clients = t.n
-		c.Seed = cfg.Seed + uint64(t.rep)
-		return Compare(c)
-	})
+	axis, err := ClientsAxis(ns)
 	if err != nil {
 		return nil, err
 	}
-	points := make([]SweepPoint, len(ns))
-	for i, n := range ns {
-		points[i].Clients = n
-		points[i].Reps = reps
-		for r := 0; r < reps; r++ {
-			cmp := comparisons[i*reps+r]
-			points[i].Access.Merge(&cmp.Prefetch.Access)
-			points[i].DemandAccess.Merge(&cmp.Prefetch.DemandAccess)
-			points[i].QueueWait.Merge(&cmp.Prefetch.QueueWait)
-			points[i].Utilization.Add(cmp.Prefetch.Utilization())
-			points[i].Improvement.Add(cmp.Improvement())
-			points[i].SpecThroughput.Add(cmp.Prefetch.SpecThroughput())
+	pts, err := Sweep(cfg, reps, workers, true, axis)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(pts))
+	for i, p := range pts {
+		points[i] = SweepPoint{
+			Clients:        ns[i],
+			Reps:           reps,
+			Access:         p.Access,
+			DemandAccess:   p.DemandAccess,
+			QueueWait:      p.QueueWait,
+			Utilization:    p.Utilization,
+			Improvement:    p.Improvement,
+			SpecThroughput: p.SpecThroughput,
 		}
 	}
 	return points, nil
@@ -104,6 +268,8 @@ type DisciplinePoint struct {
 // every discipline faces the same browsing sessions: the sweep isolates
 // how the server's arbitration policy alone moves demand latency and
 // speculative throughput.
+//
+// Legacy wrapper: new code should call Sweep with a DisciplineAxis.
 func SweepDisciplines(cfg Config, kinds []schedsrv.Kind, reps, workers int) ([]DisciplinePoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -114,46 +280,25 @@ func SweepDisciplines(cfg Config, kinds []schedsrv.Kind, reps, workers int) ([]D
 	if reps < 1 {
 		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
 	}
-	type task struct {
-		kind schedsrv.Kind
-		rep  int
-	}
-	var tasks []task
-	for _, k := range kinds {
-		c := cfg
-		c.Sched = schedFor(cfg.Sched, k)
-		if err := c.Validate(); err != nil {
-			return nil, err
-		}
-		for r := 0; r < reps; r++ {
-			tasks = append(tasks, task{kind: k, rep: r})
-		}
-	}
-	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
-		c := cfg
-		c.Sched = schedFor(cfg.Sched, t.kind)
-		c.Seed = cfg.Seed + uint64(t.rep)
-		return Compare(c)
-	})
+	pts, err := Sweep(cfg, reps, workers, true, DisciplineAxis(kinds))
 	if err != nil {
 		return nil, err
 	}
-	points := make([]DisciplinePoint, len(kinds))
-	for i, k := range kinds {
-		points[i].Kind = k
-		points[i].Clients = cfg.Clients
-		points[i].Reps = reps
-		for r := 0; r < reps; r++ {
-			res := comparisons[i*reps+r].Prefetch
-			points[i].Access.Merge(&res.Access)
-			points[i].DemandAccess.Merge(&res.DemandAccess)
-			points[i].QueueWait.Merge(&res.QueueWait)
-			points[i].Utilization.Add(res.Utilization())
-			points[i].Improvement.Add(comparisons[i*reps+r].Improvement())
-			points[i].SpecThroughput.Add(res.SpecThroughput())
-			points[i].Preemptions += res.Preemptions
-			points[i].PrefetchDropped += res.PrefetchDropped
-			points[i].PrefetchDeferred += res.PrefetchDeferred
+	points := make([]DisciplinePoint, len(pts))
+	for i, p := range pts {
+		points[i] = DisciplinePoint{
+			Kind:             kinds[i],
+			Clients:          cfg.Clients,
+			Reps:             reps,
+			Access:           p.Access,
+			DemandAccess:     p.DemandAccess,
+			QueueWait:        p.QueueWait,
+			Utilization:      p.Utilization,
+			Improvement:      p.Improvement,
+			SpecThroughput:   p.SpecThroughput,
+			Preemptions:      p.Preemptions,
+			PrefetchDropped:  p.PrefetchDropped,
+			PrefetchDeferred: p.PrefetchDeferred,
 		}
 	}
 	return points, nil
@@ -199,6 +344,8 @@ type ControllerPoint struct {
 // faces the same browsing sessions: the sweep isolates how the
 // speculation-control policy alone moves demand latency, speculative
 // traffic and the λ trajectory.
+//
+// Legacy wrapper: new code should call Sweep with a ControllerAxis.
 func SweepControllers(cfg Config, kinds []adaptive.Kind, reps, workers int) ([]ControllerPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -209,50 +356,27 @@ func SweepControllers(cfg Config, kinds []adaptive.Kind, reps, workers int) ([]C
 	if reps < 1 {
 		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
 	}
-	type task struct {
-		kind adaptive.Kind
-		rep  int
-	}
-	var tasks []task
-	for _, k := range kinds {
-		c := cfg
-		c.Adaptive.Kind = k
-		if err := c.Validate(); err != nil {
-			return nil, err
-		}
-		for r := 0; r < reps; r++ {
-			tasks = append(tasks, task{kind: k, rep: r})
-		}
-	}
-	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
-		c := cfg
-		c.Adaptive.Kind = t.kind
-		c.Seed = cfg.Seed + uint64(t.rep)
-		return Compare(c)
-	})
+	pts, err := Sweep(cfg, reps, workers, true, ControllerAxis(kinds))
 	if err != nil {
 		return nil, err
 	}
-	points := make([]ControllerPoint, len(kinds))
-	for i, k := range kinds {
-		points[i].Kind = k
-		points[i].Clients = cfg.Clients
-		points[i].Reps = reps
-		for r := 0; r < reps; r++ {
-			res := comparisons[i*reps+r].Prefetch
-			points[i].Access.Merge(&res.Access)
-			points[i].DemandAccess.Merge(&res.DemandAccess)
-			points[i].QueueWait.Merge(&res.QueueWait)
-			points[i].Lambda.Merge(&res.Lambda)
-			points[i].Utilization.Add(res.Utilization())
-			points[i].Improvement.Add(comparisons[i*reps+r].Improvement())
-			points[i].SpecThroughput.Add(res.SpecThroughput())
-			points[i].Preemptions += res.Preemptions
-			points[i].PrefetchDropped += res.PrefetchDropped
-			points[i].PrefetchDeferred += res.PrefetchDeferred
-			for _, pc := range res.PerClient {
-				points[i].PrefetchIssued += pc.PrefetchIssued
-			}
+	points := make([]ControllerPoint, len(pts))
+	for i, p := range pts {
+		points[i] = ControllerPoint{
+			Kind:             kinds[i],
+			Clients:          cfg.Clients,
+			Reps:             reps,
+			Access:           p.Access,
+			DemandAccess:     p.DemandAccess,
+			QueueWait:        p.QueueWait,
+			Lambda:           p.Lambda,
+			Utilization:      p.Utilization,
+			Improvement:      p.Improvement,
+			SpecThroughput:   p.SpecThroughput,
+			Preemptions:      p.Preemptions,
+			PrefetchIssued:   p.PrefetchIssued,
+			PrefetchDropped:  p.PrefetchDropped,
+			PrefetchDeferred: p.PrefetchDeferred,
 		}
 	}
 	return points, nil
@@ -291,6 +415,8 @@ type PredictorPoint struct {
 // randomness, so every predictor faces the same browsing sessions: the
 // sweep isolates the oracle-vs-learned gap — demand latency, prediction
 // L1 error, wasted-prefetch fraction and hit ratio per source.
+//
+// Legacy wrapper: new code should call Sweep with a PredictorAxis.
 func SweepPredictors(cfg Config, kinds []predict.Kind, reps, workers int) ([]PredictorPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -301,54 +427,31 @@ func SweepPredictors(cfg Config, kinds []predict.Kind, reps, workers int) ([]Pre
 	if reps < 1 {
 		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
 	}
-	type task struct {
-		kind predict.Kind
-		rep  int
-	}
-	var tasks []task
-	for _, k := range kinds {
-		c := cfg
-		c.Predict.Kind = k
-		if err := c.Validate(); err != nil {
-			return nil, err
-		}
-		for r := 0; r < reps; r++ {
-			tasks = append(tasks, task{kind: k, rep: r})
-		}
-	}
-	comparisons, err := sweep.Run(tasks, workers, func(t task) (Comparison, error) {
-		c := cfg
-		c.Predict.Kind = t.kind
-		c.Seed = cfg.Seed + uint64(t.rep)
-		return Compare(c)
-	})
+	pts, err := Sweep(cfg, reps, workers, true, PredictorAxis(kinds))
 	if err != nil {
 		return nil, err
 	}
-	points := make([]PredictorPoint, len(kinds))
-	for i, k := range kinds {
-		points[i].Kind = k
-		points[i].Clients = cfg.Clients
-		points[i].Reps = reps
-		for r := 0; r < reps; r++ {
-			res := comparisons[i*reps+r].Prefetch
-			points[i].Access.Merge(&res.Access)
-			points[i].DemandAccess.Merge(&res.DemandAccess)
-			points[i].QueueWait.Merge(&res.QueueWait)
-			points[i].L1Error.Merge(&res.L1Error)
-			points[i].Utilization.Add(res.Utilization())
-			points[i].Improvement.Add(comparisons[i*reps+r].Improvement())
-			points[i].SpecThroughput.Add(res.SpecThroughput())
-			points[i].HitRatio.Add(res.HitRatio())
-			points[i].WastedFraction.Add(res.WastedPrefetchFraction())
-			points[i].PrefetchDropped += res.PrefetchDropped
-			points[i].PrefetchCompleted += res.PrefetchCompleted
-			points[i].PrefetchUseful += res.PrefetchUseful
-			points[i].WarmInserted += res.WarmInserted
-			points[i].WarmHits += res.WarmHits
-			for _, pc := range res.PerClient {
-				points[i].PrefetchIssued += pc.PrefetchIssued
-			}
+	points := make([]PredictorPoint, len(pts))
+	for i, p := range pts {
+		points[i] = PredictorPoint{
+			Kind:              kinds[i],
+			Clients:           cfg.Clients,
+			Reps:              reps,
+			Access:            p.Access,
+			DemandAccess:      p.DemandAccess,
+			QueueWait:         p.QueueWait,
+			L1Error:           p.L1Error,
+			Utilization:       p.Utilization,
+			Improvement:       p.Improvement,
+			SpecThroughput:    p.SpecThroughput,
+			HitRatio:          p.HitRatio,
+			WastedFraction:    p.WastedFraction,
+			PrefetchIssued:    p.PrefetchIssued,
+			PrefetchDropped:   p.PrefetchDropped,
+			PrefetchCompleted: p.PrefetchComplete,
+			PrefetchUseful:    p.PrefetchUseful,
+			WarmInserted:      p.WarmInserted,
+			WarmHits:          p.WarmHits,
 		}
 	}
 	return points, nil
@@ -381,7 +484,12 @@ type PredictorControllerPoint struct {
 // under every (controller, predictor) pair, grouped controller-major in
 // the result (all predictors of ctls[0] first). Within each controller
 // group the Pareto flags mark the (demand latency, speculative
-// throughput) frontier across predictors.
+// throughput) frontier across predictors. This grid runs without a
+// baseline leg: the controller comparison is relative, so the doubled
+// simulation cost would buy nothing.
+//
+// Legacy wrapper: new code should call Sweep with a ControllerAxis and
+// a PredictorAxis.
 func SweepPredictorControllers(cfg Config, preds []predict.Kind, ctls []adaptive.Kind, reps, workers int) ([]PredictorControllerPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -395,56 +503,27 @@ func SweepPredictorControllers(cfg Config, preds []predict.Kind, ctls []adaptive
 	if reps < 1 {
 		return nil, fmt.Errorf("%w: %d replications", ErrBadConfig, reps)
 	}
-	type task struct {
-		ctl  adaptive.Kind
-		pred predict.Kind
-		rep  int
-	}
-	var tasks []task
-	for _, ck := range ctls {
-		for _, pk := range preds {
-			c := cfg
-			c.Adaptive.Kind = ck
-			c.Predict.Kind = pk
-			if err := c.Validate(); err != nil {
-				return nil, err
-			}
-			for r := 0; r < reps; r++ {
-				tasks = append(tasks, task{ctl: ck, pred: pk, rep: r})
-			}
-		}
-	}
-	results, err := sweep.Run(tasks, workers, func(t task) (Result, error) {
-		c := cfg
-		c.Adaptive.Kind = t.ctl
-		c.Predict.Kind = t.pred
-		c.Seed = cfg.Seed + uint64(t.rep)
-		return Run(c)
-	})
+	pts, err := Sweep(cfg, reps, workers, false, ControllerAxis(ctls), PredictorAxis(preds))
 	if err != nil {
 		return nil, err
 	}
 	points := make([]PredictorControllerPoint, 0, len(ctls)*len(preds))
 	for ci, ck := range ctls {
 		for pi, pk := range preds {
-			p := PredictorControllerPoint{
-				Predictor:  pk,
-				Controller: ck,
-				Clients:    cfg.Clients,
-				Reps:       reps,
-			}
-			base := (ci*len(preds) + pi) * reps
-			for r := 0; r < reps; r++ {
-				res := results[base+r]
-				p.Access.Merge(&res.Access)
-				p.DemandAccess.Merge(&res.DemandAccess)
-				p.Lambda.Merge(&res.Lambda)
-				p.L1Error.Merge(&res.L1Error)
-				p.SpecThroughput.Add(res.SpecThroughput())
-				p.HitRatio.Add(res.HitRatio())
-				p.WastedFraction.Add(res.WastedPrefetchFraction())
-			}
-			points = append(points, p)
+			p := pts[ci*len(preds)+pi]
+			points = append(points, PredictorControllerPoint{
+				Predictor:      pk,
+				Controller:     ck,
+				Clients:        cfg.Clients,
+				Reps:           reps,
+				Access:         p.Access,
+				DemandAccess:   p.DemandAccess,
+				Lambda:         p.Lambda,
+				L1Error:        p.L1Error,
+				SpecThroughput: p.SpecThroughput,
+				HitRatio:       p.HitRatio,
+				WastedFraction: p.WastedFraction,
+			})
 		}
 	}
 	for ci := range ctls {

@@ -1,0 +1,145 @@
+package multiclient
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"prefetch/internal/adaptive"
+	"prefetch/internal/predict"
+	"prefetch/internal/schedsrv"
+)
+
+func sweepTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clients = 3
+	cfg.Rounds = 12
+	cfg.Seed = 11
+	return cfg
+}
+
+// TestSweepGenericMatchesLegacyClients: the generic engine with a
+// ClientsAxis reproduces SweepClients exactly — same accumulators, same
+// per-rep fold order, same seeds.
+func TestSweepGenericMatchesLegacyClients(t *testing.T) {
+	cfg := sweepTestConfig()
+	ns := []int{2, 4}
+	legacy, err := SweepClients(cfg, ns, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis, err := ClientsAxis(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Sweep(cfg, 2, 2, true, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(legacy) {
+		t.Fatalf("generic sweep: %d points, legacy %d", len(pts), len(legacy))
+	}
+	for i := range pts {
+		if got, want := pts[i].Labels, []string{[]string{"2", "4"}[i]}; !reflect.DeepEqual(got, want) {
+			t.Errorf("point %d labels = %v, want %v", i, got, want)
+		}
+		if pts[i].Clients != legacy[i].Clients {
+			t.Errorf("point %d clients = %d, want %d", i, pts[i].Clients, legacy[i].Clients)
+		}
+		if pts[i].Access != legacy[i].Access {
+			t.Errorf("point %d Access differs from legacy", i)
+		}
+		if pts[i].DemandAccess != legacy[i].DemandAccess ||
+			pts[i].QueueWait != legacy[i].QueueWait ||
+			pts[i].Utilization != legacy[i].Utilization ||
+			pts[i].Improvement != legacy[i].Improvement ||
+			pts[i].SpecThroughput != legacy[i].SpecThroughput {
+			t.Errorf("point %d metrics differ from legacy", i)
+		}
+	}
+}
+
+// TestSweepTwoAxisGridMatchesLegacyGrid: a controller×predictor grid on
+// the generic engine reproduces SweepPredictorControllers cell for cell
+// (controller-major, baseline-free).
+func TestSweepTwoAxisGridMatchesLegacyGrid(t *testing.T) {
+	cfg := sweepTestConfig()
+	preds := []predict.Kind{predict.KindOracle, predict.KindDepGraph}
+	ctls := []adaptive.Kind{adaptive.KindStatic, adaptive.KindAIMD}
+	legacy, err := SweepPredictorControllers(cfg, preds, ctls, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Sweep(cfg, 2, 0, false, ControllerAxis(ctls), PredictorAxis(preds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(legacy) {
+		t.Fatalf("generic sweep: %d points, legacy %d", len(pts), len(legacy))
+	}
+	for i := range pts {
+		wantLabels := []string{string(legacy[i].Controller), string(legacy[i].Predictor)}
+		if !reflect.DeepEqual(pts[i].Labels, wantLabels) {
+			t.Errorf("point %d labels = %v, want %v", i, pts[i].Labels, wantLabels)
+		}
+		if pts[i].Access != legacy[i].Access ||
+			pts[i].DemandAccess != legacy[i].DemandAccess ||
+			pts[i].Lambda != legacy[i].Lambda ||
+			pts[i].L1Error != legacy[i].L1Error ||
+			pts[i].SpecThroughput != legacy[i].SpecThroughput ||
+			pts[i].HitRatio != legacy[i].HitRatio ||
+			pts[i].WastedFraction != legacy[i].WastedFraction {
+			t.Errorf("point %d metrics differ from legacy (%s/%s)", i, legacy[i].Controller, legacy[i].Predictor)
+		}
+		if pts[i].Improvement.N() != 0 {
+			t.Errorf("point %d has Improvement observations in a baseline-free sweep", i)
+		}
+	}
+}
+
+// TestSweepDisciplineAxisKeepsPreemptRules: the discipline axis clears
+// the preempt flag on non-priority disciplines, exactly like the legacy
+// schedFor path — a priority+preempt base must not poison fifo cells.
+func TestSweepDisciplineAxisKeepsPreemptRules(t *testing.T) {
+	cfg := sweepTestConfig()
+	cfg.Sched.Kind = schedsrv.KindPriority
+	cfg.Sched.Preempt = true
+	pts, err := Sweep(cfg, 1, 0, false, DisciplineAxis([]schedsrv.Kind{schedsrv.KindFIFO, schedsrv.KindPriority}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Config.Sched.Preempt {
+		t.Error("fifo cell kept the preempt flag")
+	}
+	if !pts[1].Config.Sched.Preempt {
+		t.Error("priority cell lost the preempt flag")
+	}
+}
+
+// TestSweepRejectsBadInput: engine-level validation mirrors the legacy
+// entry points.
+func TestSweepRejectsBadInput(t *testing.T) {
+	cfg := sweepTestConfig()
+	if _, err := Sweep(cfg, 0, 0, false); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("0 reps: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := ClientsAxis([]int{2, 0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("0 clients: err = %v, want ErrBadConfig", err)
+	}
+	bad := cfg
+	bad.Clients = 0
+	if _, err := Sweep(bad, 1, 0, false); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad base config: err = %v, want ErrBadConfig", err)
+	}
+	// A combination that only turns invalid once an axis applies.
+	withPreempt := cfg
+	withPreempt.Sched.Preempt = true
+	withPreempt.Sched.Kind = schedsrv.KindPriority
+	manual := Axis{Name: "discipline", Values: []AxisValue{{
+		Label: "fifo",
+		Apply: func(c *Config) { c.Sched.Kind = schedsrv.KindFIFO },
+	}}}
+	if _, err := Sweep(withPreempt, 1, 0, false, manual); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("invalid combo: err = %v, want ErrBadConfig", err)
+	}
+}

@@ -52,6 +52,14 @@ const (
 	KindCacheEvict  Kind = "cache_evict"  // Page (the victim)
 	KindWarmInsert  Kind = "warm_insert"  // Page
 
+	// Fleet layer: routing decisions and replica churn. Replica is the
+	// 1-based replica ordinal on all four (and on any replica-scoped
+	// server event the fleet re-stamps).
+	KindRoute          Kind = "route"           // Page, Demand, Replica — routing decision for a request
+	KindReRoute        Kind = "reroute"         // Page, Replica (new home), Note (old replica ordinal) — demand moved off a failed replica
+	KindReplicaFail    Kind = "replica_fail"    // Replica, Queued (outstanding transfers lost)
+	KindReplicaRecover Kind = "replica_recover" // Replica
+
 	// Harness metadata: names a client track (prefetch-only mode maps
 	// policies onto client ids; Note carries the policy name).
 	KindTrack Kind = "track" // Note
@@ -66,6 +74,7 @@ func Kinds() []Kind {
 		KindEnqueue, KindDequeue, KindPreempt, KindPromote,
 		KindAdmit, KindDrop, KindDefer, KindQueueDepth,
 		KindCacheHit, KindCacheInsert, KindCacheEvict, KindWarmInsert,
+		KindRoute, KindReRoute, KindReplicaFail, KindReplicaRecover,
 		KindTrack,
 	}
 }
@@ -112,6 +121,12 @@ type Event struct {
 	L1     float64 `json:"l1,omitempty"`     // prediction L1 error (predict_next)
 	Util   float64 `json:"util,omitempty"`   // server utilisation estimate
 
+	// Replica is the 1-based replica ordinal on fleet events (route,
+	// reroute, replica_fail, replica_recover, and replica-side server
+	// events the fleet re-stamps); 0 means not replica-scoped, which
+	// keeps single-server traces byte-identical to pre-fleet output.
+	Replica int `json:"replica,omitempty"`
+
 	Queued       int   `json:"queued,omitempty"`   // discipline backlog depth
 	QueuedDemand int   `json:"qdemand,omitempty"`  // of those, demand class
 	InFlight     int   `json:"inflight,omitempty"` // occupied transfer slots
@@ -140,6 +155,8 @@ func (ev Event) Validate() error {
 		return fmt.Errorf("%w: %s from client %d", ErrBadTrace, ev.Kind, ev.Client)
 	case ev.Page < NoPage:
 		return fmt.Errorf("%w: %s for page %d", ErrBadTrace, ev.Kind, ev.Page)
+	case ev.Replica < 0:
+		return fmt.Errorf("%w: %s on replica %d", ErrBadTrace, ev.Kind, ev.Replica)
 	}
 	return nil
 }

@@ -98,6 +98,7 @@ func TestReadTraceErrors(t *testing.T) {
 		{"nan time", `{"t":1e999,"k":"round_end","c":0,"page":-1}`, "line 1"},
 		{"bad client", `{"t":1,"k":"round_end","c":-2,"page":-1}`, "client -2"},
 		{"bad page", `{"t":1,"k":"round_end","c":0,"page":-2}`, "page -2"},
+		{"bad replica", `{"t":1,"k":"route","c":0,"page":3,"replica":-1}`, "replica -1"},
 		{"line number", "{\"t\":1,\"k\":\"round_end\",\"c\":0,\"page\":-1}\n{\"t\":1,\"k\":\"nope\",\"c\":0,\"page\":-1}", "line 2"},
 		{"truncated", `{"t":1,"k":"round_end","c":0,"pa`, "truncated"},
 	}
@@ -133,6 +134,64 @@ func TestValidate(t *testing.T) {
 	ev.T = math.NaN()
 	if err := ev.Validate(); err == nil {
 		t.Fatal("NaN time accepted")
+	}
+}
+
+// TestFleetEventsRoundTrip: the fleet kinds and the Replica field
+// encode and decode like every other event, and a zero Replica stays
+// off the wire so single-server traces are unchanged.
+func TestFleetEventsRoundTrip(t *testing.T) {
+	evs := []Event{
+		func() Event {
+			ev := Ev(1, KindRoute, 3)
+			ev.Page = 7
+			ev.Demand = true
+			ev.Replica = 2
+			return ev
+		}(),
+		func() Event {
+			ev := Ev(2, KindReplicaFail, ServerClient)
+			ev.Replica = 1
+			ev.Queued = 4
+			return ev
+		}(),
+		func() Event {
+			ev := Ev(3, KindReplicaRecover, ServerClient)
+			ev.Replica = 1
+			return ev
+		}(),
+		func() Event {
+			ev := Ev(4, KindReRoute, 3)
+			ev.Page = 7
+			ev.Replica = 3
+			ev.Note = "1"
+			return ev
+		}(),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, ev := range evs {
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("fleet event rejected: %v", err)
+		}
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+	var plain bytes.Buffer
+	NewWriter(&plain).Emit(Ev(1, KindRoundStart, 0))
+	if strings.Contains(plain.String(), "replica") {
+		t.Fatalf("zero Replica leaked into non-fleet encoding: %q", plain.String())
 	}
 }
 

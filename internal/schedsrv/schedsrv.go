@@ -239,6 +239,8 @@ type Scheduler struct {
 	wakeAt      float64 // earliest outstanding shaping wake-up, 0 = none
 	deferWakeAt float64 // outstanding deferred-retry wake-up, 0 = none
 
+	failed bool // Fail was called; the scheduler is permanently stopped
+
 	busyTime      float64
 	started       int64
 	completed     int64
@@ -311,6 +313,9 @@ func (s *Scheduler) Discipline() string { return s.disc.Name() }
 // and Done will never fire for it. Any other outcome (queued, deferred,
 // started) returns true and guarantees an eventual Done callback.
 func (s *Scheduler) Submit(r Request) bool {
+	if s.failed {
+		panic(fmt.Sprintf("schedsrv: submit for page %d after Fail", r.Page))
+	}
 	if r.Service <= 0 {
 		panic(fmt.Sprintf("schedsrv: request for page %d with service %v", r.Page, r.Service))
 	}
@@ -359,6 +364,9 @@ func (s *Scheduler) demandArrived() {
 // discipline; an in-flight transfer is shielded from preemption. It
 // reports whether anything was found.
 func (s *Scheduler) Promote(client, page int) bool {
+	if s.failed {
+		return false
+	}
 	if s.disc.Promote(client, page) {
 		s.queuedDemand++
 		s.emitPromote(client, page, "queued")
@@ -484,6 +492,9 @@ func (s *Scheduler) preemptSpeculative() {
 // dispatch starts eligible queued requests while free slots remain, then
 // arranges a wake-up if the discipline is holding work for later.
 func (s *Scheduler) dispatch() {
+	if s.failed {
+		return // stale wake-ups after Fail must not start abandoned work
+	}
 	for len(s.inFlight) < s.cfg.Concurrency {
 		req, ok := s.disc.Pop(s.clock.Now())
 		if !ok {
@@ -652,6 +663,14 @@ func (s *Scheduler) Snapshot(now float64) Feedback {
 		ev.Util = s.util.estimate(now)
 		s.Tracer.Emit(ev)
 	}
+	return s.Peek(now)
+}
+
+// Peek returns the same congestion feedback as Snapshot without the
+// queue_depth trace sample. High-frequency readers — the fleet router
+// consults every replica on every routed request — use it so feedback
+// reads do not flood the decision trace.
+func (s *Scheduler) Peek(now float64) Feedback {
 	return Feedback{
 		Time:             now,
 		Utilization:      s.util.estimate(now),
@@ -664,6 +683,49 @@ func (s *Scheduler) Snapshot(now float64) Feedback {
 		PreemptionsTotal: s.preemptions,
 	}
 }
+
+// Fail permanently stops the scheduler, modelling a server crash: every
+// in-flight transfer is cancelled (its pending completion event is
+// orphaned, exactly like a preemption abort, and Done never fires for
+// it), the queued backlog and the deferred list are discarded, and any
+// outstanding wake-ups become no-ops. It returns how many outstanding
+// requests were lost. Elapsed service of cancelled transfers still
+// counts as busy time — the bandwidth really was spent. After Fail the
+// scheduler accepts no new work: Submit panics, Promote reports false,
+// and metric accessors keep their pre-failure values.
+func (s *Scheduler) Fail() int {
+	if s.failed {
+		return 0
+	}
+	s.failed = true
+	now := s.clock.Now()
+	lost := 0
+	for i, tr := range s.inFlight {
+		if !tr.cancelled {
+			tr.cancelled = true
+			s.busyTime += now - tr.startedAt
+			lost++
+		}
+		s.inFlight[i] = nil
+	}
+	s.inFlight = s.inFlight[:0]
+	s.util.transition(now, 0)
+	// There is no per-request drain API on Discipline; abandon the whole
+	// backlog by swapping in an empty queue, so Queued() reads 0 and the
+	// dropped requests are not retained.
+	lost += s.disc.Len()
+	s.disc = newFIFO()
+	for i := range s.deferred {
+		s.deferred[i] = nil
+	}
+	lost += len(s.deferred)
+	s.deferred = s.deferred[:0]
+	s.queuedDemand = 0
+	return lost
+}
+
+// Failed reports whether Fail has been called.
+func (s *Scheduler) Failed() bool { return s.failed }
 
 // Queued returns the number of requests held by the discipline.
 func (s *Scheduler) Queued() int { return s.disc.Len() }

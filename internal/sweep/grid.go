@@ -1,0 +1,102 @@
+package sweep
+
+import "fmt"
+
+// Axis is one dimension of a configuration grid: a named list of
+// labelled mutations of the config type C. The grid engine applies one
+// value from every axis to a copy of the base config, so an axis value
+// must fully describe its setting (it cannot rely on a previous value's
+// leftovers).
+type Axis[C any] struct {
+	Name   string
+	Values []AxisValue[C]
+}
+
+// AxisValue is one labelled setting on an axis.
+type AxisValue[C any] struct {
+	Label string
+	Apply func(*C)
+}
+
+// Cell is one grid point: the axis labels that select it (one per axis,
+// in axis order), the fully-applied config, and the per-replication
+// results in replication order.
+type Cell[C, R any] struct {
+	Labels  []string
+	Config  C
+	Results []R
+}
+
+// Grid runs the full cross product of axes over base, replicated reps
+// times per point, on up to workers goroutines (0 ⇒ GOMAXPROCS). Points
+// enumerate row-major — the first axis varies slowest, replications
+// innermost — and results come back in exactly that order, so output
+// tables are stable regardless of worker count.
+//
+// Every combination is validated up-front (validate may be nil) before
+// any task runs, so a bad corner of the grid fails fast instead of
+// after minutes of simulation. run receives the combined config and the
+// replication index; it must derive any randomness from those (the
+// usual pattern offsets the config seed by rep).
+func Grid[C, R any](base C, axes []Axis[C], reps, workers int,
+	validate func(C) error, run func(cfg C, rep int) (R, error)) ([]Cell[C, R], error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: %d replications", ErrBadSweep, reps)
+	}
+	if run == nil {
+		return nil, fmt.Errorf("%w: nil run function", ErrBadSweep)
+	}
+	for _, ax := range axes {
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("%w: empty axis %q", ErrBadSweep, ax.Name)
+		}
+		for _, v := range ax.Values {
+			if v.Apply == nil {
+				return nil, fmt.Errorf("%w: axis %q value %q has no Apply", ErrBadSweep, ax.Name, v.Label)
+			}
+		}
+	}
+
+	cells := []Cell[C, R]{{Config: base}}
+	for _, ax := range axes {
+		next := make([]Cell[C, R], 0, len(cells)*len(ax.Values))
+		for _, cell := range cells {
+			for _, v := range ax.Values {
+				c := cell.Config
+				v.Apply(&c)
+				labels := make([]string, len(cell.Labels), len(cell.Labels)+1)
+				copy(labels, cell.Labels)
+				next = append(next, Cell[C, R]{Labels: append(labels, v.Label), Config: c})
+			}
+		}
+		cells = next
+	}
+	if validate != nil {
+		for i := range cells {
+			if err := validate(cells[i].Config); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	type task struct {
+		cell int
+		rep  int
+	}
+	tasks := make([]task, 0, len(cells)*reps)
+	for i := range cells {
+		for r := 0; r < reps; r++ {
+			tasks = append(tasks, task{cell: i, rep: r})
+		}
+	}
+	results, err := Run(tasks, workers, func(t task) (R, error) {
+		return run(cells[t.cell].Config, t.rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range cells {
+		cells[i].Results = results[i*reps : (i+1)*reps : (i+1)*reps]
+	}
+	return cells, nil
+}

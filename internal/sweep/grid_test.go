@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+type gridCfg struct {
+	A, B string
+	Seed int
+}
+
+func letterAxis(name, field string, vals ...string) Axis[gridCfg] {
+	ax := Axis[gridCfg]{Name: name}
+	for _, v := range vals {
+		v := v
+		ax.Values = append(ax.Values, AxisValue[gridCfg]{Label: v, Apply: func(c *gridCfg) {
+			if field == "a" {
+				c.A = v
+			} else {
+				c.B = v
+			}
+		}})
+	}
+	return ax
+}
+
+// TestGridOrderAndLabels: cells come back row-major (first axis
+// slowest), replications in order, with one label per axis.
+func TestGridOrderAndLabels(t *testing.T) {
+	axes := []Axis[gridCfg]{
+		letterAxis("alpha", "a", "a1", "a2"),
+		letterAxis("beta", "b", "b1", "b2", "b3"),
+	}
+	cells, err := Grid(gridCfg{Seed: 5}, axes, 2, 3, nil,
+		func(c gridCfg, rep int) (string, error) {
+			return fmt.Sprintf("%s/%s/%d/%d", c.A, c.B, c.Seed, rep), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	wantLabels := [][]string{
+		{"a1", "b1"}, {"a1", "b2"}, {"a1", "b3"},
+		{"a2", "b1"}, {"a2", "b2"}, {"a2", "b3"},
+	}
+	for i, cell := range cells {
+		if !reflect.DeepEqual(cell.Labels, wantLabels[i]) {
+			t.Errorf("cell %d labels = %v, want %v", i, cell.Labels, wantLabels[i])
+		}
+		want := []string{
+			fmt.Sprintf("%s/%s/5/0", wantLabels[i][0], wantLabels[i][1]),
+			fmt.Sprintf("%s/%s/5/1", wantLabels[i][0], wantLabels[i][1]),
+		}
+		if !reflect.DeepEqual(cell.Results, want) {
+			t.Errorf("cell %d results = %v, want %v", i, cell.Results, want)
+		}
+		if cell.Config.A != wantLabels[i][0] || cell.Config.B != wantLabels[i][1] {
+			t.Errorf("cell %d config = %+v, want axes %v applied", i, cell.Config, wantLabels[i])
+		}
+	}
+}
+
+// TestGridNoAxes: zero axes is a single replicated point over base.
+func TestGridNoAxes(t *testing.T) {
+	cells, err := Grid(gridCfg{A: "x"}, nil, 3, 0, nil,
+		func(c gridCfg, rep int) (int, error) { return rep * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || len(cells[0].Labels) != 0 {
+		t.Fatalf("got %d cells (labels %v), want 1 unlabelled", len(cells), cells[0].Labels)
+	}
+	if !reflect.DeepEqual(cells[0].Results, []int{0, 10, 20}) {
+		t.Fatalf("results = %v, want [0 10 20]", cells[0].Results)
+	}
+}
+
+// TestGridValidatesBeforeRunning: a bad combination anywhere in the
+// grid fails fast and no task ever runs.
+func TestGridValidatesBeforeRunning(t *testing.T) {
+	bad := errors.New("bad combo")
+	ran := false
+	_, err := Grid(gridCfg{}, []Axis[gridCfg]{letterAxis("alpha", "a", "a1", "a2")}, 1, 0,
+		func(c gridCfg) error {
+			if c.A == "a2" {
+				return bad
+			}
+			return nil
+		},
+		func(c gridCfg, rep int) (int, error) { ran = true; return 0, nil })
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want the validation error", err)
+	}
+	if ran {
+		t.Fatal("a task ran despite a failed validation")
+	}
+}
+
+// TestGridBadInputs: empty axes, nil Apply, and bad reps are rejected.
+func TestGridBadInputs(t *testing.T) {
+	run := func(c gridCfg, rep int) (int, error) { return 0, nil }
+	if _, err := Grid(gridCfg{}, []Axis[gridCfg]{{Name: "empty"}}, 1, 0, nil, run); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("empty axis: err = %v, want ErrBadSweep", err)
+	}
+	holey := []Axis[gridCfg]{{Name: "holey", Values: []AxisValue[gridCfg]{{Label: "x"}}}}
+	if _, err := Grid(gridCfg{}, holey, 1, 0, nil, run); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("nil Apply: err = %v, want ErrBadSweep", err)
+	}
+	if _, err := Grid(gridCfg{}, nil, 0, 0, nil, run); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("0 reps: err = %v, want ErrBadSweep", err)
+	}
+	if _, err := Grid[gridCfg, int](gridCfg{}, nil, 1, 0, nil, nil); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("nil run: err = %v, want ErrBadSweep", err)
+	}
+}
+
+// TestGridTaskError: a failing task surfaces with its flat task index.
+func TestGridTaskError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Grid(gridCfg{}, []Axis[gridCfg]{letterAxis("alpha", "a", "a1", "a2")}, 2, 1, nil,
+		func(c gridCfg, rep int) (int, error) {
+			if c.A == "a2" && rep == 1 {
+				return 0, boom
+			}
+			return 0, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped task error", err)
+	}
+}
+
+// TestGridDeterministicAcrossWorkers: worker count never changes the
+// output, only the wall-clock.
+func TestGridDeterministicAcrossWorkers(t *testing.T) {
+	axes := []Axis[gridCfg]{
+		letterAxis("alpha", "a", "a1", "a2", "a3"),
+		letterAxis("beta", "b", "b1", "b2"),
+	}
+	run := func(c gridCfg, rep int) (string, error) {
+		return fmt.Sprintf("%s-%s-%d", c.A, c.B, rep), nil
+	}
+	seq, err := Grid(gridCfg{}, axes, 3, 1, nil, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Grid(gridCfg{}, axes, 3, 8, nil, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("grid results differ between 1 and 8 workers")
+	}
+}

@@ -155,14 +155,19 @@ const (
 // ControllerKinds lists the built-in λ controllers in canonical order.
 func ControllerKinds() []ControllerKind { return adaptive.Kinds() }
 
-// NewController builds a standalone λ controller (each simulated client
-// owns its own instance).
+// NewController builds a standalone λ controller. Simulated clients do
+// not need this: setting MultiClientConfig.Adaptive equips every client
+// with its own instance, validated alongside the rest of the composed
+// config. Reach for NewController only to drive a controller directly.
 func NewController(cfg ControllerConfig) (Controller, error) { return adaptive.New(cfg) }
 
 // SweepMultiClientControllers runs the identical seed-replicated workload
 // under each λ controller, isolating the speculation-control policy:
 // demand latency, speculative traffic and the λ trajectory per
 // controller.
+//
+// Legacy wrapper: new code should call SweepMultiClientGrid with
+// MultiClientControllerAxis, which composes with the other axes.
 func SweepMultiClientControllers(cfg MultiClientConfig, kinds []ControllerKind, reps, workers int) ([]MultiClientControllerPoint, error) {
 	return multiclient.SweepControllers(cfg, kinds, reps, workers)
 }
@@ -170,6 +175,9 @@ func SweepMultiClientControllers(cfg MultiClientConfig, kinds []ControllerKind, 
 // SweepMultiClientDisciplines runs the identical seed-replicated workload
 // under each scheduling discipline, isolating the server's arbitration
 // policy: demand latency vs speculative throughput per discipline.
+//
+// Legacy wrapper: new code should call SweepMultiClientGrid with
+// MultiClientDisciplineAxis, which composes with the other axes.
 func SweepMultiClientDisciplines(cfg MultiClientConfig, kinds []SchedKind, reps, workers int) ([]MultiClientDisciplinePoint, error) {
 	return multiclient.SweepDisciplines(cfg, kinds, reps, workers)
 }
@@ -252,6 +260,9 @@ func PredictionL1(p, q map[int]float64) float64 { return predict.L1(p, q) }
 // under each prediction source, isolating the oracle-vs-learned gap:
 // demand latency, prediction L1 error, wasted-prefetch fraction and hit
 // ratio per source.
+//
+// Legacy wrapper: new code should call SweepMultiClientGrid with
+// MultiClientPredictorAxis, which composes with the other axes.
 func SweepMultiClientPredictors(cfg MultiClientConfig, kinds []PredictorKind, reps, workers int) ([]MultiClientPredictorPoint, error) {
 	return multiclient.SweepPredictors(cfg, kinds, reps, workers)
 }
@@ -260,6 +271,10 @@ func SweepMultiClientPredictors(cfg MultiClientConfig, kinds []PredictorKind, re
 // pair over the identical seed-replicated workload, controller-major,
 // marking each controller's (demand latency, speculative throughput)
 // Pareto frontier across predictors.
+//
+// Legacy wrapper: new code should call SweepMultiClientGrid with
+// MultiClientControllerAxis and MultiClientPredictorAxis (only the
+// Pareto marking is wrapper-specific).
 func SweepMultiClientPredictorControllers(cfg MultiClientConfig, preds []PredictorKind, ctls []ControllerKind, reps, workers int) ([]MultiClientPredictorControllerPoint, error) {
 	return multiclient.SweepPredictorControllers(cfg, preds, ctls, reps, workers)
 }
@@ -279,6 +294,9 @@ func CompareMultiClient(cfg MultiClientConfig) (MultiClientComparison, error) {
 
 // SweepMultiClient sweeps the client count over ns with seed-replicated
 // parallel runs (reps derived seeds per point, sweep worker pool).
+//
+// Legacy wrapper: new code should call SweepMultiClientGrid with
+// MultiClientClientsAxis, which composes with the other axes.
 func SweepMultiClient(cfg MultiClientConfig, ns []int, reps, workers int) ([]MultiClientSweepPoint, error) {
 	return multiclient.SweepClients(cfg, ns, reps, workers)
 }
