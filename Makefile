@@ -16,17 +16,19 @@ SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
 
 # The tracked hot paths: the shared event-queue heap, the scheduling
 # subsystem's submit/dispatch/complete cycle, the end-to-end multiclient
-# simulation round (oracle and learned-predictor variants, plus the
-# traced and disabled-tracer variants that hold the observability
-# layer's overhead — off must stay within noise of the untraced
-# baseline), the learned predictors' observe/predict cycle, and the
-# multi-replica fleet round (routing + failure injection overhead on
-# top of the single-server round).
+# simulation round (the N-scaling family N=64…4096 over the sharded
+# core, plus oracle/learned/drift variants and the traced and
+# disabled-tracer variants that hold the observability layer's overhead
+# — off must stay within noise of the untraced baseline), the learned
+# predictors' observe/predict cycle, and the multi-replica fleet round
+# (routing + failure injection overhead on top of the single-server
+# round). -benchmem feeds the allocation gate: cmd/benchjson fails any
+# tracked benchmark whose allocs/op grows past its baseline.
 BENCH_PATTERN := ^(BenchmarkEventQueue|BenchmarkSchedulerDequeue|BenchmarkMultiClientRound|BenchmarkMultiClientRoundLearned|BenchmarkMultiClientRoundDrift|BenchmarkMultiClientRoundTracerOff|BenchmarkMultiClientRoundTraced|BenchmarkPredictorObserve|BenchmarkPredictorObserveDecay|BenchmarkFleetRound)$$
 BENCH_PKGS    := ./internal/eventq ./internal/schedsrv ./internal/multiclient ./internal/predict ./internal/fleet
-BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -count 3
+BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 300ms -count 3
 
-.PHONY: test lint bench bench-raw bench-baseline clean-bench sweep-learned sweep-drift sweep-fleet trace
+.PHONY: test lint bench bench-raw bench-baseline clean-bench profile sweep-learned sweep-drift sweep-fleet trace
 
 test: lint
 	$(GO) build ./...
@@ -59,6 +61,23 @@ bench-baseline: bench-raw
 clean-bench:
 	rm -f bench-raw.txt BENCH_*.json
 	git checkout -- BENCH_baseline.json 2>/dev/null || true
+
+# CPU + heap profiles of the heaviest tracked benchmark (the N=4096
+# multiclient round over the sharded core), written to profile-out/ for
+# pprof inspection; CI uploads the directory as an artifact so every
+# main build ships a browsable profile of the hot path:
+#
+#	go tool pprof profile-out/multiclient.test profile-out/cpu.pprof
+profile:
+	rm -rf profile-out && mkdir -p profile-out
+	$(GO) test -run '^$$' -bench '^BenchmarkMultiClientRound$$/N=4096' -benchtime 3x \
+		-cpuprofile profile-out/cpu.pprof -memprofile profile-out/mem.pprof \
+		-o profile-out/multiclient.test ./internal/multiclient | tee profile-out/bench.txt
+	$(GO) tool pprof -top -nodecount 15 profile-out/multiclient.test profile-out/cpu.pprof \
+		> profile-out/cpu.top.txt
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space profile-out/multiclient.test profile-out/mem.pprof \
+		> profile-out/mem.top.txt
+	@ls -l profile-out
 
 # Sample observability bundle under trace-out/: a traced multiclient
 # run (JSONL decision trace + metrics), the traceq report over it, and

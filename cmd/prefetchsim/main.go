@@ -151,6 +151,7 @@ func run(args []string, out io.Writer) error {
 		serverCache = fs.Int("servercache", 0, "shared server cache slots, 0 = none (multiclient)")
 		rounds      = fs.Int("rounds", 300, "browsing rounds per client (multiclient)")
 		reps        = fs.Int("reps", 3, "seed replications per sweep point (multiclient)")
+		shards      = fs.Int("shards", 0, "parallel workload-precompute shards, 0 = one per CPU; results are bit-identical for every value (multiclient/fleet)")
 
 		discipline  = fs.String("discipline", "fifo", "server scheduling: fifo | priority | wfq | shaped, comma list or \"all\" to sweep (multiclient)")
 		preempt     = fs.Bool("preempt", false, "priority discipline: demands abort in-flight speculative transfers (multiclient)")
@@ -257,6 +258,7 @@ func run(args []string, out io.Writer) error {
 			serverCache:   *serverCache,
 			rounds:        *rounds,
 			reps:          *reps,
+			shards:        *shards,
 			discipline:    *discipline,
 			preempt:       *preempt,
 			weights:       *weights,
@@ -615,6 +617,7 @@ type mcOptions struct {
 	serverCache   int
 	rounds        int
 	reps          int
+	shards        int
 	discipline    string
 	preempt       bool
 	weights       string
@@ -804,6 +807,7 @@ func mcConfig(opt mcOptions) (cfg prefetch.MultiClientConfig, ns []int, kinds []
 	cfg.ServerConcurrency = opt.serverConc
 	cfg.ServerCacheSlots = opt.serverCache
 	cfg.Rounds = opt.rounds
+	cfg.Shards = opt.shards
 	cfg.Sched = prefetch.SchedConfig{
 		Kind:         kinds[0],
 		Preempt:      opt.preempt,

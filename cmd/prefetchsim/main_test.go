@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"errors"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -136,6 +137,21 @@ func TestRunMultiClientDisciplineDeterminism(t *testing.T) {
 		if a, b := runOut(t, args...), runOut(t, args...); a != b {
 			t.Errorf("%s: two identical invocations differ:\n%s\n---\n%s", disc, a, b)
 		}
+	}
+}
+
+func TestRunMultiClientShardsFlag(t *testing.T) {
+	// -shards is a parallelism hint: any value must print byte-identical
+	// output (shard 1 vs 7 vs auto), and a negative value is refused.
+	args := []string{"-mode", "multiclient", "-clients", "3", "-rounds", "25", "-seed", "9"}
+	want := runOut(t, append(args, "-shards", "1")...)
+	for _, shards := range []string{"0", "7"} {
+		if got := runOut(t, append(args, "-shards", shards)...); got != want {
+			t.Errorf("-shards %s output differs from -shards 1:\n%s\n---\n%s", shards, got, want)
+		}
+	}
+	if err := run(append(args, "-shards", "-2"), io.Discard); err == nil {
+		t.Error("negative -shards accepted")
 	}
 }
 

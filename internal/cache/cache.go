@@ -22,6 +22,13 @@ type Entry struct {
 	Freq       int64   // accesses observed while tracked
 	LastAccess int64   // logical time of last access
 	Inserted   int64   // logical time of insertion
+
+	// Intrusive recency list: least recent at the head, most recent at the
+	// tail. Maintained on Insert/RecordAccess/Evict so the LRU victim is an
+	// O(1) head read instead of an Entries() copy-and-scan — the dominant
+	// cost of every eviction at fleet scale. The copies handed out by
+	// Entry/Entries have these cleared.
+	prev, next *Entry
 }
 
 // Cache is a fixed-capacity set of equal-size items with usage bookkeeping.
@@ -35,6 +42,15 @@ type Cache struct {
 	// the paper's freq_i (delay-saving profit, LFU sub-arbitration) is a
 	// property of the item's access history, not of its cache residency.
 	freqAll map[int]int64
+
+	// head/tail bound the intrusive recency list (head = least recently
+	// accessed). Tick is strictly monotonic, so LastAccess values are
+	// unique and list order is exactly ascending LastAccess — the O(1)
+	// victim below is bit-for-bit the Entries()-scan LRU victim.
+	head, tail *Entry
+	// free recycles evicted Entry structs (bounded by capacity) so steady
+	// state insert/evict churn stops allocating.
+	free []*Entry
 }
 
 // New creates a cache with the given capacity (number of items).
@@ -78,7 +94,43 @@ func (c *Cache) RecordAccess(id int) {
 	if e, ok := c.items[id]; ok {
 		e.Freq++
 		e.LastAccess = c.clock
+		c.moveToTail(e)
 	}
+}
+
+// unlink removes e from the recency list.
+func (c *Cache) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushTail appends e as the most recently accessed entry.
+func (c *Cache) pushTail(e *Entry) {
+	e.prev, e.next = c.tail, nil
+	if c.tail != nil {
+		c.tail.next = e
+	} else {
+		c.head = e
+	}
+	c.tail = e
+}
+
+// moveToTail re-files e as most recently accessed.
+func (c *Cache) moveToTail(e *Entry) {
+	if c.tail == e {
+		return
+	}
+	c.unlink(e)
+	c.pushTail(e)
 }
 
 // Freq returns the total observed access count of an item (cached or not).
@@ -95,22 +147,37 @@ func (c *Cache) Insert(id int, retrieval float64) error {
 		return fmt.Errorf("%w: item %d already cached", ErrBadCache, id)
 	}
 	c.Tick()
-	c.items[id] = &Entry{
+	var e *Entry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		e = new(Entry)
+	}
+	*e = Entry{
 		ID:         id,
 		Retrieval:  retrieval,
 		Freq:       c.freqAll[id],
 		LastAccess: c.clock,
 		Inserted:   c.clock,
 	}
+	c.items[id] = e
+	c.pushTail(e)
 	return nil
 }
 
 // Evict removes an item from the cache.
 func (c *Cache) Evict(id int) error {
-	if _, ok := c.items[id]; !ok {
+	e, ok := c.items[id]
+	if !ok {
 		return fmt.Errorf("%w: evict non-cached item %d", ErrBadCache, id)
 	}
 	delete(c.items, id)
+	c.unlink(e)
+	if len(c.free) < c.capacity {
+		c.free = append(c.free, e)
+	}
 	return nil
 }
 
@@ -120,14 +187,18 @@ func (c *Cache) Entry(id int) (Entry, bool) {
 	if !ok {
 		return Entry{}, false
 	}
-	return *e, true
+	out := *e
+	out.prev, out.next = nil, nil
+	return out, true
 }
 
 // Entries returns copies of all entries, sorted by ID for determinism.
 func (c *Cache) Entries() []Entry {
 	out := make([]Entry, 0, len(c.items))
 	for _, e := range c.items {
-		out = append(out, *e)
+		cp := *e
+		cp.prev, cp.next = nil, nil
+		out = append(out, cp)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -146,16 +217,31 @@ func (c *Cache) IDs() []int {
 // Flush empties the cache (the "prefetch only" simulation flushes after
 // every request). Global frequencies are retained.
 func (c *Cache) Flush() {
+	for e := c.head; e != nil; {
+		next := e.next
+		e.prev, e.next = nil, nil
+		if len(c.free) < c.capacity {
+			c.free = append(c.free, e)
+		}
+		e = next
+	}
+	c.head, c.tail = nil, nil
 	c.items = make(map[int]*Entry, c.capacity)
 }
 
 // Victim chooses an eviction victim using the policy; false if empty.
+// The LRU policy is answered in O(1) from the recency list head: Tick is
+// strictly monotonic so LastAccess values are unique, which makes the
+// head exactly the entry the Entries() scan would pick (the ID tie-break
+// can never fire).
 func (c *Cache) Victim(p Policy) (int, bool) {
-	entries := c.Entries()
-	if len(entries) == 0 {
+	if len(c.items) == 0 {
 		return 0, false
 	}
-	return p.Victim(entries), true
+	if _, ok := p.(LRU); ok {
+		return c.head.ID, true
+	}
+	return p.Victim(c.Entries()), true
 }
 
 // Policy selects an eviction victim among cache entries. Implementations

@@ -281,3 +281,55 @@ func TestEntriesSortedAndCopied(t *testing.T) {
 		t.Fatal("Entries leaked internal state")
 	}
 }
+
+// TestLRUFastPathMatchesScan churns a small cache through interleaved
+// inserts, accesses, evictions and flushes, checking at every step that the
+// O(1) recency-list victim is identical to the generic Entries() scan the
+// LRU policy computes — the bit-for-bit contract the fast path relies on.
+func TestLRUFastPathMatchesScan(t *testing.T) {
+	c := mustNew(t, 4)
+	next := 0
+	step := func(op int) {
+		switch {
+		case op%7 == 3 && c.Len() > 0:
+			es := c.Entries()
+			if err := c.Evict(es[op%len(es)].ID); err != nil {
+				t.Fatal(err)
+			}
+		case op%23 == 11:
+			c.Flush()
+		case op%3 == 0:
+			c.RecordAccess(op % 17) // mix of hits and misses
+		default:
+			if c.Free() == 0 {
+				v, ok := c.Victim(LRU{})
+				if !ok {
+					t.Fatal("full cache with no victim")
+				}
+				if err := c.Evict(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !c.Contains(next % 17) {
+				if err := c.Insert(next%17, 1.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			next++
+		}
+	}
+	for op := 0; op < 2000; op++ {
+		step(op)
+		if c.Len() == 0 {
+			continue
+		}
+		fast, ok := c.Victim(LRU{})
+		if !ok {
+			t.Fatal("non-empty cache with no victim")
+		}
+		want := LRU{}.Victim(c.Entries())
+		if fast != want {
+			t.Fatalf("op %d: fast LRU victim %d, scan victim %d", op, fast, want)
+		}
+	}
+}

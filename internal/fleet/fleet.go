@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 
+	"prefetch/internal/core"
 	"prefetch/internal/multiclient"
 	"prefetch/internal/netsim"
 	"prefetch/internal/obs"
@@ -258,6 +259,12 @@ type fleetRun struct {
 	replicas []*replica
 	sessions []*session
 
+	// scripts is the sharded Phase-A precomputation inherited from the
+	// multiclient core (nil when the config is not scriptable); planBuf is
+	// the shared per-plan scratch the single-threaded event loop reuses.
+	scripts *multiclient.Scripts
+	planBuf []core.Item
+
 	active   int // sessions still browsing; churn stops at 0
 	parked   []parkedDemand
 	reroutes int64
@@ -394,6 +401,15 @@ func Run(cfg Config) (Result, error) {
 		router: router,
 		active: cfg.Base.Clients,
 	}
+	if multiclient.Scriptable(cfg.Base) {
+		// Same client labels, same seed, same draw order: the sharded
+		// Phase-A workers precompute fleet sessions exactly as they do
+		// single-server clients.
+		f.scripts, err = multiclient.GenerateScripts(cfg.Base, site)
+		if err != nil {
+			return Result{}, err
+		}
+	}
 	f.replicas = make([]*replica, cfg.Replicas)
 	for i := range f.replicas {
 		rep, err := newReplica(i, f)
@@ -455,7 +471,7 @@ func Run(cfg Config) (Result, error) {
 		Router:      router.Name(),
 		Discipline:  f.replicas[0].sched.Discipline(),
 		Controller:  f.sessions[0].ctrl.Name(),
-		Predictor:   f.sessions[0].pred.Name(),
+		Predictor:   f.sessions[0].predName,
 		PerClient:   make([]multiclient.ClientResult, cfg.Base.Clients),
 		PerReplica:  make([]ReplicaResult, cfg.Replicas),
 		Elapsed:     f.lastT,

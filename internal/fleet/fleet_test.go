@@ -113,6 +113,92 @@ func TestSingleReplicaMatchesMulticlient(t *testing.T) {
 	}
 }
 
+// TestScriptedSingleReplicaMatchesMulticlient: the scripted (sharded
+// Phase-A) fleet session inherits the multiclient timeline too — the
+// shared-predictor baseConfig above exercises the inline path, so this
+// covers scriptable shapes: the stationary oracle, drift, and a learned
+// model.
+func TestScriptedSingleReplicaMatchesMulticlient(t *testing.T) {
+	shapes := map[string]func(*multiclient.Config){
+		"oracle": func(cfg *multiclient.Config) { cfg.Predict = predict.Config{} },
+		"drift":  func(cfg *multiclient.Config) { cfg.Predict = predict.Config{}; cfg.DriftEvery = 7 },
+		"learned": func(cfg *multiclient.Config) {
+			cfg.Predict = predict.Config{Kind: predict.KindPPM, ColdStart: predict.FallbackUniform}
+		},
+	}
+	for name, shape := range shapes {
+		t.Run(name, func(t *testing.T) {
+			mcCfg := baseConfig()
+			mcCfg.WarmServerCache = false // warming needs the shared predictor
+			shape(&mcCfg)
+			if !multiclient.Scriptable(mcCfg) {
+				t.Fatalf("config unexpectedly not scriptable")
+			}
+			mcTrace := &obs.Collector{}
+			mcCfg.Tracer = mcTrace
+			want, err := multiclient.Run(mcCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			flCfg := Config{Base: baseConfig(), Replicas: 1, Router: KindRoundRobin}
+			flCfg.Base.WarmServerCache = false
+			shape(&flCfg.Base)
+			flTrace := &obs.Collector{}
+			flCfg.Base.Tracer = flTrace
+			got, err := Run(flCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(got.PerClient, want.PerClient) {
+				t.Error("per-client results diverge from the single-server model")
+			}
+			if got.Predictor != want.Predictor {
+				t.Errorf("Predictor = %q, want %q", got.Predictor, want.Predictor)
+			}
+			gotEvs := stripFleet(flTrace.Events)
+			if len(gotEvs) != len(mcTrace.Events) {
+				t.Fatalf("stripped fleet trace has %d events, single-server %d", len(gotEvs), len(mcTrace.Events))
+			}
+			for i := range gotEvs {
+				if gotEvs[i] != mcTrace.Events[i] {
+					t.Fatalf("trace diverges at event %d:\n fleet: %+v\n single: %+v", i, gotEvs[i], mcTrace.Events[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFleetShardCountIndependence: the Base.Shards parallelism hint never
+// changes a byte of a fleet run either — even under replica churn, since
+// only Phase-A script generation parallelises.
+func TestFleetShardCountIndependence(t *testing.T) {
+	run := func(shards int) (Result, []obs.Event) {
+		cfg := churnConfig()
+		cfg.Base.Predict = predict.Config{} // scriptable: stationary oracle
+		cfg.Base.WarmServerCache = false    // warming needs the shared predictor
+		cfg.Base.Shards = shards
+		tr := &obs.Collector{}
+		cfg.Base.Tracer = tr
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tr.Events
+	}
+	want, wantEvs := run(1)
+	for _, shards := range []int{0, 4, 16} {
+		got, gotEvs := run(shards)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: result differs from shards=1", shards)
+		}
+		if !reflect.DeepEqual(gotEvs, wantEvs) {
+			t.Errorf("shards=%d: trace differs from shards=1", shards)
+		}
+	}
+}
+
 // TestRunDeterministicReplay: the same churny config replays bit for
 // bit — results and trace.
 func TestRunDeterministicReplay(t *testing.T) {

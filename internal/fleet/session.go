@@ -6,6 +6,7 @@ import (
 	"prefetch/internal/adaptive"
 	"prefetch/internal/cache"
 	"prefetch/internal/core"
+	"prefetch/internal/multiclient"
 	"prefetch/internal/obs"
 	"prefetch/internal/predict"
 	"prefetch/internal/rng"
@@ -31,8 +32,18 @@ type session struct {
 	// warm, and the congestion feedback its controller observes.
 	home *replica
 
-	pred   predict.Source
-	oracle bool
+	pred     predict.Source
+	oracle   bool
+	predName string
+
+	// Scripted mode, inherited from the sharded multiclient core: when
+	// script is non-nil the session's draws and predictions were
+	// precomputed by a Phase-A shard worker (multiclient.GenerateScripts)
+	// — rand, surfer and pred are nil, table is the shared stationary-
+	// oracle candidate table or nil, and state tracks the current page.
+	script *multiclient.Script
+	table  [][]core.Item
+	state  int
 
 	cache     *cache.Cache
 	ready     map[int]bool
@@ -84,7 +95,6 @@ func newSession(id int, f *fleetRun) (*session, error) {
 		fl:         f,
 		site:       f.site,
 		tr:         f.tr,
-		rand:       rng.Derive(cfg.Seed, clientLabel(id)),
 		home:       f.replicas[f.router.Home(id, len(f.replicas))],
 		ready:      map[int]bool{},
 		pending:    map[int]*replica{},
@@ -92,18 +102,26 @@ func newSession(id int, f *fleetRun) (*session, error) {
 		roundsLeft: cfg.Rounds,
 		waitingFor: -1,
 	}
-	s.surfer = webgraph.NewSurfer(s.rand, f.site, cfg.FollowProb)
-	if cfg.DriftEvery > 0 {
-		s.surfer.EnableDrift(rng.Derive(cfg.Seed, driftLabel(id)), cfg.DriftEvery)
-	}
-	pred, err := predict.New(cfg.Predict, id, s.surfer.NextDistributionFrom, s.home.agg)
-	if err != nil {
-		return nil, err
-	}
-	s.pred = pred
 	s.oracle = cfg.Predict.Kind == "" || cfg.Predict.Kind == predict.KindOracle
-	if !cfg.DisablePrefetch {
-		s.pred.Observe(s.surfer.Current())
+	if f.scripts != nil {
+		s.script = &f.scripts.PerClient[id]
+		s.table = f.scripts.Table
+		s.predName = f.scripts.PredName
+	} else {
+		s.rand = rng.Derive(cfg.Seed, clientLabel(id))
+		s.surfer = webgraph.NewSurfer(s.rand, f.site, cfg.FollowProb)
+		if cfg.DriftEvery > 0 {
+			s.surfer.EnableDrift(rng.Derive(cfg.Seed, driftLabel(id)), cfg.DriftEvery)
+		}
+		pred, err := predict.New(cfg.Predict, id, s.surfer.NextDistributionFrom, s.home.agg)
+		if err != nil {
+			return nil, err
+		}
+		s.pred = pred
+		s.predName = pred.Name()
+		if !cfg.DisablePrefetch {
+			s.pred.Observe(s.surfer.Current())
+		}
 	}
 	ctrl, err := adaptive.New(cfg.Adaptive)
 	if err != nil {
@@ -160,9 +178,14 @@ func (s *session) startRound(now float64) {
 		s.ready = map[int]bool{}
 	}
 
-	v := s.rand.Exp(1 / s.fl.cfg.Base.MeanViewing)
-	if v < s.fl.cfg.Base.MinViewing {
-		v = s.fl.cfg.Base.MinViewing
+	var v float64
+	if s.script != nil {
+		v = s.script.Viewing[s.round-1]
+	} else {
+		v = s.rand.Exp(1 / s.fl.cfg.Base.MeanViewing)
+		if v < s.fl.cfg.Base.MinViewing {
+			v = s.fl.cfg.Base.MinViewing
+		}
 	}
 	if s.tr != nil {
 		ev := obs.Ev(now, obs.KindRoundStart, s.id)
@@ -206,7 +229,13 @@ func (s *session) startRound(now float64) {
 		}
 	}
 
-	next := s.surfer.Step()
+	var next int
+	if s.script != nil {
+		next = int(s.script.Next[s.round-1])
+		s.state = next // the page plan() will rank from next round
+	} else {
+		next = s.surfer.Step()
+	}
 	s.fl.clock.Schedule(now+v, func() { s.request(next) })
 }
 
@@ -242,28 +271,63 @@ func (s *session) observe(now float64) {
 // plan solves the cost-aware SKP at the controller's current λ, exactly
 // as in multiclient.
 func (s *session) plan(viewing float64) core.Plan {
-	state := s.surfer.Current()
-	dist := s.pred.Next(state)
-	var l1 float64
-	if !s.oracle {
-		l1 = predict.L1(dist, s.surfer.NextDistributionFrom(state))
-	}
-	s.l1Trace.Add(l1)
-	items := make([]core.Item, 0, len(dist))
-	for page, prob := range dist {
-		if prob <= 0 || s.holds(page) || s.pending[page] != nil {
-			continue
+	var (
+		state int
+		l1    float64
+		items []core.Item
+	)
+	if s.script != nil {
+		// Scripted: the full ranked candidate list was precomputed (or is
+		// the shared stationary table); only the timing-dependent parts —
+		// the held/in-flight filter and the cap — run here. Filtering a
+		// ranked list then capping equals the inline path's filter-sort-cap
+		// because the ranking key is a total order independent of the
+		// filter.
+		state = s.state
+		if s.script.L1 != nil {
+			l1 = s.script.L1[s.round-1]
 		}
-		items = append(items, core.Item{ID: page, Prob: prob, Retrieval: s.site.Pages[page].Retrieval})
-	}
-	sort.Slice(items, func(a, b int) bool {
-		if items[a].Prob != items[b].Prob {
-			return items[a].Prob > items[b].Prob
+		s.l1Trace.Add(l1)
+		var cands []core.Item
+		if s.table != nil {
+			cands = s.table[state]
+		} else {
+			cands = s.script.Cands[s.round-1]
 		}
-		return items[a].ID < items[b].ID
-	})
-	if len(items) > s.fl.cfg.Base.MaxCandidates {
-		items = items[:s.fl.cfg.Base.MaxCandidates]
+		items = s.fl.planBuf[:0]
+		for i := range cands {
+			if len(items) == s.fl.cfg.Base.MaxCandidates {
+				break
+			}
+			if s.holds(cands[i].ID) || s.pending[cands[i].ID] != nil {
+				continue
+			}
+			items = append(items, cands[i])
+		}
+		s.fl.planBuf = items
+	} else {
+		state = s.surfer.Current()
+		dist := s.pred.Next(state)
+		if !s.oracle {
+			l1 = predict.L1(dist, s.surfer.NextDistributionFrom(state))
+		}
+		s.l1Trace.Add(l1)
+		items = make([]core.Item, 0, len(dist))
+		for page, prob := range dist {
+			if prob <= 0 || s.holds(page) || s.pending[page] != nil {
+				continue
+			}
+			items = append(items, core.Item{ID: page, Prob: prob, Retrieval: s.site.Pages[page].Retrieval})
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].Prob != items[b].Prob {
+				return items[a].Prob > items[b].Prob
+			}
+			return items[a].ID < items[b].ID
+		})
+		if len(items) > s.fl.cfg.Base.MaxCandidates {
+			items = items[:s.fl.cfg.Base.MaxCandidates]
+		}
 	}
 	if s.tr != nil {
 		ev := obs.Ev(s.fl.clock.Now(), obs.KindPredictNext, s.id)
@@ -288,7 +352,11 @@ func (s *session) plan(viewing float64) core.Plan {
 func (s *session) request(page int) {
 	s.requestedAt = s.fl.clock.Now()
 	if !s.fl.cfg.Base.DisablePrefetch {
-		s.pred.Observe(page)
+		if s.pred != nil {
+			// Scripted sessions trained their predictor during Phase A;
+			// only the trace event belongs to the live timeline.
+			s.pred.Observe(page)
+		}
 		if s.tr != nil {
 			ev := obs.Ev(s.requestedAt, obs.KindPredictObserve, s.id)
 			ev.Round = s.round

@@ -17,8 +17,9 @@
 //     be validated on entry to the package's exported functions, before
 //     any field is read (the PR 5 enableWarming panic class).
 //   - floatdet: float accumulation performed inside goroutines into
-//     shared variables makes the reduction order depend on scheduling
-//     and worker count.
+//     shared variables — or merging per-shard float partials in channel
+//     arrival order instead of canonical shard order — makes the
+//     reduction order depend on scheduling and worker count.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic) so analyzers could be ported to

@@ -3,22 +3,35 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
-// FloatDet flags float accumulation performed inside concurrently
-// executing function literals (goroutines launched with `go`, or worker
-// closures handed to a .Go(...) method à la errgroup/WaitGroup) into
-// variables shared with the enclosing function. Even when the writes
-// are mutex-protected and race-free, the *order* of the additions
-// depends on goroutine scheduling and worker count, and float addition
-// is non-associative — so the reduction's low bits differ between
-// GOMAXPROCS=1 and GOMAXPROCS=8 and bit-for-bit replay breaks. The fix
-// is the partitioned-reduction idiom: accumulate per-worker partials
-// indexed by worker ID and merge them in fixed order after the join.
+// FloatDet flags float reductions whose addition order follows goroutine
+// scheduling rather than a canonical order. Two spellings are caught:
+//
+//   - accumulation inside concurrently executing function literals
+//     (goroutines launched with `go`, or worker closures handed to a
+//     .Go(...) method à la errgroup/WaitGroup) into variables shared
+//     with the enclosing function — even mutex-protected, the order of
+//     the additions depends on scheduling and worker count;
+//
+//   - accumulation of values received from a shared channel (`sum +=
+//     <-results`, or a `for p := range results` merge loop) — race-free
+//     by construction, but the merge happens in arrival order, which is
+//     an interleaving of the senders.
+//
+// Float addition is non-associative, so either way the reduction's low
+// bits differ between GOMAXPROCS=1 and GOMAXPROCS=8 and bit-for-bit
+// replay breaks. The fix is the partitioned-reduction idiom the sharded
+// simulator core uses: accumulate per-shard partials indexed by shard
+// ID and merge them in fixed shard order after the join. Receives from
+// an indexed per-worker channel (`<-chans[w]`, `range chans[w]`) in a
+// fixed-order loop already merge canonically and are not flagged.
 var FloatDet = &Analyzer{
 	Name: "floatdet",
-	Doc: "flag float accumulation from goroutines into shared variables; " +
-		"the reduction order depends on scheduling and worker count",
+	Doc: "flag float reductions ordered by goroutine scheduling — shared-variable " +
+		"accumulation from goroutines, or merging per-shard partials in channel " +
+		"arrival order instead of canonical shard order",
 	Run: runFloatDet,
 }
 
@@ -40,6 +53,10 @@ func runFloatDet(pass *Pass) error {
 						}
 					}
 				}
+			case *ast.AssignStmt:
+				checkArrivalAccum(pass, n)
+			case *ast.RangeStmt:
+				checkChanRangeAccum(pass, n)
 			}
 			return true
 		})
@@ -47,28 +64,42 @@ func runFloatDet(pass *Pass) error {
 	return nil
 }
 
+// accumTarget returns the left-hand side when as is a float
+// accumulation (x += e, x -= e, …, or the x = x + e spelling), nil
+// otherwise.
+func accumTarget(pass *Pass, as *ast.AssignStmt) ast.Expr {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	accum := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accum = true
+	case token.ASSIGN:
+		if bin, ok := rhs.(*ast.BinaryExpr); ok {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				accum = sameObject(pass, lhs, bin.X) || sameObject(pass, lhs, bin.Y)
+			}
+		}
+	}
+	if !accum || !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+		return nil
+	}
+	return lhs
+}
+
 // checkConcurrentLit reports float accumulation inside lit into
 // variables declared outside it.
 func checkConcurrentLit(pass *Pass, lit *ast.FuncLit) {
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		if !ok {
 			return true
 		}
-		lhs, rhs := as.Lhs[0], as.Rhs[0]
-		accum := false
-		switch as.Tok {
-		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
-			accum = true
-		case token.ASSIGN:
-			if bin, ok := rhs.(*ast.BinaryExpr); ok {
-				switch bin.Op {
-				case token.ADD, token.SUB, token.MUL, token.QUO:
-					accum = sameObject(pass, lhs, bin.X) || sameObject(pass, lhs, bin.Y)
-				}
-			}
-		}
-		if !accum || !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+		lhs := accumTarget(pass, as)
+		if lhs == nil {
 			return true
 		}
 		if free := freeOfLit(pass, lhs, lit); free != "" {
@@ -79,6 +110,90 @@ func checkConcurrentLit(pass *Pass, lit *ast.FuncLit) {
 		}
 		return true
 	})
+}
+
+// checkArrivalAccum reports float accumulation of a value received from
+// a shared channel: the merge runs in arrival order, an interleaving of
+// the senders. A receive from an indexed per-worker channel
+// (`<-chans[w]`) merges in the loop's own fixed order and is skipped.
+func checkArrivalAccum(pass *Pass, as *ast.AssignStmt) {
+	if accumTarget(pass, as) == nil || !hasSharedReceive(as.Rhs[0]) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"float accumulation of a channel receive merges per-shard partials in arrival order, "+
+			"which follows scheduling and worker count, breaking bit-for-bit replay; receive into "+
+			"per-shard slots and merge in canonical shard order after the join")
+}
+
+// checkChanRangeAccum reports float accumulation of the ranged value
+// inside a `for v := range ch` loop over a shared channel — the range
+// spelling of the arrival-order merge. Ranging an indexed per-worker
+// channel (`range chans[w]`) drains one sender in its own send order
+// and is skipped.
+func checkChanRangeAccum(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	if _, ok := rs.X.(*ast.IndexExpr); ok {
+		return
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if accumTarget(pass, as) == nil || !mentionsObject(pass, as.Rhs[0], key) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"float accumulation over a channel range merges per-shard partials in arrival order, "+
+				"which follows scheduling and worker count, breaking bit-for-bit replay; receive into "+
+				"per-shard slots and merge in canonical shard order after the join")
+		return true
+	})
+}
+
+// hasSharedReceive reports whether expr contains a receive from a
+// non-indexed channel expression.
+func hasSharedReceive(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			if _, indexed := u.X.(*ast.IndexExpr); !indexed {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsObject reports whether expr references the object bound by id.
+func mentionsObject(pass *Pass, expr ast.Expr, id *ast.Ident) bool {
+	target := pass.TypesInfo.Defs[id]
+	if target == nil {
+		target = pass.TypesInfo.Uses[id]
+	}
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if e, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[e] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // freeOfLit returns a printable name when expr's base variable is

@@ -1,0 +1,92 @@
+package a
+
+// The sharded-core merge fixtures: per-shard partials produced by
+// workers must be merged in canonical shard order, not in channel
+// arrival order — arrival order is an interleaving of the senders and
+// follows scheduling and worker count.
+
+// sumArrival merges partials as they arrive on a shared channel: race-
+// free, but the addition order is the arrival order.
+func sumArrival(workers int) float64 {
+	results := make(chan float64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() { results <- work(w) }()
+	}
+	var sum float64
+	for i := 0; i < workers; i++ {
+		sum += <-results // want `arrival order`
+	}
+	return sum
+}
+
+// sumRangeChan is the range-loop spelling of the same defect.
+func sumRangeChan(workers int) float64 {
+	results := make(chan float64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() { results <- work(w) }()
+	}
+	var sum float64
+	done := 0
+	for p := range results {
+		sum = sum + p // want `arrival order`
+		if done++; done == workers {
+			close(results)
+		}
+	}
+	return sum
+}
+
+// sumSlotted is the recommended shape for channel-based collection:
+// receive into per-shard slots keyed by the partial's own shard index
+// (plain assignment, commutes), then merge in fixed shard order after
+// the drain.
+func sumSlotted(workers int) float64 {
+	type partial struct {
+		shard int
+		v     float64
+	}
+	results := make(chan partial, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() { results <- partial{shard: w, v: work(w)} }()
+	}
+	slots := make([]float64, workers)
+	for i := 0; i < workers; i++ {
+		p := <-results
+		slots[p.shard] = p.v
+	}
+	var sum float64
+	for _, v := range slots {
+		sum += v
+	}
+	return sum
+}
+
+// sumPerWorkerChans drains one channel per worker in fixed index order:
+// the merge order is the loop's order, not the scheduler's, so the
+// indexed receive is unflagged.
+func sumPerWorkerChans(workers int) float64 {
+	chans := make([]chan float64, workers)
+	for w := range chans {
+		w := w
+		chans[w] = make(chan float64, 1)
+		go func() { chans[w] <- work(w) }()
+	}
+	var sum float64
+	for w := 0; w < workers; w++ {
+		sum += <-chans[w]
+	}
+	return sum
+}
+
+// countArrival accumulates integers from a shared channel: integer
+// addition is associative, so arrival order is harmless and unflagged.
+func countArrival(workers int, results chan int64) int64 {
+	var count int64
+	for i := 0; i < workers; i++ {
+		count += <-results
+	}
+	return count
+}

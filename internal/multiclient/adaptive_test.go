@@ -2,6 +2,7 @@ package multiclient
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"prefetch/internal/adaptive"
@@ -252,21 +253,34 @@ func TestAdaptiveBadConfigRejected(t *testing.T) {
 	}
 }
 
-// BenchmarkMultiClientRound runs one contended multiclient simulation
-// (8 clients x 60 rounds on 2 slots, FIFO) per op — the end-to-end hot
-// path over webgraph, SKP planning, schedsrv and the event queue.
-// Tracked by the benchmark-regression gate (cmd/benchjson).
+// BenchmarkMultiClientRound is the N-scaling family of contended
+// multiclient simulations (N clients x 10 rounds on N/4 slots, FIFO) —
+// the end-to-end hot path over webgraph, SKP planning, schedsrv and the
+// event queue at fleet scale. Every size is tracked by the
+// benchmark-regression gate (cmd/benchjson), on allocations as well as
+// time: the sharded core's contract is that per-round work stays
+// allocation-free, and allocs/op is the first thing a regression moves.
 func BenchmarkMultiClientRound(b *testing.B) {
-	cfg := testConfig()
-	cfg.Clients = 8
-	cfg.Rounds = 60
-	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Access.N() != int64(cfg.Clients*cfg.Rounds) {
-			b.Fatalf("short run: %d rounds", res.Access.N())
-		}
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Clients = n
+			cfg.Rounds = 10
+			cfg.ServerConcurrency = n / 4
+			if cfg.ServerConcurrency < 2 {
+				cfg.ServerConcurrency = 2
+			}
+			cfg.Seed = 7
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Access.N() != int64(cfg.Clients*cfg.Rounds) {
+					b.Fatalf("short run: %d rounds", res.Access.N())
+				}
+			}
+		})
 	}
 }

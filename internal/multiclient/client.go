@@ -32,13 +32,29 @@ type client struct {
 	// pred is the prediction source the planner consumes. oracle marks
 	// the true-distribution source, whose per-round L1 error is zero by
 	// construction and therefore not recomputed.
-	pred   predict.Source
-	oracle bool
+	pred     predict.Source
+	oracle   bool
+	predName string
 
+	// Scripted mode (see shard.go): when script is non-nil the client's
+	// draws and predictions were precomputed by a Phase-A shard worker —
+	// rand, surfer and pred are nil, table is the shared ranked candidate
+	// table (stationary oracle) or nil, and state tracks the current page
+	// the surfer would be on.
+	script *Script
+	table  [][]core.Item
+	state  int
+
+	// Page-indexed per-round state (the page space is dense 0..P-1, so
+	// arrays replace the seed's maps on the hot path). ready is a round
+	// stamp — ready[p] == round ⇔ a prefetch of p completed this round —
+	// so "clear the set" at round start is free (rounds start at 1, the
+	// zero stamp never matches). pending and specReady are plain flags
+	// with the seed's map semantics.
 	cache     *cache.Cache // nil ⇒ per-round prefetch-only semantics
-	ready     map[int]bool // prefetches completed this round (cache == nil)
-	pending   map[int]bool // pages requested from the server, not yet completed
-	specReady map[int]bool // cached pages whose latest store was speculative and unused
+	ready     []int        // prefetches completed this round (cache == nil)
+	pending   []bool       // pages requested from the server, not yet completed
+	specReady []bool       // cached pages whose latest store was speculative and unused
 
 	round       int
 	roundsLeft  int
@@ -46,11 +62,21 @@ type client struct {
 	demandRound bool // this round needed a network fetch (shared or own)
 	requestedAt float64
 
+	// nextPage/demandFn are the one demand timer the client ever has in
+	// flight, preallocated once so startRound does not close over the
+	// drawn page each round.
+	nextPage int
+	demandFn func()
+
 	// Closed-loop speculation control (internal/adaptive): the controller
 	// maps each round's congestion feedback to the λ the plan is priced
 	// at. The bookkeeping below carries the client's own observations
-	// between rounds.
+	// between rounds. ctrlStatic marks the static controller, whose λ
+	// ignores feedback entirely: with tracing off nothing consumes the
+	// congestion snapshot, so observe can skip the (pure, read-only)
+	// utilisation estimate without changing a single result byte.
 	ctrl           adaptive.Controller
+	ctrlStatic     bool
 	curLambda      float64
 	lastDemandWait float64 // own demand queueing delay observed last round
 	prevDropped    int64   // own admission drops at the last feedback
@@ -85,7 +111,7 @@ type specRecord struct {
 	used  bool
 }
 
-func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site, agg *predict.Aggregate, tr obs.Tracer) (*client, error) {
+func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webgraph.Site, agg *predict.Aggregate, scripts *Scripts, script *Script, tr obs.Tracer) (*client, error) {
 	c := &client{
 		id:         id,
 		cfg:        cfg,
@@ -93,37 +119,49 @@ func newClient(id int, cfg *Config, clock *netsim.Clock, srv *server, site *webg
 		server:     srv,
 		site:       site,
 		tr:         tr,
-		rand:       rng.Derive(cfg.Seed, clientLabel(id)),
-		ready:      map[int]bool{},
-		pending:    map[int]bool{},
-		specReady:  map[int]bool{},
+		ready:      make([]int, len(site.Pages)),
+		pending:    make([]bool, len(site.Pages)),
+		specReady:  make([]bool, len(site.Pages)),
 		roundsLeft: cfg.Rounds,
 		waitingFor: -1,
 	}
-	c.surfer = webgraph.NewSurfer(c.rand, site, cfg.FollowProb)
-	if cfg.DriftEvery > 0 {
-		// Non-stationary mode: the hot set re-draws every DriftEvery
-		// rounds (the surfer steps once per round) from a per-client
-		// derived stream. The oracle hook below reads the surfer's
-		// current phase, so oracle predictions stay exact across shifts.
-		c.surfer.EnableDrift(rng.Derive(cfg.Seed, driftLabel(id)), cfg.DriftEvery)
-	}
-	pred, err := predict.New(cfg.Predict, id, c.surfer.NextDistributionFrom, agg)
-	if err != nil {
-		return nil, err
-	}
-	c.pred = pred
+	c.demandFn = func() { c.request(c.nextPage) }
 	c.oracle = cfg.Predict.Kind == "" || cfg.Predict.Kind == predict.KindOracle
-	if !cfg.DisablePrefetch {
-		// Seed the access stream with the start page so learned models
-		// have the first transition's context (a no-op for the oracle).
-		c.pred.Observe(c.surfer.Current())
+	if script != nil {
+		// Scripted mode: the Phase-A shard worker already consumed this
+		// client's random streams and predictor; the live client only
+		// replays the script against the shared clock and server.
+		c.script = script
+		c.table = scripts.Table
+		c.predName = scripts.PredName
+	} else {
+		c.rand = rng.Derive(cfg.Seed, clientLabel(id))
+		c.surfer = webgraph.NewSurfer(c.rand, site, cfg.FollowProb)
+		if cfg.DriftEvery > 0 {
+			// Non-stationary mode: the hot set re-draws every DriftEvery
+			// rounds (the surfer steps once per round) from a per-client
+			// derived stream. The oracle hook below reads the surfer's
+			// current phase, so oracle predictions stay exact across shifts.
+			c.surfer.EnableDrift(rng.Derive(cfg.Seed, driftLabel(id)), cfg.DriftEvery)
+		}
+		pred, err := predict.New(cfg.Predict, id, c.surfer.NextDistributionFrom, agg)
+		if err != nil {
+			return nil, err
+		}
+		c.pred = pred
+		c.predName = pred.Name()
+		if !cfg.DisablePrefetch {
+			// Seed the access stream with the start page so learned models
+			// have the first transition's context (a no-op for the oracle).
+			c.pred.Observe(c.surfer.Current())
+		}
 	}
 	ctrl, err := adaptive.New(cfg.Adaptive)
 	if err != nil {
 		return nil, err
 	}
 	c.ctrl = ctrl
+	c.ctrlStatic = cfg.Adaptive.Kind == "" || cfg.Adaptive.Kind == adaptive.KindStatic
 	if cfg.ClientCacheSlots > 0 {
 		cc, err := cache.New(cfg.ClientCacheSlots)
 		if err != nil {
@@ -139,7 +177,7 @@ func (c *client) holds(page int) bool {
 	if c.cache != nil {
 		return c.cache.Contains(page)
 	}
-	return c.ready[page]
+	return c.ready[page] == c.round
 }
 
 // store keeps a completed retrieval. Without a client cache the item is
@@ -152,16 +190,12 @@ func (c *client) holds(page int) bool {
 func (c *client) store(req request) {
 	if c.cache == nil {
 		if req.round == c.round {
-			c.ready[req.page] = true
+			c.ready[req.page] = c.round
 		}
 		return
 	}
 	insertLRU(c.cache, req.page, c.site.Pages[req.page].Retrieval)
-	if req.demand {
-		delete(c.specReady, req.page)
-	} else {
-		c.specReady[req.page] = true
-	}
+	c.specReady[req.page] = !req.demand
 }
 
 // startRound plans and issues this round's prefetches, draws the viewing
@@ -176,14 +210,16 @@ func (c *client) startRound(now float64) {
 	// internally rate-limited and a no-op unless cache warming is enabled.
 	c.server.maybeWarm(now)
 	c.roundsLeft--
-	c.round++
-	if c.cache == nil {
-		c.ready = map[int]bool{}
-	}
+	c.round++ // advancing the round stamp implicitly clears c.ready
 
-	v := c.rand.Exp(1 / c.cfg.MeanViewing)
-	if v < c.cfg.MinViewing {
-		v = c.cfg.MinViewing
+	var v float64
+	if c.script != nil {
+		v = c.script.Viewing[c.round-1]
+	} else {
+		v = c.rand.Exp(1 / c.cfg.MeanViewing)
+		if v < c.cfg.MinViewing {
+			v = c.cfg.MinViewing
+		}
 	}
 	if c.tr != nil {
 		ev := obs.Ev(now, obs.KindRoundStart, c.id)
@@ -222,8 +258,13 @@ func (c *client) startRound(now float64) {
 		}
 	}
 
-	next := c.surfer.Step()
-	c.clock.Schedule(now+v, func() { c.request(next) })
+	if c.script != nil {
+		c.nextPage = int(c.script.Next[c.round-1])
+		c.state = c.nextPage // the page plan() will rank from next round
+	} else {
+		c.nextPage = c.surfer.Step()
+	}
+	c.clock.Schedule(now+v, c.demandFn)
 }
 
 // observe closes the feedback loop: it reads the server's congestion
@@ -231,6 +272,13 @@ func (c *client) startRound(now float64) {
 // controller set this round's λ. Feedback collection is read-only, so
 // the static controller's timeline is bit-for-bit the fixed-λ planner's.
 func (c *client) observe(now float64) {
+	if c.ctrlStatic && c.tr == nil {
+		// The static controller ignores feedback and no trace records it;
+		// the snapshot read is pure, so skipping it cannot change results.
+		c.curLambda = c.ctrl.Lambda(adaptive.Feedback{Round: c.round})
+		c.lambdaTrace.Add(c.curLambda)
+		return
+	}
 	snap := c.server.snapshot(now)
 	fb := adaptive.Feedback{
 		Round:        c.round,
@@ -265,28 +313,62 @@ func (c *client) observe(now float64) {
 // surfer's true distribution (zero by construction for the oracle, whose
 // hot path skips the comparison).
 func (c *client) plan(viewing float64) core.Plan {
-	state := c.surfer.Current()
-	dist := c.pred.Next(state)
-	var l1 float64
-	if !c.oracle {
-		l1 = predict.L1(dist, c.surfer.NextDistributionFrom(state))
-	}
-	c.l1Trace.Add(l1)
-	items := make([]core.Item, 0, len(dist))
-	for page, prob := range dist {
-		if prob <= 0 || c.holds(page) || c.pending[page] {
-			continue
+	var (
+		state int
+		l1    float64
+		items []core.Item
+	)
+	if c.script != nil {
+		// Scripted: the full ranked candidate list was precomputed (or is
+		// the shared stationary table); only the timing-dependent parts —
+		// the held/in-flight filter and the cap — run here. Filtering a
+		// ranked list then capping equals the inline path's filter-sort-cap
+		// because the ranking key is a total order independent of the
+		// filter.
+		state = c.state
+		if c.script.L1 != nil {
+			l1 = c.script.L1[c.round-1]
 		}
-		items = append(items, core.Item{ID: page, Prob: prob, Retrieval: c.site.Pages[page].Retrieval})
-	}
-	sort.Slice(items, func(a, b int) bool {
-		if items[a].Prob != items[b].Prob {
-			return items[a].Prob > items[b].Prob
+		ranked := c.table
+		var cands []core.Item
+		if ranked != nil {
+			cands = ranked[state]
+		} else {
+			cands = c.script.Cands[c.round-1]
 		}
-		return items[a].ID < items[b].ID
-	})
-	if len(items) > c.cfg.MaxCandidates {
-		items = items[:c.cfg.MaxCandidates]
+		c.l1Trace.Add(l1)
+		items = c.server.planBuf[:0]
+		for i := range cands {
+			if len(items) == c.cfg.MaxCandidates {
+				break
+			}
+			if c.holds(cands[i].ID) || c.pending[cands[i].ID] {
+				continue
+			}
+			items = append(items, cands[i])
+		}
+		c.server.planBuf = items
+	} else {
+		state = c.surfer.Current()
+		dist := c.pred.Next(state)
+		if !c.oracle {
+			l1 = predict.L1(dist, c.surfer.NextDistributionFrom(state))
+		}
+		c.l1Trace.Add(l1)
+		items = c.server.planBuf[:0]
+		for page, prob := range dist {
+			if prob <= 0 || c.holds(page) || c.pending[page] {
+				continue
+			}
+			//lint:allow maporder sorted below via the reusable sorter (total-order key: prob desc, id asc)
+			items = append(items, core.Item{ID: page, Prob: prob, Retrieval: c.site.Pages[page].Retrieval})
+		}
+		c.server.planBuf = items // retain any growth for the next plan
+		c.server.sorter.items = items
+		sort.Sort(&c.server.sorter)
+		if len(items) > c.cfg.MaxCandidates {
+			items = items[:c.cfg.MaxCandidates]
+		}
 	}
 	if c.tr != nil {
 		ev := obs.Ev(c.clock.Now(), obs.KindPredictNext, c.id)
@@ -297,7 +379,7 @@ func (c *client) plan(viewing float64) core.Plan {
 		c.tr.Emit(ev)
 	}
 	problem := core.Problem{Items: items, Viewing: viewing, TotalProb: 1}
-	plan, _, err := core.SolveSKPOpts(problem, core.Options{}.WithNetworkLambda(c.curLambda))
+	plan, _, err := c.server.solver.Solve(problem, core.Options{}.WithNetworkLambda(c.curLambda))
 	if err != nil {
 		// The problem is constructed valid by design; a failure here is a
 		// simulator bug, not a configuration error.
@@ -306,13 +388,32 @@ func (c *client) plan(viewing float64) core.Plan {
 	return plan
 }
 
+// itemSorter orders plan candidates by probability (desc) then page id —
+// the seed's sort.Slice comparator as a persistent sort.Interface, so the
+// per-round sort does not allocate a closure or reflection swapper. IDs
+// are unique, so the order is a total order and algorithm-independent.
+type itemSorter struct{ items []core.Item }
+
+func (s *itemSorter) Len() int      { return len(s.items) }
+func (s *itemSorter) Swap(a, b int) { s.items[a], s.items[b] = s.items[b], s.items[a] }
+func (s *itemSorter) Less(a, b int) bool {
+	if s.items[a].Prob != s.items[b].Prob {
+		return s.items[a].Prob > s.items[b].Prob
+	}
+	return s.items[a].ID < s.items[b].ID
+}
+
 // request is the demand access at the end of the viewing period. The
 // accessed page is also the next item of the prediction source's training
 // stream (a no-op for the oracle).
 func (c *client) request(page int) {
 	c.requestedAt = c.clock.Now()
 	if !c.cfg.DisablePrefetch {
-		c.pred.Observe(page)
+		if c.pred != nil {
+			// Scripted clients trained their predictor during Phase A;
+			// only the trace event belongs to the live timeline.
+			c.pred.Observe(page)
+		}
 		if c.tr != nil {
 			ev := obs.Ev(c.requestedAt, obs.KindPredictObserve, c.id)
 			ev.Round = c.round
@@ -325,7 +426,7 @@ func (c *client) request(page int) {
 			c.cache.RecordAccess(page)
 			if c.specReady[page] {
 				c.prefetchUseful++
-				delete(c.specReady, page)
+				c.specReady[page] = false
 				c.markSpecUsed(page)
 			}
 		} else {
@@ -386,7 +487,7 @@ func (c *client) markSpecUsed(page int) {
 
 // onTransferDone is the server's completion callback.
 func (c *client) onTransferDone(req request, waited float64) {
-	delete(c.pending, req.page)
+	c.pending[req.page] = false
 	c.queueWait.Add(waited)
 	if !req.demand {
 		c.prefetchCompleted++
@@ -400,7 +501,7 @@ func (c *client) onTransferDone(req request, waited float64) {
 			// A promoted prefetch finishing the demand it was promoted
 			// for: the speculative transfer served a real access.
 			c.prefetchUseful++
-			delete(c.specReady, req.page)
+			c.specReady[req.page] = false
 			c.markSpecUsed(req.page)
 		}
 		c.waitingFor = -1

@@ -14,6 +14,18 @@
 // rng.Derive (the partitioned-RNG idiom) — client i's workload is a pure
 // function of (seed, i), so runs replay bit-for-bit and adding clients
 // never perturbs the workloads of existing ones.
+//
+// That per-client purity is what the sharded core (shard.go) exploits to
+// scale a round to 10⁵–10⁶ clients. Phase A precomputes every client's
+// workload script — viewing times, page trace, ranked prefetch candidates,
+// prediction error — across Config.Shards parallel workers, each owning a
+// contiguous client range; Phase B is the unchanged sequential event loop,
+// which merges the scripts in canonical (time, client) order. No float
+// crosses a shard boundary and the merge order is fixed, so results and
+// decision traces are byte-identical for every Shards value and every
+// GOMAXPROCS — sharding changes wall-clock time, never a result. The CI
+// determinism gate diffs metric tables and traces across shards {1,4,16}
+// × GOMAXPROCS {1,8} to keep that contract enforced.
 package multiclient
 
 import (
@@ -58,6 +70,13 @@ type Config struct {
 
 	MaxCandidates   int  // cap on SKP candidate list size per round
 	DisablePrefetch bool // demand-fetch only (the no-prefetch baseline)
+
+	// Shards is the number of parallel workers that precompute client
+	// workload scripts before the event loop runs (see shard.go). It is
+	// purely a parallelism hint: results and decision traces are
+	// bit-for-bit identical for every value. 0 (the default) uses one
+	// worker per available CPU.
+	Shards int
 
 	// Sched selects the server's scheduling discipline, shaping and
 	// admission control (see internal/schedsrv). The zero value is the
@@ -144,6 +163,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("%w: max candidates %d", ErrBadConfig, cfg.MaxCandidates)
 	case cfg.DriftEvery < 0:
 		return fmt.Errorf("%w: drift cadence %d rounds", ErrBadConfig, cfg.DriftEvery)
+	case cfg.Shards < 0:
+		return fmt.Errorf("%w: %d shards", ErrBadConfig, cfg.Shards)
 	}
 	scfg := cfg.Sched
 	scfg.Concurrency = cfg.ServerConcurrency
@@ -306,9 +327,23 @@ func Run(cfg Config) (Result, error) {
 		agg = predict.NewAggregate()
 		srv.enableWarming(cfg, agg, site)
 	}
+	// Phase A: shard workers precompute every client's workload script in
+	// parallel (a no-op for the shared predictor, which must train in
+	// arrival order and keeps the inline path).
+	var scripts *Scripts
+	if Scriptable(cfg) {
+		scripts, err = GenerateScripts(cfg, site)
+		if err != nil {
+			return Result{}, err
+		}
+	}
 	clients := make([]*client, cfg.Clients)
 	for i := range clients {
-		c, err := newClient(i, &cfg, &clock, srv, site, agg, tr)
+		var sc *Script
+		if scripts != nil {
+			sc = &scripts.PerClient[i]
+		}
+		c, err := newClient(i, &cfg, &clock, srv, site, agg, scripts, sc, tr)
 		if err != nil {
 			return Result{}, err
 		}
@@ -345,7 +380,7 @@ func Run(cfg Config) (Result, error) {
 		Concurrency:      cfg.ServerConcurrency,
 		Discipline:       srv.sched.Discipline(),
 		Controller:       clients[0].ctrl.Name(),
-		Predictor:        clients[0].pred.Name(),
+		Predictor:        clients[0].predName,
 		PerClient:        make([]ClientResult, cfg.Clients),
 		Elapsed:          clock.Now(),
 		ServerBusy:       srv.sched.BusyTime(),

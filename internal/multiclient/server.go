@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"prefetch/internal/cache"
+	"prefetch/internal/core"
+	"prefetch/internal/eventq"
 	"prefetch/internal/netsim"
 	"prefetch/internal/obs"
 	"prefetch/internal/predict"
@@ -15,7 +17,10 @@ import (
 // request is one retrieval submitted to the shared server, demand or
 // speculative, tagged with the client round that issued it so stale
 // prefetch completions can be recognised. It rides through the scheduling
-// subsystem as the opaque Tag of a schedsrv.Request.
+// subsystem as the opaque Tag of a schedsrv.Request — as a pooled pointer,
+// so tagging does not box a fresh copy per submission. The node is
+// recycled when the transfer's lifecycle ends (completion callback done,
+// or refused by admission).
 type request struct {
 	client   *client
 	page     int
@@ -39,6 +44,15 @@ type server struct {
 
 	clock *netsim.Clock
 	tr    obs.Tracer // normalised by Run; nil = tracing disabled
+
+	// reqPool recycles the tag records riding through the scheduler, and
+	// solver is the one branch-and-bound scratch space every client's
+	// plan() shares — the event loop runs clients one at a time and each
+	// plan is consumed before the next Solve, so a single solver is safe.
+	reqPool eventq.FreeList[request]
+	solver  *core.Solver
+	planBuf []core.Item
+	sorter  itemSorter
 
 	served    int64
 	cacheHits int64
@@ -69,6 +83,7 @@ func newServer(clock *netsim.Clock, cfg Config, tr obs.Tracer) (*server, error) 
 		hitFactor: cfg.ServerHitFactor,
 		clock:     clock,
 		tr:        tr,
+		solver:    core.NewSolver(),
 	}
 	if cfg.ServerCacheSlots > 0 {
 		c, err := cache.New(cfg.ServerCacheSlots)
@@ -84,15 +99,23 @@ func newServer(clock *netsim.Clock, cfg Config, tr obs.Tracer) (*server, error) 
 
 // enqueue submits a request to the scheduling subsystem. It reports false
 // when admission control dropped a speculative request: the transfer will
-// never happen and no completion callback will fire.
+// never happen and no completion callback will fire. The tag node is
+// recycled immediately on a drop (the scheduler has already detached it)
+// and otherwise lives until done releases it.
 func (s *server) enqueue(r request) bool {
-	return s.sched.Submit(schedsrv.Request{
+	rq := s.reqPool.Get()
+	*rq = r
+	if !s.sched.Submit(schedsrv.Request{
 		Client:  r.client.id,
 		Page:    r.page,
 		Service: r.duration,
 		Demand:  r.demand,
-		Tag:     r,
-	})
+		Tag:     rq,
+	}) {
+		s.reqPool.Put(rq)
+		return false
+	}
+	return true
 }
 
 // promote tells the scheduler the demand for a page arrived while its
@@ -145,7 +168,7 @@ func (s *server) serviceTime(r *schedsrv.Request) float64 {
 // carries the issue class (req.demand), not the scheduler's possibly
 // promoted class — attribution follows why the transfer was requested.
 func (s *server) done(r *schedsrv.Request, service, waited float64) {
-	req := r.Tag.(request)
+	req := r.Tag.(*request)
 	if s.tr != nil {
 		ev := obs.Ev(s.clock.Now(), obs.KindTransferDone, req.client.id)
 		ev.Round = req.round
@@ -158,7 +181,8 @@ func (s *server) done(r *schedsrv.Request, service, waited float64) {
 	if s.cache != nil {
 		s.insertCache(req.page, req.duration)
 	}
-	req.client.onTransferDone(req, waited)
+	req.client.onTransferDone(*req, waited)
+	s.reqPool.Put(req)
 }
 
 // enableWarming arms the server-side prefetcher: agg is the run's shared

@@ -1,0 +1,137 @@
+package multiclient
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"prefetch/internal/adaptive"
+	"prefetch/internal/obs"
+	"prefetch/internal/predict"
+	"prefetch/internal/schedsrv"
+)
+
+// shardConfigs covers every scriptable planner/predictor/scheduler shape:
+// the determinism contract is that scripting (and its shard count) never
+// changes a byte of results or traces across all of them.
+func shardConfigs() map[string]Config {
+	base := DefaultConfig()
+	base.Rounds = 40
+	base.Clients = 6
+	base.Seed = 42
+
+	drift := base
+	drift.DriftEvery = 7
+
+	learned := base
+	learned.Predict = predict.Config{Kind: predict.KindPPM, ColdStart: predict.FallbackUniform}
+
+	mixture := base
+	mixture.Predict = predict.Config{Kind: predict.KindMixture}
+	mixture.DriftEvery = 5
+
+	adaptiveCfg := base
+	adaptiveCfg.Adaptive = adaptive.Config{Kind: adaptive.KindAIMD}
+	adaptiveCfg.Sched = schedsrv.Config{Kind: schedsrv.KindPriority, Preempt: true,
+		AdmitUtil: 0.8, AdmitWindow: 20}
+
+	served := base
+	served.ServerCacheSlots = 12
+	served.ClientCacheSlots = 0
+
+	baseline := base
+	baseline.DisablePrefetch = true
+
+	return map[string]Config{
+		"oracle":   base,
+		"drift":    drift,
+		"learned":  learned,
+		"mixture":  mixture,
+		"adaptive": adaptiveCfg,
+		"srvcache": served,
+		"baseline": baseline,
+	}
+}
+
+// runTraced runs cfg with a JSON trace attached and returns the result
+// plus the exact trace bytes.
+func runTraced(t *testing.T, cfg Config) (Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := obs.NewWriter(&buf)
+	cfg.Tracer = w
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("trace flush: %v", err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestScriptedMatchesInline is the core equivalence gate of the sharded
+// core: the Phase-A scripted client must replay the inline client
+// bit-for-bit — identical results AND byte-identical decision traces —
+// for every scriptable configuration shape.
+func TestScriptedMatchesInline(t *testing.T) {
+	for name, cfg := range shardConfigs() {
+		t.Run(name, func(t *testing.T) {
+			if !Scriptable(cfg) {
+				t.Fatalf("config unexpectedly not scriptable")
+			}
+			scripted, scriptedTrace := runTraced(t, cfg)
+			scriptingDisabled = true
+			inline, inlineTrace := runTraced(t, cfg)
+			scriptingDisabled = false
+			if !reflect.DeepEqual(scripted, inline) {
+				t.Errorf("scripted result differs from inline:\nscripted: %+v\ninline:   %+v", scripted, inline)
+			}
+			if !bytes.Equal(scriptedTrace, inlineTrace) {
+				t.Errorf("scripted trace differs from inline (%d vs %d bytes)",
+					len(scriptedTrace), len(inlineTrace))
+			}
+		})
+	}
+}
+
+// TestShardCountIndependence pins the tentpole contract: the shard count
+// is a parallelism hint and nothing else. Results and traces must be
+// byte-identical across shards ∈ {0 (auto), 1, 4, 16}.
+func TestShardCountIndependence(t *testing.T) {
+	for name, cfg := range shardConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.Shards = 1
+			want, wantTrace := runTraced(t, cfg)
+			for _, shards := range []int{0, 4, 16} {
+				cfg.Shards = shards
+				got, gotTrace := runTraced(t, cfg)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d: result differs from shards=1", shards)
+				}
+				if !bytes.Equal(gotTrace, wantTrace) {
+					t.Errorf("shards=%d: trace differs from shards=1 (%d vs %d bytes)",
+						shards, len(gotTrace), len(wantTrace))
+				}
+			}
+		})
+	}
+}
+
+// TestSharedPredictorStaysInline documents the one non-scriptable shape:
+// the shared aggregate trains on the cross-client arrival order, which
+// only the live event loop knows.
+func TestSharedPredictorStaysInline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Predict = predict.Config{Kind: predict.KindShared}
+	if Scriptable(cfg) {
+		t.Fatalf("shared-predictor config must not be scriptable")
+	}
+	cfg.Clients = 4
+	cfg.Rounds = 20
+	// The inline path still honours shard-count independence trivially.
+	cfg.Shards = 16
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -14,20 +14,39 @@
 //     window (§4.4).
 package netsim
 
-import "prefetch/internal/eventq"
+import (
+	"math"
 
-// event is a scheduled callback.
+	"prefetch/internal/eventq"
+)
+
+// event is a scheduled callback. The firing time is stored as an integer
+// tick (see timeTick): simulated times are non-negative, and the IEEE-754
+// bit pattern of non-negative floats is order- and equality-preserving as
+// an integer, so the heap's hot comparison is two integer compares and the
+// float only reappears once per step at the metrics boundary (Clock.now).
 type event struct {
-	time float64
+	tick int64
 	seq  int64 // tie-break: FIFO among simultaneous events
 	fn   func()
 }
 
 func eventLess(a, b event) bool {
-	if a.time != b.time {
-		return a.time < b.time
+	if a.tick != b.tick {
+		return a.tick < b.tick
 	}
 	return a.seq < b.seq
+}
+
+// timeTick maps a non-negative simulated time to its integer event key.
+// The mapping is a strictly monotone bijection on t >= 0 (bit-for-bit:
+// equal times produce equal ticks, and only them), so heap order under
+// tick comparison is exactly heap order under float comparison.
+func timeTick(t float64) int64 {
+	if t == 0 {
+		t = 0 // normalise -0.0, whose sign bit would misorder the key
+	}
+	return int64(math.Float64bits(t))
 }
 
 // Clock is a discrete-event scheduler. The zero value is ready to use.
@@ -50,7 +69,7 @@ func (c *Clock) Schedule(t float64, fn func()) {
 		c.events = eventq.New(eventLess)
 	}
 	c.nextID++
-	c.events.Push(event{time: t, seq: c.nextID, fn: fn})
+	c.events.Push(event{tick: timeTick(t), seq: c.nextID, fn: fn})
 }
 
 // After schedules fn after a delay (>= 0).
@@ -72,7 +91,7 @@ func (c *Clock) step() {
 	if !ok {
 		panic("netsim: step with no pending events")
 	}
-	c.now = e.time
+	c.now = math.Float64frombits(uint64(e.tick))
 	e.fn()
 }
 

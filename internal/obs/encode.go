@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Hand-rolled Event encoder. json.Encoder spends most of a traced run's
+// overhead on per-event reflection; this appender produces byte-for-byte
+// the same JSONL (field order, omitempty semantics, float formatting,
+// HTML-escaped strings, trailing newline) without it, so existing traces,
+// golden files and diff-based determinism gates are unaffected. The
+// equivalence is pinned by a randomized property test against
+// json.Marshal (encode_test.go).
+
+const hexDigits = "0123456789abcdef"
+
+// htmlSafe mirrors encoding/json's htmlSafeSet: printable ASCII except
+// the JSON metacharacters and the HTML-sensitive <, >, &.
+func htmlSafe(c byte) bool {
+	return c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+}
+
+// appendJSONString appends s as a JSON string exactly as encoding/json
+// does with HTML escaping on: two-char escapes for \ " \n \r \t, \u00xx
+// for other control and HTML-unsafe bytes, � for invalid UTF-8, and
+//  /  for the line separators JavaScript chokes on.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if htmlSafe(c) {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json's floatEncoder:
+// shortest representation, 'f' form except for magnitudes outside
+// [1e-6, 1e21) which use 'e' with the exponent's leading zero trimmed.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// finiteFloats reports whether every float field is encodable; NaN and
+// ±Inf must take the reflective path to reproduce encoding/json's
+// UnsupportedValueError byte for byte (it writes nothing and errors).
+func finiteFloats(ev Event) bool {
+	for _, f := range [...]float64{ev.T, ev.Prob, ev.Service, ev.Waited,
+		ev.Access, ev.Viewing, ev.Lambda, ev.L1, ev.Util} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func appendFloatField(b []byte, name string, f float64) []byte {
+	if f == 0 { // omitempty: -0 == 0 and is omitted, like encoding/json
+		return b
+	}
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return appendJSONFloat(b, f)
+}
+
+func appendIntField(b []byte, name string, v int64) []byte {
+	if v == 0 {
+		return b
+	}
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, v, 10)
+}
+
+// appendEvent appends ev exactly as json.Encoder.Encode would write it:
+// one JSON object in struct field order with the tag-declared omitempty
+// semantics, terminated by a newline.
+func appendEvent(b []byte, ev Event) []byte {
+	b = append(b, `{"t":`...)
+	b = appendJSONFloat(b, ev.T)
+	b = append(b, `,"k":`...)
+	b = appendJSONString(b, string(ev.Kind))
+	b = append(b, `,"c":`...)
+	b = strconv.AppendInt(b, int64(ev.Client), 10)
+	b = appendIntField(b, "round", int64(ev.Round))
+	b = append(b, `,"page":`...)
+	b = strconv.AppendInt(b, int64(ev.Page), 10)
+	if ev.Demand {
+		b = append(b, `,"demand":true`...)
+	}
+	b = appendFloatField(b, "prob", ev.Prob)
+	b = appendFloatField(b, "service", ev.Service)
+	b = appendFloatField(b, "waited", ev.Waited)
+	b = appendFloatField(b, "access", ev.Access)
+	b = appendFloatField(b, "viewing", ev.Viewing)
+	b = appendFloatField(b, "lambda", ev.Lambda)
+	b = appendFloatField(b, "l1", ev.L1)
+	b = appendFloatField(b, "util", ev.Util)
+	b = appendIntField(b, "replica", int64(ev.Replica))
+	b = appendIntField(b, "queued", int64(ev.Queued))
+	b = appendIntField(b, "qdemand", int64(ev.QueuedDemand))
+	b = appendIntField(b, "inflight", int64(ev.InFlight))
+	b = appendIntField(b, "attempt", int64(ev.Attempt))
+	b = appendIntField(b, "cands", int64(ev.Cands))
+	b = appendIntField(b, "dropped", ev.Dropped)
+	b = appendIntField(b, "deferred", ev.Deferred)
+	if ev.Note != "" {
+		b = append(b, `,"note":`...)
+		b = appendJSONString(b, ev.Note)
+	}
+	return append(b, '}', '\n')
+}

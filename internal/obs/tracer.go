@@ -63,9 +63,16 @@ func (c *Collector) ByKind(k Kind) []Event {
 // Writer streams events as JSON lines. Errors are sticky: the first
 // write failure is remembered and returned by Flush, and later Emits
 // are dropped, so one check at the end suffices.
+//
+// Encoding goes through the hand-rolled appender (encode.go), which
+// emits byte-for-byte what json.Encoder would without paying per-event
+// reflection — the dominant cost of traced runs. Events carrying a
+// non-finite float fall back to json.Encoder so its error surfaces
+// exactly as before.
 type Writer struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
+	buf []byte
 	err error
 }
 
@@ -83,7 +90,12 @@ func (w *Writer) Emit(ev Event) {
 	if w.err != nil {
 		return
 	}
-	w.err = w.enc.Encode(ev)
+	if !finiteFloats(ev) {
+		w.err = w.enc.Encode(ev)
+		return
+	}
+	w.buf = appendEvent(w.buf[:0], ev)
+	_, w.err = w.bw.Write(w.buf)
 }
 
 // Flush drains the buffer and returns the first error encountered by

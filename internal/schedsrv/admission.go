@@ -64,7 +64,8 @@ type utilWindow struct {
 	window float64
 	conc   int
 
-	segs  []utilSeg // completed busy segments, oldest first
+	segs  []utilSeg // completed busy segments, oldest first; segs[head:] live
+	head  int       // expired prefix, reclaimed amortised (O(1) per transition)
 	cur   int       // current in-flight count
 	since float64   // time cur took effect
 }
@@ -85,14 +86,18 @@ func (u *utilWindow) transition(now float64, slots int) {
 	}
 	u.cur = slots
 	u.since = now
-	// Trim segments that fell wholly out of the window.
+	// Trim segments that fell wholly out of the window. Expiry only moves
+	// the head index; the slice is compacted when the dead prefix dominates,
+	// so each segment is copied O(1) times over its life instead of once per
+	// transition.
 	lo := now - u.window
-	i := 0
-	for i < len(u.segs) && u.segs[i].to <= lo {
-		i++
+	for u.head < len(u.segs) && u.segs[u.head].to <= lo {
+		u.head++
 	}
-	if i > 0 {
-		u.segs = append(u.segs[:0], u.segs[i:]...)
+	if u.head > 32 && u.head > len(u.segs)/2 {
+		n := copy(u.segs, u.segs[u.head:])
+		u.segs = u.segs[:n]
+		u.head = 0
 	}
 }
 
@@ -108,7 +113,7 @@ func (u *utilWindow) estimate(now float64) float64 {
 	}
 	lo := now - span
 	var busy float64
-	for _, s := range u.segs {
+	for _, s := range u.segs[u.head:] {
 		from := s.from
 		if from < lo {
 			from = lo

@@ -2,15 +2,44 @@ package schedsrv
 
 // fifo is the seed server's behaviour, extracted: one queue, strict
 // arrival order, demand and speculative traffic indistinguishable.
+//
+// index accelerates Promote from a backlog scan to a map lookup: clients
+// hold at most one outstanding transfer per page, so (client, page)
+// identifies the queued speculative request uniquely. The index is pure
+// acceleration — it only ever locates the same request the scan would —
+// and if a duplicate key is ever pushed (an invariant no current caller
+// violates), the fifo permanently falls back to the scan rather than
+// risk promoting the wrong instance.
 type fifo struct {
 	queue []*Request
+	index map[uint64]*Request // queued speculative requests by (client, page)
+	scan  bool                // duplicate key seen: index abandoned, scan instead
 }
 
 func newFIFO() *fifo { return &fifo{} }
 
 func (f *fifo) Name() string { return string(KindFIFO) }
 
-func (f *fifo) Push(r *Request) { f.queue = append(f.queue, r) }
+// promoteKey packs (client, page) into the index key.
+func promoteKey(client, page int) uint64 {
+	return uint64(uint32(client))<<32 | uint64(uint32(page))
+}
+
+func (f *fifo) Push(r *Request) {
+	f.queue = append(f.queue, r)
+	if r.Demand || f.scan {
+		return
+	}
+	k := promoteKey(r.Client, r.Page)
+	if f.index == nil {
+		f.index = map[uint64]*Request{}
+	} else if _, dup := f.index[k]; dup {
+		f.scan = true
+		f.index = nil // stale acceleration state must not outlive the fallback
+		return
+	}
+	f.index[k] = r
+}
 
 func (f *fifo) Pop(now float64) (*Request, bool) {
 	if len(f.queue) == 0 {
@@ -19,6 +48,9 @@ func (f *fifo) Pop(now float64) (*Request, bool) {
 	r := f.queue[0]
 	f.queue[0] = nil
 	f.queue = f.queue[1:]
+	if !r.Demand && !f.scan {
+		delete(f.index, promoteKey(r.Client, r.Page))
+	}
 	return r, true
 }
 
@@ -33,6 +65,14 @@ func (f *fifo) ReadyAt(now float64) (float64, bool) {
 // for accounting, but deliberately does not reorder: FIFO serves arrival
 // order, which keeps the extracted discipline identical to the seed.
 func (f *fifo) Promote(client, page int) bool {
+	if !f.scan {
+		if r, ok := f.index[promoteKey(client, page)]; ok {
+			r.Demand = true
+			delete(f.index, promoteKey(client, page))
+			return true
+		}
+		return false
+	}
 	for _, r := range f.queue {
 		if !r.Demand && r.Client == client && r.Page == page {
 			r.Demand = true

@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 
+	"prefetch/internal/eventq"
 	"prefetch/internal/obs"
 )
 
@@ -194,12 +195,21 @@ type requeuer interface {
 	requeueFront(r *Request)
 }
 
-// transfer is an in-flight request occupying a slot.
+// transfer is an in-flight request occupying a slot. Transfers are pooled
+// (eventq.FreeList): each one is released back exactly once, when its
+// completion event fires — normally or as a preemption/failure orphan —
+// so a pooled node is never reused while a clock event still holds it.
 type transfer struct {
 	req       *Request
 	service   float64 // actual service time (after the ServiceTime hook)
 	startedAt float64
-	cancelled bool // preempted; the pending completion event is orphaned
+	waited    float64 // queueing delay reported to Done
+	cancelled bool    // preempted; the pending completion event is orphaned
+
+	// fire is the completion callback, allocated once per pooled node and
+	// reused across recycles — the per-transfer closure that used to be
+	// the scheduler's largest allocation site.
+	fire func()
 }
 
 // Scheduler owns the server's transfer slots and delegates every dequeue
@@ -235,6 +245,13 @@ type Scheduler struct {
 	inFlight     []*transfer
 	deferred     []*Request
 	queuedDemand int
+
+	// Free-lists for the per-event structs. Requests are recycled after
+	// their Done callback returns (or on an admission drop); transfers
+	// when their completion event fires. Requests abandoned by Fail are
+	// left to the GC — their liveness is unknowable here.
+	reqPool eventq.FreeList[Request]
+	trPool  eventq.FreeList[transfer]
 
 	wakeAt      float64 // earliest outstanding shaping wake-up, 0 = none
 	deferWakeAt float64 // outstanding deferred-retry wake-up, 0 = none
@@ -319,7 +336,8 @@ func (s *Scheduler) Submit(r Request) bool {
 	if r.Service <= 0 {
 		panic(fmt.Sprintf("schedsrv: request for page %d with service %v", r.Page, r.Service))
 	}
-	req := &r
+	req := s.reqPool.Get()
+	*req = r
 	req.EnqueuedAt = s.clock.Now()
 	req.seq = s.nextSeq
 	s.nextSeq++
@@ -329,6 +347,7 @@ func (s *Scheduler) Submit(r Request) bool {
 		case Drop:
 			s.dropped++
 			s.emitVerdict(obs.KindDrop, req, util)
+			s.release(req)
 			return false
 		case Defer:
 			s.deferred = append(s.deferred, req)
@@ -555,16 +574,33 @@ func (s *Scheduler) start(req *Request) {
 		s.Tracer.Emit(ev)
 	}
 	s.started++
-	tr := &transfer{req: req, service: service, startedAt: now}
+	tr := s.trPool.Get()
+	tr.req, tr.service, tr.startedAt, tr.waited, tr.cancelled = req, service, now, waited, false
+	if tr.fire == nil {
+		trc := tr
+		tr.fire = func() { s.complete(trc) }
+	}
 	s.inFlight = append(s.inFlight, tr)
 	s.util.transition(now, len(s.inFlight))
-	s.clock.After(service, func() { s.complete(tr, waited) })
+	s.clock.After(service, tr.fire)
+}
+
+// release recycles a request whose lifecycle has fully ended. The Tag is
+// cleared so the pool does not pin caller payloads.
+func (s *Scheduler) release(req *Request) {
+	req.Tag = nil
+	s.reqPool.Put(req)
 }
 
 // complete finishes a transfer, re-examines deferred speculative work, and
-// refills the freed slot.
-func (s *Scheduler) complete(tr *transfer, waited float64) {
+// refills the freed slot. It is the single point at which pooled transfer
+// nodes are recycled: every started transfer's completion event fires
+// exactly once, cancelled (preempted or failed — whose request is either
+// requeued or abandoned, never recycled here) or not.
+func (s *Scheduler) complete(tr *transfer) {
 	if tr.cancelled {
+		tr.req = nil
+		s.trPool.Put(tr)
 		return // orphaned by a preemption
 	}
 	for i, cur := range s.inFlight {
@@ -580,11 +616,15 @@ func (s *Scheduler) complete(tr *transfer, waited float64) {
 	if !tr.req.Demand {
 		s.specCompleted++
 	}
+	req, service, waited := tr.req, tr.service, tr.waited
+	tr.req = nil
+	s.trPool.Put(tr)
 	s.readmitDeferred(now)
 	if s.Done != nil {
-		s.Done(tr.req, tr.service, waited)
+		s.Done(req, service, waited)
 	}
 	s.dispatch()
+	s.release(req)
 }
 
 // removeInFlight drops index i preserving order (start-time order matters

@@ -117,6 +117,40 @@ func Generate(r *rng.Source, cfg SiteConfig) (*Site, error) {
 	return site, nil
 }
 
+// NextDistributionInto computes the stationary random-surfer next-page
+// distribution from page into probs (len(probs) must equal the page
+// count; it is zeroed first). This is the site-level form of
+// Surfer.NextDistributionFrom for a drift-free surfer: a pure function of
+// (site, page, followProb), dense instead of a map, and with the exact
+// accumulation order of the map form — per-link mass first, then the
+// teleport sweep — so every probability is bit-for-bit the value the
+// surfer would report. followProb outside (0,1) defaults to 0.85 exactly
+// as NewSurfer does.
+func (s *Site) NextDistributionInto(page int, followProb float64, probs []float64) {
+	if followProb <= 0 || followProb >= 1 {
+		followProb = 0.85
+	}
+	for i := range probs {
+		probs[i] = 0
+	}
+	links := s.Pages[page].Links
+	if len(links) > 0 {
+		per := followProb / float64(len(links))
+		for _, t := range links {
+			probs[t] += per
+		}
+	}
+	teleport := 1 - followProb
+	if len(links) == 0 {
+		teleport = 1
+	}
+	for i := range s.Pages {
+		if w := s.Pages[i].Weight * teleport; w > 0 {
+			probs[i] += w
+		}
+	}
+}
+
 // Surfer is a random-surfer browsing model over a Site: with probability
 // FollowProb it follows a uniformly chosen link of the current page,
 // otherwise it teleports to a page drawn from the popularity weights.
@@ -141,6 +175,12 @@ type Surfer struct {
 	driftEvery int
 	steps      int
 	phase      int
+
+	// stationary caches the site's popularity vector for teleport draws
+	// (built once instead of per teleporting step); lw is the drift link-
+	// bias scratch. Neither changes any draw — only where the slices live.
+	stationary []float64
+	lw         []float64
 }
 
 // NewSurfer starts a surfer at page 0. followProb outside (0,1) defaults
@@ -149,7 +189,11 @@ func NewSurfer(r *rng.Source, site *Site, followProb float64) *Surfer {
 	if followProb <= 0 || followProb >= 1 {
 		followProb = 0.85
 	}
-	return &Surfer{site: site, rand: r.Split(), followProb: followProb}
+	stationary := make([]float64, len(site.Pages))
+	for i := range site.Pages {
+		stationary[i] = site.Pages[i].Weight
+	}
+	return &Surfer{site: site, rand: r.Split(), followProb: followProb, stationary: stationary}
 }
 
 // Current returns the current page ID.
@@ -232,19 +276,17 @@ func (s *Surfer) Step() int {
 		if s.weights == nil {
 			s.current = links[s.rand.IntN(len(links))]
 		} else {
-			lw := make([]float64, len(links))
-			for i, t := range links {
-				lw[i] = s.weights[t]
+			lw := s.lw[:0]
+			for _, t := range links {
+				lw = append(lw, s.weights[t])
 			}
+			s.lw = lw
 			s.current = links[s.rand.Categorical(lw)]
 		}
 	} else {
 		weights := s.weights
 		if weights == nil {
-			weights = make([]float64, len(s.site.Pages))
-			for i := range s.site.Pages {
-				weights[i] = s.site.Pages[i].Weight
-			}
+			weights = s.stationary
 		}
 		s.current = s.rand.Categorical(weights)
 	}
