@@ -6,11 +6,19 @@
 //	simlint -only detrand,maporder ./internal/...
 //	simlint -list                 # print the suite and exit
 //	simlint -show-allowed ./...   # audit suppressed findings too
+//	simlint -json ./...           # one JSON object per diagnostic line
 //
 // Diagnostics print as file:line:col: message [analyzer], sorted by
-// position; the exit status is 1 when any unsuppressed diagnostic is
-// found, 2 on usage or load errors. Findings are suppressed with a
-// justified directive on the flagged line or the line above:
+// position, with file paths relative to the -C directory so output is
+// stable across checkouts (CI diffs -show-allowed output against the
+// committed lint-allows.txt, and the GitHub Actions problem matcher
+// annotates PR diffs from the same format). With -json each diagnostic
+// is one JSON object per line: {"file":...,"line":...,"col":...,
+// "analyzer":...,"message":...} plus "allowed" and "reason" for
+// suppressed findings under -show-allowed. The exit status is 1 when
+// any unsuppressed diagnostic is found, 2 on usage or load errors.
+// Findings are suppressed with a justified directive on the flagged
+// line or the line above:
 //
 //	//lint:allow <analyzer> <reason>
 //
@@ -18,10 +26,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"prefetch/internal/lint"
@@ -38,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		only        = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 		list        = fs.Bool("list", false, "list the analyzers in the suite and exit")
 		showAllowed = fs.Bool("show-allowed", false, "also print findings suppressed by //lint:allow directives")
+		asJSON      = fs.Bool("json", false, "emit one JSON object per diagnostic line instead of text")
 		dir         = fs.String("C", ".", "change to this directory before resolving package patterns")
 	)
 	fs.Usage = func() {
@@ -57,15 +68,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *only != "" {
 		byName := make(map[string]*lint.Analyzer)
+		var valid []string
 		for _, a := range suite {
 			byName[a.Name] = a
+			valid = append(valid, a.Name)
 		}
 		suite = suite[:0]
 		for _, name := range strings.Split(*only, ",") {
 			name = strings.TrimSpace(name)
 			a, ok := byName[name]
 			if !ok {
-				fmt.Fprintf(stderr, "simlint: unknown analyzer %q (use -list)\n", name)
+				fmt.Fprintf(stderr, "simlint: unknown analyzer %q; valid analyzers: %s\n",
+					name, strings.Join(valid, ", "))
 				return 2
 			}
 			suite = append(suite, a)
@@ -87,20 +101,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Paths come out of the loader absolute; report them relative to the
+	// -C directory so the output is identical on every checkout.
+	absDir, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+
 	bad := 0
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
-		if d.Suppressed {
-			if *showAllowed {
-				fmt.Fprintf(stdout, "%s: allowed (%s): %s [%s]\n", d.Pos, d.AllowReason, d.Message, d.Analyzer)
+		if d.Suppressed && !*showAllowed {
+			continue
+		}
+		if !d.Suppressed {
+			bad++
+		}
+		file := relPath(absDir, d.Pos.Filename)
+		if *asJSON {
+			if err := enc.Encode(jsonDiag{
+				File:     file,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Allowed:  d.Suppressed,
+				Reason:   d.AllowReason,
+			}); err != nil {
+				fmt.Fprintf(stderr, "simlint: %v\n", err)
+				return 2
 			}
 			continue
 		}
-		bad++
-		fmt.Fprintf(stdout, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+		if d.Suppressed {
+			fmt.Fprintf(stdout, "%s:%d:%d: allowed (%s): %s [%s]\n",
+				file, d.Pos.Line, d.Pos.Column, d.AllowReason, d.Message, d.Analyzer)
+		} else {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n",
+				file, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 	}
 	if bad > 0 {
 		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", bad)
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the machine-readable diagnostic shape, one object per
+// output line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// relPath rewrites an absolute diagnostic path relative to base,
+// forward-slashed; paths outside base (or already relative) are
+// returned unchanged.
+func relPath(base, file string) string {
+	if !filepath.IsAbs(file) {
+		return file
+	}
+	rel, err := filepath.Rel(base, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
 }

@@ -2,16 +2,57 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"sort"
 	"strings"
 	"testing"
 )
+
+// TestMain lets the test binary impersonate the real simlint process
+// when re-exec'd with SIMLINT_BE_MAIN=1, so tests can assert on the
+// actual process exit status rather than only on run()'s return value.
+func TestMain(m *testing.M) {
+	if os.Getenv("SIMLINT_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// execSelf re-execs the test binary as simlint and returns its output
+// and exit status.
+func execSelf(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SIMLINT_BE_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	var ee *exec.ExitError
+	switch {
+	case err == nil:
+	case errors.As(err, &ee):
+		code = ee.ExitCode()
+	default:
+		t.Fatalf("re-exec %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+var suiteNames = []string{
+	"detrand", "floatdet", "maporder", "obskind", "poolreuse",
+	"rnglabel", "shardpure", "snapshotmut", "validatecfg",
+}
 
 func TestListPrintsSuite(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"detrand", "maporder", "validatecfg", "floatdet"} {
+	for _, name := range suiteNames {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -25,6 +66,48 @@ func TestUnknownAnalyzerRejected(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown analyzer") {
 		t.Errorf("stderr = %q, want unknown-analyzer message", errb.String())
+	}
+}
+
+// TestExitStatusUnknownAnalyzer asserts on the real process contract:
+// exit 2, and the error names every valid analyzer so the user never
+// needs a second -list invocation.
+func TestExitStatusUnknownAnalyzer(t *testing.T) {
+	_, stderr, code := execSelf(t, "-only", "nosuch")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr = %q, want unknown-analyzer message", stderr)
+	}
+	for _, name := range suiteNames {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("stderr does not list valid analyzer %q:\n%s", name, stderr)
+		}
+	}
+}
+
+// TestExitStatusListSorted pins -list as sorted and stable: two runs
+// must agree byte for byte and present analyzers in name order, so the
+// output is diffable and the registry ordering can't silently regress.
+func TestExitStatusListSorted(t *testing.T) {
+	out1, stderr, code := execSelf(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, stderr)
+	}
+	out2, _, _ := execSelf(t, "-list")
+	if out1 != out2 {
+		t.Errorf("-list output not stable across runs:\n%s\nvs\n%s", out1, out2)
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(out1), "\n") {
+		names = append(names, strings.Fields(line)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list analyzers not sorted: %v", names)
+	}
+	if len(names) != len(suiteNames) {
+		t.Errorf("-list printed %d analyzers, want %d: %v", len(names), len(suiteNames), names)
 	}
 }
 
@@ -43,6 +126,44 @@ func TestFlagsFixturePackage(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "[detrand]") {
 		t.Errorf("missing detrand findings in output:\n%s", out.String())
+	}
+	// Diagnostic paths are relative to the -C directory, never absolute:
+	// the problem matcher and the committed allow inventory depend on it.
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if strings.HasPrefix(line, "/") {
+			t.Errorf("diagnostic path not relative to -C dir: %s", line)
+		}
+	}
+}
+
+// TestJSONDiagnostics checks the -json stream: one parseable object per
+// line carrying the same positions the text format prints.
+func TestJSONDiagnostics(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-C", "../..",
+		"-json",
+		"-only", "detrand",
+		"./internal/lint/testdata/src/detrand/internal/eventq",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run -json over bad fixture = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON diagnostics emitted")
+	}
+	for _, line := range lines {
+		var d jsonDiag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer != "detrand" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if strings.HasPrefix(d.File, "/") {
+			t.Errorf("JSON diagnostic path not relative: %s", d.File)
+		}
 	}
 }
 

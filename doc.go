@@ -228,7 +228,20 @@
 //     error methods to be validated before their fields are read on
 //     exported entry paths;
 //   - floatdet flags float reductions performed from goroutines into
-//     shared variables, whose rounding order follows scheduling.
+//     shared variables, whose rounding order follows scheduling;
+//   - shardpure holds goroutine workers in simulation packages to the
+//     Phase-A purity contract — captured state is written only through
+//     per-worker indexed slots and never read while a sibling writes;
+//   - rnglabel keeps rng.Derive stream labels collision-free: no
+//     duplicate literals per function, no loop-invariant labels inside
+//     loops, no separator-less label construction;
+//   - obskind keeps the obs event union's registries in sync — every
+//     Kind in Kinds(), every Event field in the hand-rolled encoder,
+//     every Kind switch arm a declared constant;
+//   - poolreuse enforces the eventq.FreeList ownership contract — no
+//     use after Put, no double Put, reference fields cleared first;
+//   - snapshotmut keeps schedsrv.Feedback snapshots read-only outside
+//     their defining package.
 //
 // A finding that is understood and acceptable is suppressed with a
 // justified directive, `//lint:allow <analyzer> <reason>`, on the

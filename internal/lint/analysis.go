@@ -20,12 +20,35 @@
 //     shared variables — or merging per-shard float partials in channel
 //     arrival order instead of canonical shard order — makes the
 //     reduction order depend on scheduling and worker count.
+//   - shardpure: goroutine worker bodies in the simulation packages must
+//     be pure functions of their parameters and worker index — writes to
+//     captured shared state are only legal into per-worker indexed
+//     slots, and reads of state another worker writes are forbidden
+//     (the PR 9 Phase-A scripting contract).
+//   - rnglabel: rng.Derive stream-label hygiene — duplicate literal
+//     labels in one function, loop-invariant labels derived inside
+//     loops, and collision-prone label construction all yield correlated
+//     streams that silently weaken the partitioned-RNG idiom.
+//   - obskind: the obs event union must stay in sync across its three
+//     hand-maintained registries — every Kind constant in Kinds(), every
+//     Event field in the hand-rolled encoder, every Kind switch arm a
+//     declared constant (the PR 7 encoder/decoder/metrics trio).
+//   - poolreuse: eventq.FreeList nodes — no use after Put, no double
+//     Put, and reference-carrying fields cleared before Put so the pool
+//     does not pin dead payloads (the PR 9 pooled-node contract).
+//   - snapshotmut: schedsrv.Feedback congestion snapshots are read-only;
+//     consumers must never assign through their fields (the PR 7/8
+//     feedback contract that keeps traced decisions trustworthy).
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic) so analyzers could be ported to
 // a vet-tool multichecker verbatim; it is implemented on the standard
 // library alone (go/parser, go/types, and the source importer) because
-// this module carries no external dependencies.
+// this module carries no external dependencies. Each package is walked
+// once: RunAnalyzers builds a shared Inspection (parent links, typed
+// node indexes, the closure-capture analysis, and the per-function
+// reaching-use facts table — see inspect.go) and every analyzer reads
+// from it instead of re-traversing the AST.
 //
 // # Suppressing a diagnostic
 //
@@ -74,6 +97,11 @@ type Pass struct {
 	// PkgPath is the import path the package was loaded under. Fixture
 	// packages under testdata keep their testdata-relative path here.
 	PkgPath string
+	// Insp is the package's shared inspection: one type-checked walk
+	// (with parent links, typed node indexes, the closure-capture
+	// analysis, and the reaching-use facts table) built once per package
+	// and fed to every analyzer. See Inspection.
+	Insp *Inspection
 
 	diags  *[]Diagnostic
 	allows map[string][]allowDirective // filename -> directives
@@ -168,6 +196,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allows := parseAllows(pkg.Fset, pkg.Files, &diags)
+		insp := NewInspection(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -176,6 +205,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				PkgPath:   pkg.PkgPath,
+				Insp:      insp,
 				diags:     &diags,
 				allows:    allows,
 			}
@@ -200,7 +230,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	return diags, nil
 }
 
-// All returns the full simlint suite in stable order.
+// All returns the full simlint suite, sorted by analyzer name so -list
+// output and diagnostic ordering are stable as the suite grows.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, ValidateCfg, FloatDet}
+	suite := []*Analyzer{
+		DetRand, FloatDet, MapOrder, ObsKind, PoolReuse,
+		RngLabel, ShardPure, SnapshotMut, ValidateCfg,
+	}
+	sort.Slice(suite, func(i, j int) bool { return suite[i].Name < suite[j].Name })
+	return suite
 }

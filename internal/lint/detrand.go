@@ -48,50 +48,46 @@ func runDetRand(pass *Pass) error {
 	if !simPackagePattern.MatchString(pass.PkgPath) || rngPackagePattern.MatchString(pass.PkgPath) {
 		return nil
 	}
+	// The import itself is the violation for math/rand: there is no
+	// deterministic use of it here, by construction. The time import is
+	// legal (durations, formatting); only the wall-clock entry points are
+	// flagged, via the shared inspection's selector index.
+	timeNames := make(map[*ast.File]map[string]bool)
 	for _, f := range pass.Files {
-		// The import itself is the violation for math/rand: there is no
-		// deterministic use of it here, by construction.
-		randNames := make(map[string]bool) // local name of math/rand import, if any
-		timeNames := make(map[string]bool)
 		for _, imp := range f.Imports {
-			path := importPath(imp)
-			switch path {
+			switch path := importPath(imp); path {
 			case "math/rand", "math/rand/v2":
 				pass.Reportf(imp.Pos(),
 					"simulation package imports %s: derive a stream with rng.Derive(seed, label) instead "+
 						"(math/rand output drifts across Go releases and breaks bit-for-bit replay)", path)
-				randNames[localName(imp, "rand")] = true
 			case "time":
-				timeNames[localName(imp, "time")] = true
+				if timeNames[f] == nil {
+					timeNames[f] = make(map[string]bool)
+				}
+				timeNames[f][localName(imp, "time")] = true
 			}
 		}
-		if len(timeNames) == 0 && len(randNames) == 0 {
+	}
+	if len(timeNames) == 0 {
+		return nil
+	}
+	for _, sel := range pass.Insp.Selectors {
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			// Only package-qualified selectors: a local variable named
-			// `time` shadowing the import resolves to a non-PkgName
-			// object and is skipped.
-			if !isPkgName(pass, id) {
-				return true
-			}
-			if timeNames[id.Name] {
-				if why, bad := forbiddenTimeFuncs[sel.Sel.Name]; bad {
-					pass.Reportf(sel.Pos(),
-						"simulation package calls time.%s (%s): simulated time must come from the event clock",
-						sel.Sel.Name, why)
-				}
-			}
-			return true
-		})
+		names := timeNames[pass.Insp.FileOf(sel)]
+		// Only package-qualified selectors: a local variable named
+		// `time` shadowing the import resolves to a non-PkgName
+		// object and is skipped.
+		if !names[id.Name] || !isPkgName(pass, id) {
+			continue
+		}
+		if why, bad := forbiddenTimeFuncs[sel.Sel.Name]; bad {
+			pass.Reportf(sel.Pos(),
+				"simulation package calls time.%s (%s): simulated time must come from the event clock",
+				sel.Sel.Name, why)
+		}
 	}
 	return nil
 }

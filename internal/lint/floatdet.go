@@ -36,30 +36,16 @@ var FloatDet = &Analyzer{
 }
 
 func runFloatDet(pass *Pass) error {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.GoStmt:
-				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
-					checkConcurrentLit(pass, lit)
-				}
-			case *ast.CallExpr:
-				// wg.Go(func(){...}), g.Go(func()error{...}) — any
-				// method named Go taking a function literal.
-				if name, ok := calleeMethodName(n); ok && name == "Go" {
-					for _, arg := range n.Args {
-						if lit, ok := arg.(*ast.FuncLit); ok {
-							checkConcurrentLit(pass, lit)
-						}
-					}
-				}
-			case *ast.AssignStmt:
-				checkArrivalAccum(pass, n)
-			case *ast.RangeStmt:
-				checkChanRangeAccum(pass, n)
-			}
-			return true
-		})
+	// The shared inspection already identified the concurrently-launched
+	// literals (go statements and .Go(func(){...}) method calls alike).
+	for _, cl := range pass.Insp.Concurrent() {
+		checkConcurrentLit(pass, cl.Lit)
+	}
+	for _, as := range pass.Insp.Assigns {
+		checkArrivalAccum(pass, as)
+	}
+	for _, rs := range pass.Insp.Ranges {
+		checkChanRangeAccum(pass, rs)
 	}
 	return nil
 }

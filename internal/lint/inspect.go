@@ -1,0 +1,498 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Inspection is the shared walk product every analyzer in the suite
+// consumes. The framework walks each type-checked package exactly once,
+// recording every node in preorder with its parent link plus typed node
+// indexes, so the analyzers stop paying for (and stop subtly disagreeing
+// about) their own traversals. On top of the raw walk it derives two
+// dataflow layers:
+//
+//   - a closure-capture analysis (Concurrent): for every function
+//     literal launched concurrently — `go func(){...}` or a worker
+//     closure handed to a .Go(...) method — which variables the body
+//     captures from the enclosing scope, and for each reference whether
+//     it reads or writes, and whether a write lands in a per-worker
+//     indexed slot (`out[w] = ...` with w private to the literal, the
+//     partitioned-write idiom the sharded simulator core uses);
+//
+//   - a reaching-use facts table (Facts): per function, the ordered
+//     def/use references to each object, classified as whole-object
+//     writes, partial writes (through a field, index, or pointer), or
+//     reads. Analyzers use it to answer "is this variable rebound before
+//     its next use" and "is this expression invariant in this loop"
+//     without re-walking.
+//
+// An Inspection is built once per package by RunAnalyzers and shared via
+// Pass.Insp.
+type Inspection struct {
+	nodes   []ast.Node
+	parents []int
+	index   map[ast.Node]int
+
+	Files     []*ast.File
+	FuncDecls []*ast.FuncDecl
+	FuncLits  []*ast.FuncLit
+	GoStmts   []*ast.GoStmt
+	Calls     []*ast.CallExpr
+	Assigns   []*ast.AssignStmt
+	Ranges    []*ast.RangeStmt
+	Selectors []*ast.SelectorExpr
+
+	info *types.Info
+
+	concurrent []*ConcurrentLit
+	facts      map[ast.Node]*Facts
+}
+
+// NewInspection walks pkg once and builds the shared indexes.
+func NewInspection(pkg *Package) *Inspection {
+	in := &Inspection{
+		index: make(map[ast.Node]int),
+		Files: pkg.Files,
+		info:  pkg.TypesInfo,
+		facts: make(map[ast.Node]*Facts),
+	}
+	for _, f := range pkg.Files {
+		var stack []int
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			idx := len(in.nodes)
+			parent := -1
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			in.nodes = append(in.nodes, n)
+			in.parents = append(in.parents, parent)
+			in.index[n] = idx
+			stack = append(stack, idx)
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				in.FuncDecls = append(in.FuncDecls, n)
+			case *ast.FuncLit:
+				in.FuncLits = append(in.FuncLits, n)
+			case *ast.GoStmt:
+				in.GoStmts = append(in.GoStmts, n)
+			case *ast.CallExpr:
+				in.Calls = append(in.Calls, n)
+			case *ast.AssignStmt:
+				in.Assigns = append(in.Assigns, n)
+			case *ast.RangeStmt:
+				in.Ranges = append(in.Ranges, n)
+			case *ast.SelectorExpr:
+				in.Selectors = append(in.Selectors, n)
+			}
+			return true
+		})
+	}
+	in.findConcurrent()
+	return in
+}
+
+// Parent returns n's syntactic parent, nil at a file root.
+func (in *Inspection) Parent(n ast.Node) ast.Node {
+	idx, ok := in.index[n]
+	if !ok || in.parents[idx] < 0 {
+		return nil
+	}
+	return in.nodes[in.parents[idx]]
+}
+
+// FileOf returns the file containing n.
+func (in *Inspection) FileOf(n ast.Node) *ast.File {
+	for n != nil {
+		if f, ok := n.(*ast.File); ok {
+			return f
+		}
+		n = in.Parent(n)
+	}
+	return nil
+}
+
+// EnclosingFunc returns the innermost FuncDecl or FuncLit strictly
+// containing n, or nil at package level.
+func (in *Inspection) EnclosingFunc(n ast.Node) ast.Node {
+	for p := in.Parent(n); p != nil; p = in.Parent(p) {
+		switch p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return p
+		}
+	}
+	return nil
+}
+
+// EnclosingLoop returns the innermost for or range statement containing
+// n without crossing a function boundary, or nil.
+func (in *Inspection) EnclosingLoop(n ast.Node) ast.Stmt {
+	for p := in.Parent(n); p != nil; p = in.Parent(p) {
+		switch p := p.(type) {
+		case *ast.ForStmt:
+			return p
+		case *ast.RangeStmt:
+			return p
+		case *ast.FuncDecl, *ast.FuncLit:
+			return nil
+		}
+	}
+	return nil
+}
+
+// EnclosingBlockStmt returns the innermost block containing n and the
+// index of the top-level statement of that block n sits inside.
+func (in *Inspection) EnclosingBlockStmt(n ast.Node) (*ast.BlockStmt, int) {
+	child := n
+	for p := in.Parent(child); p != nil; child, p = p, in.Parent(p) {
+		if blk, ok := p.(*ast.BlockStmt); ok {
+			for i, st := range blk.List {
+				if st == child {
+					return blk, i
+				}
+			}
+			return nil, -1
+		}
+	}
+	return nil, -1
+}
+
+// A ConcurrentLit is one function literal that executes concurrently
+// with its enclosing function: the body of a go statement, or a worker
+// closure passed to a method named Go (errgroup/WaitGroup style).
+type ConcurrentLit struct {
+	Lit    *ast.FuncLit
+	Launch ast.Node // the *ast.GoStmt or launching *ast.CallExpr
+	Encl   ast.Node // enclosing FuncDecl/FuncLit of the launch, nil at package level
+
+	Captures []*Capture
+}
+
+// A Capture is one variable the literal references but does not declare:
+// state shared with the launcher (and with every sibling worker).
+type Capture struct {
+	Obj  *types.Var
+	Refs []CaptureRef
+}
+
+// A CaptureRef is one appearance of a captured variable in the body.
+type CaptureRef struct {
+	Ident *ast.Ident
+	// Write is set when the reference is the target of an assignment,
+	// an IncDec, or a range-clause rebinding (possibly through a field
+	// selector, index, or pointer dereference).
+	Write bool
+	// Index is the index expression when the reference goes through
+	// x[Index] directly on the captured variable; nil otherwise.
+	Index ast.Expr
+	// IndexLocal is set when Index references at least one object
+	// declared inside the literal (a worker parameter or local) and no
+	// object from outside it: the canonical per-worker slot.
+	IndexLocal bool
+}
+
+// Concurrent returns the package's concurrently-launched literals with
+// their capture sets.
+func (in *Inspection) Concurrent() []*ConcurrentLit { return in.concurrent }
+
+func (in *Inspection) findConcurrent() {
+	add := func(lit *ast.FuncLit, launch ast.Node) {
+		cl := &ConcurrentLit{Lit: lit, Launch: launch, Encl: in.EnclosingFunc(launch)}
+		cl.Captures = in.captures(lit)
+		in.concurrent = append(in.concurrent, cl)
+	}
+	for _, g := range in.GoStmts {
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			add(lit, g)
+		}
+	}
+	for _, call := range in.Calls {
+		if name, ok := calleeMethodName(call); !ok || name != "Go" {
+			continue
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				add(lit, call)
+			}
+		}
+	}
+}
+
+// captures computes the capture set of lit: every variable referenced in
+// the body whose declaration lies outside the literal. Struct fields are
+// attributed to their base variable; variables of types from package
+// sync (WaitGroup, Mutex, Once, ...) are the join/exclusion machinery
+// itself and are exempt.
+func (in *Inspection) captures(lit *ast.FuncLit) []*Capture {
+	byObj := make(map[*types.Var]*Capture)
+	var order []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := in.info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the literal, private to it
+		}
+		if isSyncType(obj.Type()) {
+			return true
+		}
+		// Skip the Sel half of a selector: base idents carry the capture.
+		if sel, ok := in.Parent(id).(*ast.SelectorExpr); ok && sel.Sel == id {
+			return true
+		}
+		c := byObj[obj]
+		if c == nil {
+			c = &Capture{Obj: obj}
+			byObj[obj] = c
+			order = append(order, obj)
+		}
+		c.Refs = append(c.Refs, in.classifyRef(lit, id))
+		return true
+	})
+	out := make([]*Capture, 0, len(order))
+	for _, obj := range order {
+		out = append(out, byObj[obj])
+	}
+	return out
+}
+
+// classifyRef climbs from a captured ident through the selectors,
+// indexes, and dereferences wrapping it to decide whether the reference
+// writes, and through which index if any.
+func (in *Inspection) classifyRef(lit *ast.FuncLit, id *ast.Ident) CaptureRef {
+	ref := CaptureRef{Ident: id}
+	if ix, ok := in.Parent(id).(*ast.IndexExpr); ok && ix.X == id {
+		ref.Index = ix.Index
+		ref.IndexLocal = in.indexLocal(lit, ix.Index)
+	}
+	var cur ast.Node = id
+	for {
+		p := in.Parent(cur)
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+		case *ast.IndexExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+		case *ast.StarExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == cur {
+					ref.Write = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if p.X == cur {
+				ref.Write = true
+			}
+		case *ast.RangeStmt:
+			if (p.Key == cur || p.Value == cur) && p.Tok == token.ASSIGN {
+				ref.Write = true
+			}
+		}
+		return ref
+	}
+}
+
+// indexLocal reports whether index references at least one object
+// declared inside lit and none declared outside it — the signature of a
+// per-worker slot index. A constant index (no identifiers) is not local:
+// every worker would address the same slot.
+func (in *Inspection) indexLocal(lit *ast.FuncLit, index ast.Expr) bool {
+	sawLocal, sawOuter := false, false
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := in.info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			sawLocal = true
+		} else {
+			sawOuter = true
+		}
+		return true
+	})
+	return sawLocal && !sawOuter
+}
+
+// isSyncType reports whether t (or its pointee) is declared in package
+// sync.
+func isSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync"
+}
+
+// A FactRef is one reference to an object inside one function, in the
+// reaching-use facts table.
+type FactRef struct {
+	Ident *ast.Ident
+	// Whole is set on a whole-object (re)binding: `x = ...` or `x := ...`
+	// or a range-clause rebinding. After a Whole write the previous value
+	// is unreachable through x.
+	Whole bool
+	// Partial is set on a write through a field, index, or dereference
+	// (`x.f = ...`, `x[i] = ...`, `*x = ...`): the object still refers to
+	// the same value, but the value's contents changed.
+	Partial bool
+}
+
+// Write reports whether the reference writes at all.
+func (r FactRef) Write() bool { return r.Whole || r.Partial }
+
+// Facts is the per-function reaching-use table: for each object
+// referenced in the function, its references in source order.
+type Facts struct {
+	refs map[types.Object][]FactRef
+}
+
+// Refs returns obj's references in source order.
+func (f *Facts) Refs(obj types.Object) []FactRef { return f.refs[obj] }
+
+// WriteWithin reports whether obj is written anywhere in [lo, hi).
+func (f *Facts) WriteWithin(obj types.Object, lo, hi token.Pos) bool {
+	for _, r := range f.refs[obj] {
+		if r.Write() && r.Ident.Pos() >= lo && r.Ident.Pos() < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Facts builds (and caches) the reaching-use table for the function fn
+// (a FuncDecl or FuncLit).
+func (in *Inspection) Facts(fn ast.Node) *Facts {
+	if f, ok := in.facts[fn]; ok {
+		return f
+	}
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	f := &Facts{refs: make(map[types.Object][]FactRef)}
+	if body != nil {
+		ast.Inspect(body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := types.Object(nil)
+			if u, ok := in.info.Uses[id]; ok {
+				obj = u
+			} else if d, ok := in.info.Defs[id]; ok {
+				obj = d
+			}
+			if obj == nil {
+				return true
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return true
+			}
+			if sel, ok := in.Parent(id).(*ast.SelectorExpr); ok && sel.Sel == id {
+				return true
+			}
+			f.refs[obj] = append(f.refs[obj], in.classifyFactRef(id))
+			return true
+		})
+		for obj := range f.refs {
+			refs := f.refs[obj]
+			sort.Slice(refs, func(i, j int) bool { return refs[i].Ident.Pos() < refs[j].Ident.Pos() })
+		}
+	}
+	in.facts[fn] = f
+	return f
+}
+
+// classifyFactRef distinguishes whole rebinding, partial writes, and
+// reads for the facts table.
+func (in *Inspection) classifyFactRef(id *ast.Ident) FactRef {
+	ref := FactRef{Ident: id}
+	indirect := false
+	var cur ast.Node = id
+	for {
+		p := in.Parent(cur)
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X == cur {
+				indirect = true
+				cur = p
+				continue
+			}
+		case *ast.IndexExpr:
+			if p.X == cur {
+				indirect = true
+				cur = p
+				continue
+			}
+		case *ast.StarExpr:
+			if p.X == cur {
+				indirect = true
+				cur = p
+				continue
+			}
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == cur {
+					if indirect {
+						ref.Partial = true
+					} else {
+						ref.Whole = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if p.X == cur {
+				ref.Partial = true
+			}
+		case *ast.RangeStmt:
+			if (p.Key == cur || p.Value == cur) && p.Tok == token.ASSIGN && !indirect {
+				ref.Whole = true
+			}
+		case *ast.ValueSpec:
+			for _, name := range p.Names {
+				if name == cur {
+					ref.Whole = true
+				}
+			}
+		}
+		return ref
+	}
+}

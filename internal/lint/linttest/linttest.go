@@ -18,9 +18,11 @@ package linttest
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -49,6 +51,51 @@ func Run(t *testing.T, root string, a *lint.Analyzer, pkgRels ...string) {
 			runOne(t, root, a, rel)
 		})
 	}
+}
+
+// RunTree discovers every fixture package under testdata/src/<rel> —
+// any directory directly containing .go files — and applies the
+// analyzer to each. One analyzer's flagged, clean, and supporting
+// library packages (a fixture rng, a fixture FreeList) then live
+// together under a single directory, and adding a fixture package is
+// just adding a directory: no test edit required.
+func RunTree(t *testing.T, root string, a *lint.Analyzer, rel string) {
+	t.Helper()
+	src := filepath.Join(root, "testdata", "src")
+	base := filepath.Join(src, filepath.FromSlash(rel))
+	var rels []string
+	err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			r, err := filepath.Rel(src, path)
+			if err != nil {
+				return err
+			}
+			rels = append(rels, filepath.ToSlash(r))
+			break
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("discovering fixture packages under %s: %v", base, err)
+	}
+	if len(rels) == 0 {
+		t.Fatalf("no fixture packages under %s", base)
+	}
+	sort.Strings(rels)
+	Run(t, root, a, rels...)
 }
 
 func runOne(t *testing.T, root string, a *lint.Analyzer, rel string) {

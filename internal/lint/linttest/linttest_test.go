@@ -1,0 +1,31 @@
+package linttest_test
+
+import (
+	"testing"
+
+	"prefetch/internal/lint"
+	"prefetch/internal/lint/linttest"
+)
+
+// metaAnalyzer emits messages dense with regex metacharacters, so the
+// harness's `// want` matching is exercised against exactly the text
+// shapes real diagnostics contain (indexed slots, operators, parens).
+var metaAnalyzer = &lint.Analyzer{
+	Name: "metatest",
+	Doc:  "test analyzer whose messages are full of regex metacharacters",
+	Run: func(pass *lint.Pass) error {
+		for _, fd := range pass.Insp.FuncDecls {
+			pass.Reportf(fd.Name.Pos(),
+				"func %s: slots[0] += (x * y) | pipe? ^anchor$ \\backslash", fd.Name.Name)
+		}
+		return nil
+	},
+}
+
+// TestWantMatcherRegexMetacharacters pins the matcher contract: the
+// backquoted want text is a regular expression, so metacharacters in
+// the expected message must be escaped — and regex features (the
+// alternation in the second fixture want) keep working.
+func TestWantMatcherRegexMetacharacters(t *testing.T) {
+	linttest.Run(t, ".", metaAnalyzer, "metatest/a")
+}

@@ -1,0 +1,8 @@
+// Package a is the fixture for the harness's own matcher test: the
+// test analyzer flags every function declaration with a message full of
+// regex metacharacters.
+package a
+
+func Flagged() {} // want `func Flagged: slots\[0\] \+= \(x \* y\) \| pipe\? \^anchor\$ \\backslash`
+
+func Other() {} // want `func (Other|Missing): slots`

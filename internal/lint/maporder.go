@@ -23,33 +23,20 @@ var MapOrder = &Analyzer{
 }
 
 func runMapOrder(pass *Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				inspectFunc(pass, fd, fd.Body)
-			}
+	// The shared inspection indexes every range statement; the enclosing
+	// function (FuncDecl or FuncLit, whichever is innermost) is the scope
+	// searched for a sort-after-the-loop.
+	for _, rs := range pass.Insp.Ranges {
+		if !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+			continue
 		}
+		encl := pass.Insp.EnclosingFunc(rs)
+		if encl == nil {
+			continue
+		}
+		checkMapRangeBody(pass, rs, encl)
 	}
 	return nil
-}
-
-// inspectFunc walks body looking for ranges over maps, with encl as the
-// innermost enclosing function node (the scope searched for a
-// sort-after-the-loop). Function literals recurse so their bodies get
-// themselves as the enclosing function.
-func inspectFunc(pass *Pass, encl ast.Node, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			inspectFunc(pass, n, n.Body)
-			return false
-		case *ast.RangeStmt:
-			if isMapType(pass.TypesInfo.TypeOf(n.X)) {
-				checkMapRangeBody(pass, n, encl)
-			}
-		}
-		return true
-	})
 }
 
 func isMapType(t types.Type) bool {

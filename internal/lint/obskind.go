@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// ObsKind keeps the obs event union's three hand-maintained registries
+// from drifting apart when a Kind is added. The union is deliberately
+// not reflective: the taxonomy lives in the Kind constants and the
+// Kinds() list (which feeds Valid() and therefore the decoder's
+// ReadTrace), the encoder is the hand-rolled appendEvent (field
+// literals, not struct tags at run time), and the metrics fold is
+// Accumulate's switch. Adding an event kind or an Event field must
+// update all of them, so the analyzer checks, in any package under
+// internal/obs:
+//
+//   - every Kind-typed constant appears in the Kinds() return list —
+//     a missing entry makes Valid() reject the kind, so every emitted
+//     trace containing it fails to decode;
+//   - no two Kind constants share one string value, and no constant is
+//     listed in Kinds() twice — either collision makes the decoded
+//     taxonomy ambiguous;
+//   - every json-tagged Event field is written by appendEvent — a field
+//     the hand-rolled encoder skips silently drops data that
+//     encoding/json (and every golden trace) would carry;
+//   - every case arm of a switch over a Kind-typed expression (the
+//     Accumulate metrics fold, the chrome exporter) is a declared Kind
+//     constant, never an inline conversion or string literal that would
+//     bypass the registry.
+var ObsKind = &Analyzer{
+	Name: "obskind",
+	Doc: "the obs event union's registries must stay in sync: every Kind constant in Kinds(), " +
+		"every Event field in the hand-rolled encoder, every Kind switch arm a declared constant",
+	Run: runObsKind,
+}
+
+var obsPackagePattern = regexp.MustCompile(`(^|/)internal/obs(/|$)`)
+
+func runObsKind(pass *Pass) error {
+	if !obsPackagePattern.MatchString(pass.PkgPath) {
+		return nil
+	}
+	kindType := lookupNamed(pass.Pkg, "Kind")
+	if kindType == nil {
+		return nil
+	}
+
+	// The declared taxonomy: every package-level constant of type Kind.
+	type kindConst struct {
+		obj *types.Const
+		val string
+	}
+	var kinds []kindConst
+	byValue := make(map[string]*types.Const)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != kindType || c.Val().Kind() != constant.String {
+			continue
+		}
+		val := constant.StringVal(c.Val())
+		if first, dup := byValue[val]; dup {
+			pass.Reportf(c.Pos(),
+				"Kind constants %s and %s share the value %q: decoded events cannot tell the "+
+					"two apart", first.Name(), c.Name(), val)
+		} else {
+			byValue[val] = c
+		}
+		kinds = append(kinds, kindConst{c, val})
+	}
+
+	// Kinds() membership: collect the constants referenced in the
+	// function's body and require every declared Kind among them.
+	if listed, found := kindsListed(pass); found {
+		for _, k := range kinds {
+			if listed[k.obj] > 1 {
+				pass.Reportf(k.obj.Pos(),
+					"Kind %s is listed in Kinds() %d times: the canonical taxonomy must name each "+
+						"kind exactly once", k.obj.Name(), listed[k.obj])
+			}
+			if listed[k.obj] == 0 {
+				pass.Reportf(k.obj.Pos(),
+					"Kind %s is not listed in Kinds(): Valid() will reject it, so every trace "+
+						"containing the new kind fails to decode; add it to the taxonomy list", k.obj.Name())
+			}
+		}
+	}
+
+	// Encoder exhaustiveness: every json-tagged Event field must appear
+	// in appendEvent's string literals.
+	checkEncoderFields(pass)
+
+	// Switches over Kind must use declared constants.
+	checkKindSwitches(pass, kindType)
+	return nil
+}
+
+// lookupNamed returns the package-scope named type with the given name.
+func lookupNamed(pkg *types.Package, name string) types.Type {
+	tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return tn.Type()
+}
+
+// kindsListed counts how many times each Kind constant is referenced in
+// the body of the package's Kinds() function. found is false when the
+// package declares no Kinds function (nothing to check against).
+func kindsListed(pass *Pass) (map[*types.Const]int, bool) {
+	for _, fd := range pass.Insp.FuncDecls {
+		if fd.Name.Name != "Kinds" || fd.Recv != nil || fd.Body == nil {
+			continue
+		}
+		counts := make(map[*types.Const]int)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				counts[c]++
+			}
+			return true
+		})
+		return counts, true
+	}
+	return nil, false
+}
+
+// checkEncoderFields verifies every json-tagged field of the Event
+// struct is named by a string literal inside appendEvent.
+func checkEncoderFields(pass *Pass) {
+	eventType := lookupNamed(pass.Pkg, "Event")
+	if eventType == nil {
+		return
+	}
+	st, ok := eventType.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	emitted, found := encoderFieldNames(pass)
+	if !found {
+		return // no hand-rolled encoder in this package
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		name := strings.Split(tag, ",")[0]
+		if name == "" || name == "-" {
+			continue
+		}
+		if !emitted[name] {
+			pass.Reportf(st.Field(i).Pos(),
+				"Event field %s (json %q) is not written by the hand-rolled encoder appendEvent: "+
+					"traces silently drop the field and diverge from encoding/json; add it to the "+
+					"encoder (and keep the struct's field order)", st.Field(i).Name(), name)
+		}
+	}
+}
+
+var jsonKeyRe = regexp.MustCompile(`"([A-Za-z0-9_]+)":`)
+
+// encoderFieldNames collects the JSON field names appendEvent writes:
+// `"name":` fragments inside raw append literals plus bare "name"
+// literals handed to the appendXField helpers.
+func encoderFieldNames(pass *Pass) (map[string]bool, bool) {
+	for _, fd := range pass.Insp.FuncDecls {
+		if fd.Name.Name != "appendEvent" || fd.Body == nil {
+			continue
+		}
+		names := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[ast.Expr(lit)]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			s := constant.StringVal(tv.Value)
+			for _, m := range jsonKeyRe.FindAllStringSubmatch(s, -1) {
+				names[m[1]] = true
+			}
+			if !strings.ContainsAny(s, `{}",:`) && s != "" {
+				names[s] = true
+			}
+			return true
+		})
+		return names, true
+	}
+	return nil, false
+}
+
+// checkKindSwitches requires every case arm of a switch over a
+// Kind-typed expression to be a declared Kind constant.
+func checkKindSwitches(pass *Pass, kindType types.Type) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(sw.Tag); t != kindType {
+				return true
+			}
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					if isDeclaredKindConst(pass, expr) {
+						continue
+					}
+					pass.Reportf(expr.Pos(),
+						"case over Kind must use a declared Kind constant, not an inline value: "+
+							"ad-hoc kinds bypass the Kinds() registry and drift the encoder, decoder, "+
+							"and metrics apart")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isDeclaredKindConst reports whether expr is a reference to a declared
+// (package-level) constant.
+func isDeclaredKindConst(pass *Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	_, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	return ok
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// PoolReuse mechanizes the eventq.FreeList ownership contract that the
+// pooled-node hot paths (scheduler requests, in-flight transfers, the
+// multiclient server's tag records) depend on: Put transfers ownership
+// back to the pool, after which the node may be handed to any unrelated
+// caller by the next Get. Within each function, the analyzer tracks the
+// pooled pointer from its Put along the remainder of the enclosing
+// block:
+//
+//   - a later read or field access of the pointer is a use after free —
+//     the pool may already have recycled the node under another caller;
+//   - a second Put of the same pointer double-frees it: two future Gets
+//     return the same node and alias each other's state (the bug class
+//     the pooled-struct property test demonstrates);
+//   - rebinding the variable (`x = pool.Get()`, `x = ...`) ends the
+//     tracking — the name no longer refers to the freed node.
+//
+// Additionally, when the pooled element type carries reference fields
+// (pointers, slices, maps, funcs, interfaces, channels), at least one of
+// them must be cleared on the straight-line path before the Put — the
+// `req.Tag = nil` / `tr.req = nil` idiom — so an idle pool does not pin
+// dead payloads (and their object graphs) against the GC.
+var PoolReuse = &Analyzer{
+	Name: "poolreuse",
+	Doc: "eventq.FreeList nodes must not be used after Put or Put twice, and nodes with " +
+		"reference fields must have them cleared before Put so the idle pool does not pin " +
+		"dead payloads",
+	Run: runPoolReuse,
+}
+
+var eventqPackagePattern = regexp.MustCompile(`(^|/)internal/eventq(/|$)`)
+
+func runPoolReuse(pass *Pass) error {
+	in := pass.Insp
+	for _, call := range in.Calls {
+		elem, method := freeListCall(pass, call)
+		if elem == nil || method != "Put" || len(call.Args) != 1 {
+			continue
+		}
+		obj := exprObject(pass, call.Args[0])
+		if obj == nil {
+			continue
+		}
+		fn := in.EnclosingFunc(call)
+		if fn == nil {
+			continue
+		}
+		checkAfterPut(pass, fn, call, obj)
+		checkResetBeforePut(pass, call, obj, elem)
+	}
+	return nil
+}
+
+// freeListCall reports whether call is a method call on an
+// eventq.FreeList value, returning the pooled element type and the
+// method name.
+func freeListCall(pass *Pass, call *ast.CallExpr) (types.Type, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return nil, ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "FreeList" || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	if !eventqPackagePattern.MatchString(named.Obj().Pkg().Path()) {
+		return nil, ""
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil, ""
+	}
+	return args.At(0), sel.Sel.Name
+}
+
+// exprObject resolves a simple expression (an identifier) to its
+// variable object; nil for anything the analyzer cannot track.
+func exprObject(pass *Pass, expr ast.Expr) types.Object {
+	id, ok := unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	return obj
+}
+
+// checkAfterPut walks the facts table for obj past the Put call: the
+// next reference must be a whole rebinding, otherwise the freed node is
+// being used (or double-Put).
+func checkAfterPut(pass *Pass, fn ast.Node, put *ast.CallExpr, obj types.Object) {
+	blk, idx := pass.Insp.EnclosingBlockStmt(put)
+	if blk == nil {
+		return
+	}
+	// Only references in statements after the Put's own statement count:
+	// staying within the block sidesteps sibling branches (an else arm
+	// textually after the Put is not on its path) and loop back-edges.
+	var lo, hi token.Pos = blk.List[idx].End(), blk.End()
+	for _, ref := range pass.Insp.Facts(fn).Refs(obj) {
+		if ref.Ident.Pos() < lo || ref.Ident.Pos() >= hi {
+			continue
+		}
+		if ref.Whole {
+			return // rebound to a fresh node; tracking ends
+		}
+		if putCall, ok := enclosingPutCall(pass, ref.Ident); ok {
+			pass.Reportf(putCall.Pos(),
+				"%s is Put back to the pool twice on this path: the next two Gets return the "+
+					"same node and alias each other's state", obj.Name())
+		} else {
+			pass.Reportf(ref.Ident.Pos(),
+				"use of %s after it was Put back to the pool at %s: the pool may already have "+
+					"recycled the node under another caller", obj.Name(), pass.Fset.Position(put.Pos()))
+		}
+		return // report the first post-Put reference only
+	}
+}
+
+// enclosingPutCall reports whether id is the argument of a FreeList.Put
+// call, returning that call.
+func enclosingPutCall(pass *Pass, id *ast.Ident) (*ast.CallExpr, bool) {
+	for p := pass.Insp.Parent(id); p != nil; p = pass.Insp.Parent(p) {
+		call, ok := p.(*ast.CallExpr)
+		if !ok {
+			if _, isStmt := p.(ast.Stmt); isStmt {
+				return nil, false
+			}
+			continue
+		}
+		if elem, method := freeListCall(pass, call); elem != nil && method == "Put" {
+			return call, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// checkResetBeforePut requires, for element types carrying reference
+// fields, a clearing assignment (x.f = nil, *x = T{}) somewhere in the
+// same block before the Put.
+func checkResetBeforePut(pass *Pass, put *ast.CallExpr, obj types.Object, elem types.Type) {
+	if !hasReferenceFields(elem) {
+		return
+	}
+	blk, idx := pass.Insp.EnclosingBlockStmt(put)
+	if blk == nil {
+		return
+	}
+	for _, st := range blk.List[:idx] {
+		if stmtClears(pass, st, obj) {
+			return
+		}
+	}
+	pass.Reportf(put.Pos(),
+		"%s is Put back to the pool without clearing its reference fields: the idle pool pins "+
+			"the dead payload against the GC; nil the pointer-carrying fields (or zero the whole "+
+			"node) before Put", obj.Name())
+}
+
+// stmtClears reports whether st zeroes a field of obj or the whole
+// pointed-to value: x.f = nil, x.f = T{}, or *x = T{}.
+func stmtClears(pass *Pass, st ast.Stmt, obj types.Object) bool {
+	clears := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || clears {
+			return !clears
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) && len(as.Rhs) != 1 {
+				break
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if !isZeroExpr(pass, rhs) {
+				continue
+			}
+			switch l := unparen(lhs).(type) {
+			case *ast.SelectorExpr:
+				if base := exprObject(pass, l.X); base == obj {
+					clears = true
+				}
+			case *ast.StarExpr:
+				if base := exprObject(pass, l.X); base == obj {
+					clears = true
+				}
+			}
+		}
+		return !clears
+	})
+	return clears
+}
+
+// isZeroExpr reports whether expr is a zero value: nil, an empty
+// composite literal, 0, false, or "".
+func isZeroExpr(pass *Pass, expr ast.Expr) bool {
+	switch e := unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name == "nil" || e.Name == "false"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.BasicLit:
+		return e.Value == "0" || e.Value == `""` || e.Value == "0.0"
+	}
+	return false
+}
+
+// hasReferenceFields reports whether t (a struct, after unwrapping) has
+// at least one field that can pin heap memory.
+func hasReferenceFields(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Type().Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+			*types.Signature, *types.Interface:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// RngLabel enforces stream-label hygiene on rng.Derive, the partitioned
+// RNG's one derivation point. Derive(seed, label) must give every
+// distinct purpose a distinct label — two call sites that collapse to
+// the same label share one stream, which correlates draws that the
+// replay model assumes independent. Three spellings are caught:
+//
+//   - duplicate constant labels inside one function: two Derive calls
+//     with the same literal label feed two purposes from one stream;
+//   - a Derive inside a loop whose label is invariant in that loop
+//     (references nothing declared or written in the loop): every
+//     iteration re-derives the same stream, so the "per-item" streams
+//     are all copies of each other;
+//   - collision-prone label construction: concatenating two
+//     non-constant parts with no separator between them, or a
+//     fmt.Sprintf format with adjacent verbs, makes distinct inputs
+//     render to one label ("1"+"23" == "12"+"3"). Labels built by a
+//     same-package helper (clientLabel-style) are checked one level
+//     deep through the helper's return expressions.
+var RngLabel = &Analyzer{
+	Name: "rnglabel",
+	Doc: "rng.Derive stream labels must be unique per purpose: flag duplicate literal labels " +
+		"in one function, loop-invariant labels derived inside loops, and separator-less " +
+		"label construction that can collide",
+	Run: runRngLabel,
+}
+
+func runRngLabel(pass *Pass) error {
+	in := pass.Insp
+	// Constant labels seen per enclosing function, for the duplicate
+	// check. Keyed by function node and label value.
+	type dupKey struct {
+		fn    ast.Node
+		label string
+	}
+	seen := make(map[dupKey]token.Pos)
+	for _, call := range in.Calls {
+		if !isDeriveCall(pass, call) || len(call.Args) < 2 {
+			continue
+		}
+		label := call.Args[1]
+		fn := in.EnclosingFunc(call)
+
+		if val := constLabel(pass, label); val != "" {
+			k := dupKey{fn, val}
+			if first, dup := seen[k]; dup {
+				pass.Reportf(label.Pos(),
+					"duplicate rng.Derive label %q (first derived at %s): the two calls share one "+
+						"stream, correlating draws that replay assumes independent; give each purpose "+
+						"a distinct label", val, pass.Fset.Position(first))
+			} else {
+				seen[k] = label.Pos()
+			}
+		}
+
+		if fn != nil {
+			if loop := in.EnclosingLoop(call); loop != nil && loopInvariant(pass, fn, loop, label) {
+				pass.Reportf(label.Pos(),
+					"rng.Derive label is invariant in this loop: every iteration derives the same "+
+						"stream, so the per-iteration streams are identical copies; fold the loop "+
+						"variable into the label")
+			}
+		}
+
+		checkLabelConstruction(pass, label, label.Pos(), true)
+	}
+	return nil
+}
+
+// isDeriveCall reports whether call invokes internal/rng's Derive.
+func isDeriveCall(pass *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Name() != "Derive" || fn.Pkg() == nil {
+		return false
+	}
+	return rngPackagePattern.MatchString(fn.Pkg().Path())
+}
+
+// constLabel returns the label's compile-time string value, "" when the
+// label is not constant.
+func constLabel(pass *Pass, label ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[label]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// loopInvariant reports whether expr references nothing that varies in
+// loop: no identifier declared inside the loop and none written inside
+// it (per fn's reaching-use facts).
+func loopInvariant(pass *Pass, fn ast.Node, loop ast.Stmt, expr ast.Expr) bool {
+	facts := pass.Insp.Facts(fn)
+	variant := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || variant {
+			return !variant
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			variant = true // declared by the loop (range var, init var, local)
+		} else if facts.WriteWithin(obj, loop.Pos(), loop.End()) {
+			variant = true // mutated inside the loop body
+		}
+		return !variant
+	})
+	return !variant
+}
+
+// checkLabelConstruction flags separator-less label construction:
+// adjacent non-constant concat operands and adjacent Sprintf verbs.
+// When the label is a call to a same-package helper and recurse is set,
+// the helper's return expressions are checked one level deep, so the
+// clientLabel-style wrappers stay covered. Diagnostics are reported at
+// reportPos — the Derive call's label — even when the colliding
+// construction sits inside a helper.
+func checkLabelConstruction(pass *Pass, label ast.Expr, reportPos token.Pos, recurse bool) {
+	switch e := unparen(label).(type) {
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return
+		}
+		var parts []ast.Expr
+		flattenConcat(e, &parts)
+		for i := 0; i+1 < len(parts); i++ {
+			if !isStringConst(pass, parts[i]) && !isStringConst(pass, parts[i+1]) {
+				pass.Reportf(reportPos,
+					"rng.Derive label concatenates two variable parts with no separator between "+
+						"them: distinct inputs can render to one label and collide the streams; "+
+						"put a literal separator between the parts")
+				return
+			}
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(pass, e)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if fn.Name() == "Sprintf" && fn.Pkg().Path() == "fmt" {
+			if len(e.Args) > 0 {
+				if format := constLabel(pass, e.Args[0]); format != "" && adjacentVerbs(format) {
+					pass.Reportf(reportPos,
+						"rng.Derive label format has adjacent verbs with no separator between them: "+
+							"distinct inputs can render to one label and collide the streams; put a "+
+							"literal separator between the verbs")
+				}
+			}
+			return
+		}
+		if !recurse || fn.Pkg() != pass.Pkg {
+			return
+		}
+		// One level through a same-package helper: check the return
+		// expressions that build the label.
+		for _, decl := range declOf(pass, fn) {
+			checkLabelConstruction(pass, decl, reportPos, false)
+		}
+	}
+}
+
+// flattenConcat splits a left-leaning + chain into its operands.
+func flattenConcat(e ast.Expr, out *[]ast.Expr) {
+	if bin, ok := unparen(e).(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		flattenConcat(bin.X, out)
+		flattenConcat(bin.Y, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// unparen strips parentheses (ast.Unparen needs Go 1.22; this module
+// still builds on 1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isStringConst reports whether expr has a compile-time constant value.
+func isStringConst(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// adjacentVerbs reports whether format contains two conversion verbs
+// with no literal text between them.
+func adjacentVerbs(format string) bool {
+	prevVerbEnd := -1
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if i+1 < len(format) && format[i+1] == '%' {
+			i++
+			continue
+		}
+		// Scan flags/width/precision to the verb character.
+		j := i + 1
+		for j < len(format) && !isVerbChar(format[j]) {
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		if prevVerbEnd == i {
+			return true
+		}
+		prevVerbEnd = j + 1
+		i = j
+	}
+	return false
+}
+
+func isVerbChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// declOf returns the return expressions of fn's declaration in this
+// package, nil when the body is unavailable.
+func declOf(pass *Pass, fn *types.Func) []ast.Expr {
+	for _, fd := range pass.Insp.FuncDecls {
+		if pass.TypesInfo.Defs[fd.Name] != fn || fd.Body == nil {
+			continue
+		}
+		var rets []ast.Expr
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				rets = append(rets, r.Results...)
+			}
+			return true
+		})
+		return rets
+	}
+	return nil
+}

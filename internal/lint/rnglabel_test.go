@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"prefetch/internal/lint"
+	"prefetch/internal/lint/linttest"
+)
+
+func TestRngLabel(t *testing.T) {
+	linttest.RunTree(t, ".", lint.RngLabel, "rnglabel")
+}

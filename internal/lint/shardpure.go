@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardPure enforces the Phase-A purity contract of the sharded
+// simulator core (internal/multiclient/shard.go): a goroutine worker in
+// a simulation package may only communicate results through per-worker
+// indexed slots. Concretely, inside a concurrently-launched function
+// literal:
+//
+//   - a write to a captured variable (or through its fields or pointer)
+//     is flagged unless it lands in x[i] where i is private to the
+//     literal — the canonical disjoint-slot idiom, `errs[w] = err`;
+//   - an indexed write whose index is captured from outside the literal
+//     or is a constant is flagged: every worker addresses the same slot;
+//   - a read of a captured variable that any concurrent literal in the
+//     same function writes is flagged, unless the read itself goes
+//     through a literal-private index: the value observed depends on
+//     scheduling, so the worker is no longer a pure function of
+//     (parameters, worker index) and bit-for-bit replay breaks.
+//
+// Reads of captured state no worker writes (the immutable site, the
+// config) are the supported sharing pattern and stay silent, as do
+// sync-package join primitives (WaitGroup and friends). Mutation hidden
+// behind a method call or an &arg escape is out of scope — floatdet and
+// the trace-diff CI leg back this analyzer up at run time.
+var ShardPure = &Analyzer{
+	Name: "shardpure",
+	Doc: "goroutine workers in simulation packages must be pure functions of their " +
+		"parameters and worker index: captured shared state may only be written through " +
+		"per-worker indexed slots and never read while another worker writes it",
+	Run: runShardPure,
+}
+
+func runShardPure(pass *Pass) error {
+	if !simPackagePattern.MatchString(pass.PkgPath) {
+		return nil
+	}
+	// writtenBy: captured variables written by at least one concurrent
+	// literal, grouped by the function that launched the workers — a
+	// read in worker A is only racy against writes from workers of the
+	// same fan-out.
+	type key struct {
+		encl ast.Node
+		obj  *types.Var
+	}
+	writtenBy := make(map[key]bool)
+	for _, cl := range pass.Insp.Concurrent() {
+		for _, cap := range cl.Captures {
+			for _, ref := range cap.Refs {
+				if ref.Write {
+					writtenBy[key{cl.Encl, cap.Obj}] = true
+				}
+			}
+		}
+	}
+	for _, cl := range pass.Insp.Concurrent() {
+		for _, cap := range cl.Captures {
+			for _, ref := range cap.Refs {
+				switch {
+				case ref.Write && ref.Index != nil && ref.IndexLocal:
+					// errs[w] = err — the partitioned-write idiom.
+				case ref.Write && ref.Index != nil:
+					pass.Reportf(ref.Ident.Pos(),
+						"goroutine writes %s through an index that is not private to the worker: "+
+							"every worker addresses the same slot, so the final value depends on "+
+							"scheduling; index by a worker-local id instead", cap.Obj.Name())
+				case ref.Write:
+					pass.Reportf(ref.Ident.Pos(),
+						"goroutine writes captured %s shared with the enclosing function: Phase-A "+
+							"workers must be pure functions of their parameters and worker index; "+
+							"write per-worker indexed slots and merge after the join", cap.Obj.Name())
+				case writtenBy[key{cl.Encl, cap.Obj}] && !(ref.Index != nil && ref.IndexLocal):
+					pass.Reportf(ref.Ident.Pos(),
+						"goroutine reads captured %s while a concurrent worker writes it: the value "+
+							"observed depends on scheduling and worker count, breaking bit-for-bit "+
+							"replay; read only worker-private slots or immutable shared state", cap.Obj.Name())
+				}
+			}
+		}
+	}
+	return nil
+}

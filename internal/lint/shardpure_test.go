@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"prefetch/internal/lint"
+	"prefetch/internal/lint/linttest"
+)
+
+func TestShardPure(t *testing.T) {
+	linttest.RunTree(t, ".", lint.ShardPure, "shardpure")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"prefetch/internal/lint"
+	"prefetch/internal/lint/linttest"
+)
+
+func TestSnapshotMut(t *testing.T) {
+	linttest.RunTree(t, ".", lint.SnapshotMut, "snapshotmut")
+}

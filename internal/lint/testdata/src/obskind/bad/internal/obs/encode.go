@@ -1,0 +1,14 @@
+package obs
+
+import "strconv"
+
+// appendEvent is the fixture's hand-rolled encoder: it forgot the Page
+// field the Event struct carries.
+func appendEvent(b []byte, ev Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, ev.T, 'g', -1, 64)
+	b = append(b, `,"kind":"`...)
+	b = append(b, string(ev.Kind)...)
+	b = append(b, `"}`...)
+	return b
+}

@@ -1,0 +1,19 @@
+package obs
+
+// Kind names one event class in the trace taxonomy.
+type Kind string
+
+const (
+	KindArrival Kind = "arrival" // want `listed in Kinds\(\) 2 times`
+	KindDepart  Kind = "depart"
+	KindDrop    Kind = "depart" // want `share the value "depart"`
+	KindOrphan  Kind = "orphan" // want `not listed in Kinds\(\)`
+)
+
+// Event is the union record; the hand-rolled encoder in encode.go must
+// write every json-tagged field.
+type Event struct {
+	T    float64 `json:"t"`
+	Kind Kind    `json:"kind"`
+	Page int     `json:"page"` // want `not written by the hand-rolled encoder`
+}

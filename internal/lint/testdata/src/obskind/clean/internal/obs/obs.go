@@ -1,0 +1,43 @@
+// Package obs is the consistent miniature of the event union: every
+// Kind in Kinds(), every Event field in the encoder, every switch arm a
+// declared constant.
+package obs
+
+import "strconv"
+
+type Kind string
+
+const (
+	KindArrival Kind = "arrival"
+	KindDepart  Kind = "depart"
+)
+
+type Event struct {
+	T    float64 `json:"t"`
+	Kind Kind    `json:"kind"`
+	Page int     `json:"page"`
+	note string  // untagged and unexported: not part of the wire format
+}
+
+func Kinds() []Kind { return []Kind{KindArrival, KindDepart} }
+
+func appendEvent(b []byte, ev Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, ev.T, 'g', -1, 64)
+	b = append(b, `,"kind":"`...)
+	b = append(b, string(ev.Kind)...)
+	b = append(b, `","page":`...)
+	b = strconv.AppendInt(b, int64(ev.Page), 10)
+	b = append(b, '}')
+	return b
+}
+
+func Accumulate(ev Event) int {
+	switch ev.Kind {
+	case KindArrival:
+		return 1
+	case KindDepart:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,16 @@
+// Package eventq is a fixture stand-in for the real free list: the
+// analyzer resolves the FreeList type by name and package path.
+package eventq
+
+type FreeList[T any] struct{ free []*T }
+
+func (f *FreeList[T]) Get() *T {
+	if n := len(f.free); n > 0 {
+		x := f.free[n-1]
+		f.free = f.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+func (f *FreeList[T]) Put(x *T) { f.free = append(f.free, x) }

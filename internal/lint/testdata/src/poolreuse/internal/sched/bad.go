@@ -1,0 +1,37 @@
+package sched
+
+import "poolreuse/internal/eventq"
+
+type node struct {
+	next *node
+	val  int
+}
+
+var pool eventq.FreeList[node]
+
+// useAfterPut reads the node after ownership went back to the pool: the
+// next Get may already have handed it to someone else.
+func useAfterPut() int {
+	n := pool.Get()
+	n.val = 42
+	n.next = nil
+	pool.Put(n)
+	return n.val // want `use of n after it was Put`
+}
+
+// doublePut frees the node twice: the next two Gets return the same
+// node and alias each other's state.
+func doublePut() {
+	n := pool.Get()
+	n.next = nil
+	pool.Put(n)
+	pool.Put(n) // want `Put back to the pool twice`
+}
+
+// missingReset hands a node back with a live pointer field: the idle
+// pool pins the dead payload against the GC.
+func missingReset() {
+	n := pool.Get()
+	n.next = &node{}
+	pool.Put(n) // want `without clearing its reference fields`
+}

@@ -1,0 +1,43 @@
+package sched
+
+import "poolreuse/internal/eventq"
+
+// fieldReset clears the reference-carrying field before Put — the
+// req.Tag = nil idiom.
+func fieldReset() {
+	n := pool.Get()
+	n.next = &node{}
+	n.val = 7
+	n.next = nil
+	pool.Put(n)
+}
+
+// wholeReset zeroes the whole node instead.
+func wholeReset() {
+	n := pool.Get()
+	n.next = &node{}
+	*n = node{}
+	pool.Put(n)
+}
+
+// rebind re-acquires a fresh node after the Put: the name no longer
+// refers to the freed one, so the later read is fine.
+func rebind() int {
+	n := pool.Get()
+	*n = node{}
+	pool.Put(n)
+	n = pool.Get()
+	return n.val
+}
+
+// stamp has no reference fields: nothing to pin, no reset required.
+type stamp struct{ t float64 }
+
+var stampPool eventq.FreeList[stamp]
+
+func noRefFields() float64 {
+	s := stampPool.Get()
+	t := s.t
+	stampPool.Put(s)
+	return t
+}

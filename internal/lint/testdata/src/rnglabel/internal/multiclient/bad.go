@@ -1,0 +1,42 @@
+package multiclient
+
+import (
+	"fmt"
+
+	"rnglabel/internal/rng"
+)
+
+// duplicateLabels derives two purposes from one stream.
+func duplicateLabels(seed uint64) (uint64, uint64) {
+	arrivals := rng.Derive(seed, "arrivals")
+	think := rng.Derive(seed, "arrivals") // want `duplicate rng.Derive label "arrivals"`
+	return arrivals.Uint64(), think.Uint64()
+}
+
+// loopInvariantLabel re-derives the same stream every iteration: the
+// "per-client" streams are all the same stream.
+func loopInvariantLabel(seed uint64, n int) uint64 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		s := rng.Derive(seed, "per-client") // want `label is invariant in this loop`
+		acc ^= s.Uint64()
+	}
+	return acc
+}
+
+// collidingConcat renders ("1","23") and ("12","3") to one label.
+func collidingConcat(seed uint64, client, page string) uint64 {
+	return rng.Derive(seed, client+page).Uint64() // want `no separator between`
+}
+
+// collidingSprintf is the same bug through a format string.
+func collidingSprintf(seed uint64, c, p int) uint64 {
+	return rng.Derive(seed, fmt.Sprintf("%d%d", c, p)).Uint64() // want `adjacent verbs`
+}
+
+// badLabel hides the separator-less concat one call deep.
+func badLabel(c, p string) string { return c + p }
+
+func collidingHelper(seed uint64, c, p string) uint64 {
+	return rng.Derive(seed, badLabel(c, p)).Uint64() // want `no separator between`
+}

@@ -1,0 +1,45 @@
+package multiclient
+
+import (
+	"fmt"
+
+	"rnglabel/internal/rng"
+)
+
+// cleanLabels: distinct constant labels, a loop-variant per-item label,
+// and separator-carrying construction.
+func cleanLabels(seed uint64, n int) uint64 {
+	arrivals := rng.Derive(seed, "arrivals")
+	service := rng.Derive(seed, "service")
+	acc := arrivals.Uint64() ^ service.Uint64()
+	for i := 0; i < n; i++ {
+		s := rng.Derive(seed, fmt.Sprintf("client/%d", i))
+		acc ^= s.Uint64()
+	}
+	return acc
+}
+
+// cleanConcat keeps a literal separator between the variable parts.
+func cleanConcat(seed uint64, client, page string) uint64 {
+	return rng.Derive(seed, client+"/"+page).Uint64()
+}
+
+// goodLabel is the helper idiom done right: the separator travels with
+// the helper.
+func goodLabel(c, p string) string { return fmt.Sprintf("%s/%s", c, p) }
+
+func cleanHelper(seed uint64, c, p string) uint64 {
+	return rng.Derive(seed, goodLabel(c, p)).Uint64()
+}
+
+// mutatedLabelInLoop is loop-variant through a write, not a
+// declaration: the facts table sees the append.
+func mutatedLabelInLoop(seed uint64, n int) uint64 {
+	var acc uint64
+	label := "walk"
+	for i := 0; i < n; i++ {
+		label = label + "/step"
+		acc ^= rng.Derive(seed, label).Uint64()
+	}
+	return acc
+}

@@ -1,0 +1,20 @@
+// Package rng is a fixture stand-in for the real partitioned RNG: the
+// analyzer resolves Derive by name and package path, so the fixture
+// only needs the signature shape.
+package rng
+
+type Stream struct{ state uint64 }
+
+func Derive(seed uint64, label string) *Stream {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return &Stream{state: seed ^ h}
+}
+
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return s.state
+}

@@ -1,0 +1,77 @@
+package multiclient
+
+import "sync"
+
+// fanOutShared accumulates directly into a captured variable: the
+// classic scheduler-ordered reduction.
+func fanOutShared(n int, vals []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sum += vals[w] // want `goroutine writes captured sum`
+		}(w)
+	}
+	wg.Wait()
+	return sum
+}
+
+// fanOutSameSlot writes through an index every worker shares.
+func fanOutSameSlot(n int, out []float64) {
+	var wg sync.WaitGroup
+	slot := 0
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			out[slot] = v // want `index that is not private to the worker`
+		}(float64(w))
+	}
+	wg.Wait()
+}
+
+// fanOutConstSlot is the constant-index spelling of the same bug.
+func fanOutConstSlot(n int, out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			out[0] = v // want `index that is not private to the worker`
+		}(float64(w))
+	}
+	wg.Wait()
+}
+
+// fanOutRacyRead writes disjoint slots correctly but then peeks at a
+// sibling's slot: the value read depends on scheduling.
+func fanOutRacyRead(n int, out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = float64(w)
+			_ = out[0] // want `reads captured out while a concurrent worker writes it`
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fanOutAllowed shows the audited escape hatch: the suppression carries
+// its justification and the fixture marks the hidden finding.
+func fanOutAllowed(n int) {
+	var wg sync.WaitGroup
+	count := 0
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			//lint:allow shardpure demonstration harness measures scheduler-order variance on purpose
+			count++ // allowed
+		}()
+	}
+	wg.Wait()
+}

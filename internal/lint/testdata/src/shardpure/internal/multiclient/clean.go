@@ -1,0 +1,40 @@
+package multiclient
+
+import "sync"
+
+// fanOutClean is the canonical Phase-A shape: each worker writes only
+// its own slot of a pre-sized slice, reads only immutable shared state,
+// and the enclosing function merges after the join in canonical order.
+func fanOutClean(n int, vals []float64) float64 {
+	parts := make([]float64, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parts[w] = vals[w] * 2
+		}(w)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// fanOutDerivedIndex still counts as worker-private: the slot index is
+// computed from the worker's own parameter.
+func fanOutDerivedIndex(n, stride int, out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * 2
+			out[base] = 1
+			out[base+1] = 2
+		}(w)
+	}
+	wg.Wait()
+}

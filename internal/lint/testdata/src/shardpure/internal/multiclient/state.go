@@ -1,0 +1,18 @@
+package multiclient
+
+// servedTotal lives in a different file than the worker that mutates
+// it: the capture analysis is package-wide, not per-file.
+var servedTotal int
+
+func bumpFromWorkers(n int) {
+	done := make(chan struct{})
+	for w := 0; w < n; w++ {
+		go func() {
+			servedTotal++ // want `goroutine writes captured servedTotal`
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < n; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,20 @@
+// Package plain is outside the simulation-package set: the Phase-A
+// purity contract does not apply, so the shared-counter goroutine below
+// must stay unflagged.
+package plain
+
+import "sync"
+
+func Count(n int) int {
+	var wg sync.WaitGroup
+	count := 0
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++
+		}()
+	}
+	wg.Wait()
+	return count
+}

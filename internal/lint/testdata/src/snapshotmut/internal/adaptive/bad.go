@@ -1,0 +1,33 @@
+package adaptive
+
+import "snapshotmut/internal/schedsrv"
+
+type policy struct {
+	last *schedsrv.Feedback
+}
+
+type holder struct {
+	fb schedsrv.Feedback
+}
+
+// tweakPointer writes through a shared *Feedback: every later reader of
+// the snapshot sees doctored congestion facts.
+func tweakPointer(fb *schedsrv.Feedback) {
+	fb.QueueDepth = 0 // want `assignment to Feedback field QueueDepth`
+}
+
+// tweakNested mutates a Feedback stored behind another struct.
+func tweakNested(p *policy) {
+	p.last.DroppedTotal++ // want `increment of Feedback field DroppedTotal`
+}
+
+// tweakField hits a by-value Feedback that is still shared storage: a
+// field of a longer-lived struct.
+func tweakField(h *holder) {
+	h.fb.QueueDepth = 1 // want `assignment to Feedback field QueueDepth`
+}
+
+// leakAddr escapes a writable pointer into the snapshot.
+func leakAddr(fb *schedsrv.Feedback) *int {
+	return &fb.QueueDepth // want `writable reference`
+}

@@ -1,0 +1,24 @@
+package adaptive
+
+import "snapshotmut/internal/schedsrv"
+
+// deriveVariant mutates a function-local by-value copy: Go's value
+// semantics guarantee it aliases nothing, so this is the endorsed way
+// to derive a what-if variant.
+func deriveVariant(fb schedsrv.Feedback, drops int) schedsrv.Feedback {
+	fb.DroppedTotal += drops
+	return fb
+}
+
+// copyThenTweak is the pattern for consumers holding a pointer: copy
+// first, then adjust the copy.
+func copyThenTweak(p *policy) schedsrv.Feedback {
+	fb := *p.last
+	fb.QueueDepth = 0
+	return fb
+}
+
+// readOnly consumption is what snapshots are for.
+func readOnly(fb *schedsrv.Feedback) int {
+	return fb.QueueDepth + int(fb.EWMAWaitTicks) + fb.DroppedTotal
+}

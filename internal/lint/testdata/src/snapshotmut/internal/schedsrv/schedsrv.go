@@ -1,0 +1,19 @@
+// Package schedsrv is a fixture stand-in for the scheduling server: the
+// analyzer resolves the Feedback type by name and package path, and the
+// defining package itself may update the struct freely.
+package schedsrv
+
+type Feedback struct {
+	QueueDepth    int
+	EWMAWaitTicks float64
+	DroppedTotal  int
+}
+
+type Server struct{ fb Feedback }
+
+// Snapshot updates and hands out the congestion snapshot; in-package
+// mutation is the implementation, not a violation.
+func (s *Server) Snapshot() Feedback {
+	s.fb.QueueDepth++
+	return s.fb
+}

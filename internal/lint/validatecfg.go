@@ -47,41 +47,38 @@ func runValidateCfg(pass *Pass) error {
 	}
 	var funcs []funcEntry
 	byObj := make(map[*types.Func]*funcEntry)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fobj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			var params []cfgParam
-			for _, field := range fieldListParams(fd) {
-				for _, name := range field.Names {
-					pobj, ok := pass.TypesInfo.Defs[name].(*types.Var)
-					if !ok {
-						continue
-					}
-					if named := derefNamed(pobj.Type()); named != nil && cfgTypes[named] {
-						params = append(params, cfgParam{obj: pobj})
-					}
+	for _, fd := range pass.Insp.FuncDecls {
+		if fd.Body == nil {
+			continue
+		}
+		fobj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		var params []cfgParam
+		for _, field := range fieldListParams(fd) {
+			for _, name := range field.Names {
+				pobj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if named := derefNamed(pobj.Type()); named != nil && cfgTypes[named] {
+					params = append(params, cfgParam{obj: pobj})
 				}
 			}
-			if len(params) == 0 {
-				continue
-			}
-			// Methods on the config type itself (Validate, defaulting
-			// helpers) are the implementation of validation, not
-			// consumers of it.
-			if recv := receiverNamed(pass, fd); recv != nil && cfgTypes[recv] {
-				continue
-			}
-			fe := funcEntry{decl: fd, obj: fobj, params: params, exported: fd.Name.IsExported()}
-			funcs = append(funcs, fe)
-			byObj[fobj] = &funcs[len(funcs)-1]
 		}
+		if len(params) == 0 {
+			continue
+		}
+		// Methods on the config type itself (Validate, defaulting
+		// helpers) are the implementation of validation, not
+		// consumers of it.
+		if recv := receiverNamed(pass, fd); recv != nil && cfgTypes[recv] {
+			continue
+		}
+		fe := funcEntry{decl: fd, obj: fobj, params: params, exported: fd.Name.IsExported()}
+		funcs = append(funcs, fe)
+		byObj[fobj] = &funcs[len(funcs)-1]
 	}
 
 	// validated[param] is the earliest position at which the parameter

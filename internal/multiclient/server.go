@@ -112,6 +112,7 @@ func (s *server) enqueue(r request) bool {
 		Demand:  r.demand,
 		Tag:     rq,
 	}) {
+		*rq = request{} // drop the client pointer before the pool keeps the node
 		s.reqPool.Put(rq)
 		return false
 	}
@@ -182,6 +183,7 @@ func (s *server) done(r *schedsrv.Request, service, waited float64) {
 		s.insertCache(req.page, req.duration)
 	}
 	req.client.onTransferDone(*req, waited)
+	*req = request{} // drop the client pointer before the pool keeps the node
 	s.reqPool.Put(req)
 }
 
